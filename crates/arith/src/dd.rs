@@ -1,0 +1,297 @@
+//! Double-double ("float128 substitute") reference arithmetic.
+//!
+//! The paper computes its reference eigenpairs in IEEE binary128.  This crate
+//! substitutes a classical double-double type: an unevaluated sum of two
+//! `f64` values giving ~106 significand bits (eps ≈ 2.5e-33), implemented
+//! with the error-free transformations of Dekker and Knuth.  That is far more
+//! precision than needed to serve as a reference for the 64-bit formats under
+//! study (whose best relative errors are ≈ 1e-17); see DESIGN.md, S1.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Double-double value: `hi + lo` with `|lo| <= ulp(hi)/2`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Dd {
+    pub hi: f64,
+    pub lo: f64,
+}
+
+/// Error-free transformation: `a + b = s + e` exactly (Knuth two-sum).
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Error-free transformation for `|a| >= |b|` (Dekker quick-two-sum).
+#[inline]
+fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// Error-free transformation: `a * b = p + e` exactly (via fused multiply-add).
+#[inline]
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = a.mul_add(b, -p);
+    (p, e)
+}
+
+impl Dd {
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+    pub const ONE: Dd = Dd { hi: 1.0, lo: 0.0 };
+    /// Machine epsilon of the double-double representation (2^-105).
+    pub const EPSILON: Dd = Dd { hi: 2.465190328815662e-32, lo: 0.0 };
+
+    #[inline]
+    pub fn new(hi: f64, lo: f64) -> Self {
+        let (s, e) = quick_two_sum(hi, lo);
+        Dd { hi: s, lo: e }
+    }
+
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Exact sum of two `f64` values as a double-double.
+    #[inline]
+    pub fn from_sum(a: f64, b: f64) -> Self {
+        let (s, e) = two_sum(a, b);
+        Dd { hi: s, lo: e }
+    }
+
+    /// Exact product of two `f64` values as a double-double.
+    #[inline]
+    pub fn from_prod(a: f64, b: f64) -> Self {
+        let (p, e) = two_prod(a, b);
+        Dd { hi: p, lo: e }
+    }
+
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.hi
+    }
+
+    pub fn abs(self) -> Self {
+        if self.hi < 0.0 || (self.hi == 0.0 && self.lo < 0.0) {
+            -self
+        } else {
+            self
+        }
+    }
+
+    pub fn is_nan(self) -> bool {
+        self.hi.is_nan() || self.lo.is_nan()
+    }
+
+    pub fn is_finite(self) -> bool {
+        self.hi.is_finite() && self.lo.is_finite()
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.hi == 0.0 && self.lo == 0.0
+    }
+
+    pub fn sqrt(self) -> Self {
+        if self.is_zero() {
+            return Dd::ZERO;
+        }
+        if self.hi < 0.0 {
+            return Dd { hi: f64::NAN, lo: f64::NAN };
+        }
+        // One Newton step on x = sqrt(a) starting from the f64 estimate:
+        // x' = (x + a/x) / 2, carried out in double-double, is accurate to
+        // full double-double precision.
+        let x = Dd::from_f64(self.hi.sqrt());
+        let x = (x + self / x) * Dd::from_f64(0.5);
+        (x + self / x) * Dd::from_f64(0.5)
+    }
+
+    /// Multiply by a power of two (exact).
+    pub fn scale2(self, e: i32) -> Self {
+        let f = 2f64.powi(e);
+        Dd { hi: self.hi * f, lo: self.lo * f }
+    }
+}
+
+impl Neg for Dd {
+    type Output = Dd;
+    #[inline]
+    fn neg(self) -> Dd {
+        Dd { hi: -self.hi, lo: -self.lo }
+    }
+}
+
+impl Add for Dd {
+    type Output = Dd;
+    #[inline]
+    fn add(self, o: Dd) -> Dd {
+        // Accurate (IEEE-style) double-double addition.
+        let (s1, s2) = two_sum(self.hi, o.hi);
+        let (t1, t2) = two_sum(self.lo, o.lo);
+        let (s1, s2) = quick_two_sum(s1, s2 + t1);
+        let (s1, s2) = quick_two_sum(s1, s2 + t2);
+        Dd { hi: s1, lo: s2 }
+    }
+}
+
+impl Sub for Dd {
+    type Output = Dd;
+    #[inline]
+    fn sub(self, o: Dd) -> Dd {
+        self + (-o)
+    }
+}
+
+impl Mul for Dd {
+    type Output = Dd;
+    #[inline]
+    fn mul(self, o: Dd) -> Dd {
+        let (p1, p2) = two_prod(self.hi, o.hi);
+        let p2 = p2 + self.hi * o.lo + self.lo * o.hi;
+        let (s, e) = quick_two_sum(p1, p2);
+        Dd { hi: s, lo: e }
+    }
+}
+
+impl Div for Dd {
+    type Output = Dd;
+    fn div(self, o: Dd) -> Dd {
+        // Long division with three correction terms (Bailey's accurate
+        // double-double division).
+        let q1 = self.hi / o.hi;
+        if !q1.is_finite() {
+            return Dd { hi: q1, lo: 0.0 };
+        }
+        let r = self - o * Dd::from_f64(q1);
+        let q2 = r.hi / o.hi;
+        let r = r - o * Dd::from_f64(q2);
+        let q3 = r.hi / o.hi;
+        let (s, e) = quick_two_sum(q1, q2);
+        Dd::new(s, e + q3)
+    }
+}
+
+impl AddAssign for Dd {
+    fn add_assign(&mut self, o: Dd) {
+        *self = *self + o;
+    }
+}
+impl SubAssign for Dd {
+    fn sub_assign(&mut self, o: Dd) {
+        *self = *self - o;
+    }
+}
+impl MulAssign for Dd {
+    fn mul_assign(&mut self, o: Dd) {
+        *self = *self * o;
+    }
+}
+impl DivAssign for Dd {
+    fn div_assign(&mut self, o: Dd) {
+        *self = *self / o;
+    }
+}
+
+impl PartialEq for Dd {
+    fn eq(&self, o: &Dd) -> bool {
+        if self.is_nan() || o.is_nan() {
+            return false;
+        }
+        self.hi == o.hi && self.lo == o.lo
+    }
+}
+
+impl PartialOrd for Dd {
+    fn partial_cmp(&self, o: &Dd) -> Option<Ordering> {
+        if self.is_nan() || o.is_nan() {
+            return None;
+        }
+        match self.hi.partial_cmp(&o.hi)? {
+            Ordering::Equal => self.lo.partial_cmp(&o.lo),
+            ord => Some(ord),
+        }
+    }
+}
+
+impl fmt::Display for Dd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Displaying the leading component is enough for diagnostics.
+        write!(f, "{:e}", self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eft_identities() {
+        let (s, e) = two_sum(1e16, 1.0);
+        assert_eq!(s, 1e16 + 1.0);
+        assert_eq!(s + e, 1e16 + 1.0); // representable exactly here
+        // The error term recovers what f64 addition loses.
+        let (s, e) = two_sum(1.0, 1e-20);
+        assert_eq!(s, 1.0);
+        assert_eq!(e, 1e-20);
+        let (p, e) = two_prod(1e8 + 1.0, 1e8 + 1.0);
+        // (1e8+1)^2 = 1e16 + 2e8 + 1; the +1 is lost in f64.
+        assert_eq!(p + e, (1e8 + 1.0) * (1e8 + 1.0));
+        assert_eq!(e, 1.0);
+    }
+
+    #[test]
+    fn addition_keeps_small_terms() {
+        let a = Dd::from_f64(1.0);
+        let b = Dd::from_f64(1e-25);
+        let c = a + b;
+        assert_eq!(c.hi, 1.0);
+        assert_eq!(c.lo, 1e-25);
+        let d = c - a;
+        assert_eq!(d.hi, 1e-25);
+    }
+
+    #[test]
+    fn division_is_accurate() {
+        let x = Dd::from_f64(1.0) / Dd::from_f64(3.0);
+        let back = x * Dd::from_f64(3.0);
+        let err = (back - Dd::ONE).abs();
+        assert!(err.hi < 1e-31, "1/3*3 error {}", err.hi);
+    }
+
+    #[test]
+    fn sqrt_is_accurate() {
+        let two = Dd::from_f64(2.0);
+        let r = two.sqrt();
+        let err = (r * r - two).abs();
+        assert!(err.hi < 1e-31, "sqrt(2)^2 error {}", err.hi);
+        assert!(Dd::from_f64(-1.0).sqrt().is_nan());
+        assert!(Dd::ZERO.sqrt().is_zero());
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Dd::from_f64(1.0) + Dd::from_f64(1e-30);
+        let b = Dd::from_f64(1.0);
+        assert!(a > b);
+        assert!(b < a);
+        assert_ne!(a, b);
+        assert_eq!(b, Dd::ONE);
+        assert!(!(Dd { hi: f64::NAN, lo: 0.0 } == Dd::ONE));
+    }
+
+    #[test]
+    fn pi_to_double_double() {
+        // pi as hi+lo, check that (pi_dd - pi_hi) recovers the low part.
+        let pi = Dd::new(core::f64::consts::PI, 1.2246467991473532e-16);
+        let lo = pi - Dd::from_f64(core::f64::consts::PI);
+        assert!((lo.hi - 1.2246467991473532e-16).abs() < 1e-32);
+    }
+}

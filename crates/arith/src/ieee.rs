@@ -1,0 +1,339 @@
+//! Generic IEEE-754-style codec.
+//!
+//! One parameterized encoder/decoder covers `float16`, `bfloat16`, both OFP8
+//! formats, and the `binary32`/`binary64` conversions used to move values in
+//! and out of the emulated world.  The OFP8 E4M3 format deviates from the
+//! IEEE layout (it has no infinities and only a single NaN mantissa pattern);
+//! that deviation is captured by [`Flavor`].
+
+use crate::unpacked::{round_at, Class, Unpacked};
+
+/// How the maximum exponent field is interpreted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flavor {
+    /// Ordinary IEEE semantics: the all-ones exponent encodes infinities and
+    /// NaNs, overflow goes to infinity.
+    Standard,
+    /// OCP OFP8 E4M3 semantics: the all-ones exponent still encodes finite
+    /// values except for the all-ones mantissa, which is NaN.  There are no
+    /// infinities; overflow produces NaN.
+    FiniteNan,
+}
+
+/// Static description of an IEEE-style binary interchange format.
+#[derive(Clone, Copy, Debug)]
+pub struct IeeeSpec {
+    pub name: &'static str,
+    pub bits: u32,
+    pub exp_bits: u32,
+    pub frac_bits: u32,
+    pub flavor: Flavor,
+}
+
+impl IeeeSpec {
+    pub const fn bias(&self) -> i32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Largest unbiased exponent of a finite value.
+    pub const fn emax(&self) -> i32 {
+        match self.flavor {
+            Flavor::Standard => self.bias(),
+            Flavor::FiniteNan => self.bias() + 1,
+        }
+    }
+
+    /// Smallest unbiased exponent of a normal value.
+    pub const fn emin(&self) -> i32 {
+        1 - self.bias()
+    }
+
+    const fn exp_mask(&self) -> u64 {
+        (1 << self.exp_bits) - 1
+    }
+
+    const fn frac_mask(&self) -> u64 {
+        (1 << self.frac_bits) - 1
+    }
+
+    const fn sign_mask(&self) -> u64 {
+        1 << (self.bits - 1)
+    }
+
+    /// Bit pattern of the canonical quiet NaN.
+    pub const fn nan_bits(&self) -> u64 {
+        match self.flavor {
+            Flavor::Standard => (self.exp_mask() << self.frac_bits) | (1 << (self.frac_bits - 1)),
+            Flavor::FiniteNan => (self.exp_mask() << self.frac_bits) | self.frac_mask(),
+        }
+    }
+
+    /// Bit pattern of positive infinity (Standard flavor only).
+    pub const fn inf_bits(&self) -> u64 {
+        self.exp_mask() << self.frac_bits
+    }
+
+    /// Bit pattern of the largest finite value.
+    pub const fn max_finite_bits(&self) -> u64 {
+        match self.flavor {
+            Flavor::Standard => ((self.exp_mask() - 1) << self.frac_bits) | self.frac_mask(),
+            Flavor::FiniteNan => (self.exp_mask() << self.frac_bits) | (self.frac_mask() - 1),
+        }
+    }
+
+    /// Bit pattern of the smallest positive (subnormal) value.
+    pub const fn min_positive_bits(&self) -> u64 {
+        1
+    }
+}
+
+pub const BINARY16: IeeeSpec =
+    IeeeSpec { name: "float16", bits: 16, exp_bits: 5, frac_bits: 10, flavor: Flavor::Standard };
+pub const BFLOAT16: IeeeSpec =
+    IeeeSpec { name: "bfloat16", bits: 16, exp_bits: 8, frac_bits: 7, flavor: Flavor::Standard };
+pub const OFP8_E4M3: IeeeSpec =
+    IeeeSpec { name: "OFP8 E4M3", bits: 8, exp_bits: 4, frac_bits: 3, flavor: Flavor::FiniteNan };
+pub const OFP8_E5M2: IeeeSpec =
+    IeeeSpec { name: "OFP8 E5M2", bits: 8, exp_bits: 5, frac_bits: 2, flavor: Flavor::Standard };
+pub const BINARY32: IeeeSpec =
+    IeeeSpec { name: "float32", bits: 32, exp_bits: 8, frac_bits: 23, flavor: Flavor::Standard };
+pub const BINARY64: IeeeSpec =
+    IeeeSpec { name: "float64", bits: 64, exp_bits: 11, frac_bits: 52, flavor: Flavor::Standard };
+
+/// Decode an IEEE bit pattern into an [`Unpacked`] value (always exact).
+pub fn decode(bits: u64, spec: &IeeeSpec) -> Unpacked {
+    let bits = if spec.bits == 64 { bits } else { bits & ((1u64 << spec.bits) - 1) };
+    let sign = bits & spec.sign_mask() != 0;
+    let exp_field = (bits >> spec.frac_bits) & spec.exp_mask();
+    let frac = bits & spec.frac_mask();
+
+    if exp_field == spec.exp_mask() {
+        match spec.flavor {
+            Flavor::Standard => {
+                return if frac == 0 { Unpacked::inf(sign) } else { Unpacked::nan() };
+            }
+            Flavor::FiniteNan => {
+                if frac == spec.frac_mask() {
+                    return Unpacked::nan();
+                }
+                // otherwise: an ordinary finite value, fall through.
+            }
+        }
+    }
+
+    if exp_field == 0 {
+        if frac == 0 {
+            return Unpacked::zero(sign);
+        }
+        // Subnormal: value = frac * 2^(emin - frac_bits).
+        let lz = frac.leading_zeros() - (64 - spec.frac_bits);
+        let exp = spec.emin() - 1 - lz as i32 + 0;
+        // Normalize the fraction so its leading bit reaches bit 63.
+        let sig = frac << (63 - (spec.frac_bits - 1 - lz));
+        return Unpacked { class: Class::Finite, sign, exp, sig, sticky: false };
+    }
+
+    let exp = exp_field as i32 - spec.bias();
+    let sig = (1u64 << 63) | (frac << (63 - spec.frac_bits));
+    Unpacked { class: Class::Finite, sign, exp, sig, sticky: false }
+}
+
+/// Encode an [`Unpacked`] value into an IEEE bit pattern with
+/// round-to-nearest-even, producing subnormals, signed zeros and the
+/// format's overflow behaviour as appropriate.
+pub fn encode(u: &Unpacked, spec: &IeeeSpec) -> u64 {
+    let sign_bit = if u.sign { spec.sign_mask() } else { 0 };
+    match u.class {
+        Class::Nan => return spec.nan_bits(),
+        Class::Inf => {
+            return match spec.flavor {
+                Flavor::Standard => sign_bit | spec.inf_bits(),
+                Flavor::FiniteNan => spec.nan_bits() | sign_bit,
+            }
+        }
+        Class::Zero => return sign_bit,
+        Class::Finite => {}
+    }
+
+    let p = spec.frac_bits + 1;
+    let emin = spec.emin();
+
+    if u.exp >= emin {
+        // Normal range (before rounding).
+        let (mut rsig, _inexact) = round_at(u.sig, u.sticky, 64 - p);
+        let mut exp = u.exp;
+        if rsig >> p != 0 {
+            // Carry out of the significand: 10...0 with exponent + 1.
+            rsig >>= 1;
+            exp += 1;
+        }
+        if exp > spec.emax() {
+            return match spec.flavor {
+                Flavor::Standard => sign_bit | spec.inf_bits(),
+                Flavor::FiniteNan => spec.nan_bits() | sign_bit,
+            };
+        }
+        if spec.flavor == Flavor::FiniteNan
+            && exp == spec.emax()
+            && (rsig & spec.frac_mask()) == spec.frac_mask()
+        {
+            // The would-be largest significand at the top exponent collides
+            // with the NaN encoding; saturate to the largest finite value.
+            return sign_bit | spec.max_finite_bits();
+        }
+        let exp_field = (exp + spec.bias()) as u64;
+        return sign_bit | (exp_field << spec.frac_bits) | (rsig & spec.frac_mask());
+    }
+
+    // Subnormal (or underflow-to-zero) range: the stored fraction is
+    // round(value / 2^(emin - frac_bits)).
+    let drop = 63 + emin - u.exp - spec.frac_bits as i32;
+    debug_assert!(drop > 0);
+    let (rsig, _inexact) = round_at(u.sig, u.sticky, drop.min(65) as u32);
+    if rsig == 0 {
+        return sign_bit; // underflow to (signed) zero
+    }
+    if rsig >= 1 << spec.frac_bits {
+        // Rounded all the way up to the smallest normal value.
+        return sign_bit | (1 << spec.frac_bits);
+    }
+    sign_bit | rsig
+}
+
+/// Exact conversion from a native `f64`.
+pub fn unpack_f64(x: f64) -> Unpacked {
+    decode(x.to_bits(), &BINARY64)
+}
+
+/// Correctly rounded conversion to a native `f64`.
+pub fn pack_f64(u: &Unpacked) -> f64 {
+    f64::from_bits(encode(u, &BINARY64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_f64(x: f64) {
+        let u = unpack_f64(x);
+        let y = pack_f64(&u);
+        if x.is_nan() {
+            assert!(y.is_nan());
+        } else {
+            assert_eq!(x.to_bits(), y.to_bits(), "roundtrip of {x}");
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip_exact() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            1.5,
+            core::f64::consts::PI,
+            1e300,
+            -1e300,
+            1e-300,
+            5e-324,          // smallest subnormal
+            2.2250738585072014e-308, // smallest normal
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ] {
+            roundtrip_f64(x);
+        }
+    }
+
+    #[test]
+    fn binary16_known_values() {
+        // 1.0 in binary16 is 0x3C00.
+        assert_eq!(encode(&unpack_f64(1.0), &BINARY16), 0x3C00);
+        // 65504 is the largest finite half value.
+        assert_eq!(encode(&unpack_f64(65504.0), &BINARY16), 0x7BFF);
+        // 65520 rounds to infinity.
+        assert_eq!(encode(&unpack_f64(65520.0), &BINARY16), 0x7C00);
+        // Smallest positive subnormal: 2^-24.
+        assert_eq!(encode(&unpack_f64(2f64.powi(-24)), &BINARY16), 0x0001);
+        // Half of it rounds to zero (ties to even).
+        assert_eq!(encode(&unpack_f64(2f64.powi(-25)), &BINARY16), 0x0000);
+        // 2^-25 * 1.5 rounds up to the smallest subnormal.
+        assert_eq!(encode(&unpack_f64(1.5 * 2f64.powi(-25)), &BINARY16), 0x0001);
+        // -2.0 = 0xC000
+        assert_eq!(encode(&unpack_f64(-2.0), &BINARY16), 0xC000);
+    }
+
+    #[test]
+    fn bfloat16_known_values() {
+        // bfloat16 is the top half of binary32.
+        for x in [1.0f64, -2.5, 3.1415926, 1e30, -1e-30, 0.1] {
+            let expected = {
+                let f = x as f32;
+                let bits = f.to_bits();
+                // round to nearest even on the lower 16 bits
+                let lower = bits & 0xFFFF;
+                let mut upper = bits >> 16;
+                if lower > 0x8000 || (lower == 0x8000 && upper & 1 == 1) {
+                    upper += 1;
+                }
+                upper as u64
+            };
+            assert_eq!(encode(&unpack_f64(x), &BFLOAT16), expected, "bf16({x})");
+        }
+    }
+
+    #[test]
+    fn e4m3_known_values() {
+        // Largest finite E4M3 value is 448 = 0x7E.
+        assert_eq!(encode(&unpack_f64(448.0), &OFP8_E4M3), 0x7E);
+        // NaN is 0x7F; overflow saturates to NaN (no infinities).
+        assert_eq!(encode(&unpack_f64(1e6), &OFP8_E4M3), OFP8_E4M3.nan_bits());
+        // 464 is the midpoint between 448 and the non-existent 480: the spec
+        // has no larger finite value, so anything > 448 that would round up
+        // collides with NaN and must saturate to 448.
+        assert_eq!(encode(&unpack_f64(460.0), &OFP8_E4M3), 0x7E);
+        // Smallest subnormal 2^-9.
+        assert_eq!(encode(&unpack_f64(2f64.powi(-9)), &OFP8_E4M3), 0x01);
+        // 1.0 = S=0 exp=7 frac=0 -> 0x38.
+        assert_eq!(encode(&unpack_f64(1.0), &OFP8_E4M3), 0x38);
+        let back = decode(0x38, &OFP8_E4M3);
+        assert_eq!(pack_f64(&back), 1.0);
+        // Decode of max finite.
+        assert_eq!(pack_f64(&decode(0x7E, &OFP8_E4M3)), 448.0);
+        assert!(pack_f64(&decode(0x7F, &OFP8_E4M3)).is_nan());
+        assert!(pack_f64(&decode(0xFF, &OFP8_E4M3)).is_nan());
+    }
+
+    #[test]
+    fn e5m2_known_values() {
+        // Largest finite E5M2 value is 57344.
+        assert_eq!(pack_f64(&decode(0x7B, &OFP8_E5M2)), 57344.0);
+        // Overflow goes to infinity (0x7C).
+        assert_eq!(encode(&unpack_f64(1e9), &OFP8_E5M2), 0x7C);
+        assert_eq!(pack_f64(&decode(0x7C, &OFP8_E5M2)), f64::INFINITY);
+        assert!(pack_f64(&decode(0x7D, &OFP8_E5M2)).is_nan());
+        // Smallest subnormal 2^-16.
+        assert_eq!(encode(&unpack_f64(2f64.powi(-16)), &OFP8_E5M2), 0x01);
+        assert_eq!(pack_f64(&decode(0x01, &OFP8_E5M2)), 2f64.powi(-16));
+    }
+
+    #[test]
+    fn decode_encode_roundtrip_all_patterns() {
+        // Every finite bit pattern of every small format must survive a
+        // decode/encode round trip unchanged.
+        for spec in [&BINARY16, &BFLOAT16, &OFP8_E4M3, &OFP8_E5M2] {
+            for bits in 0..(1u64 << spec.bits) {
+                let u = decode(bits, spec);
+                if u.is_nan() {
+                    continue; // NaN canonicalizes
+                }
+                let re = encode(&u, spec);
+                // -0 and +0 both decode to a zero; the sign is preserved.
+                assert_eq!(re, bits, "{} pattern {bits:#x}", spec.name);
+            }
+        }
+    }
+}

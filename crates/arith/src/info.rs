@@ -1,0 +1,87 @@
+//! Descriptive metadata about a number format.
+//!
+//! Used by the experiment harness (to group formats by bit width, as the
+//! paper does per figure row) and by the `format_explorer` example to print
+//! the dynamic range / precision trade-off each format makes.
+
+use crate::real::Real;
+
+/// Static facts about a scalar format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FormatInfo {
+    /// Name as used in the paper ("posit16", "OFP8 E4M3", …).
+    pub name: &'static str,
+    /// Storage width in bits.
+    pub bits: u32,
+    /// Distance from 1.0 to the next larger value.
+    pub epsilon: f64,
+    /// Largest finite value (as an `f64` approximation).
+    pub max_finite: f64,
+    /// Smallest positive value (as an `f64` approximation).
+    pub min_positive: f64,
+    /// Whether the format saturates instead of producing infinities
+    /// (posits and takums).
+    pub saturating: bool,
+}
+
+impl FormatInfo {
+    /// Collect the metadata of a [`Real`] implementation.
+    pub fn of<T: Real>() -> Self {
+        let max = T::max_finite().to_f64();
+        let min = T::min_positive().to_f64();
+        // A format saturates if multiplying its largest value by itself stays
+        // finite (posit / takum semantics).
+        let saturating = (T::max_finite() * T::max_finite()).is_finite();
+        FormatInfo {
+            name: T::NAME,
+            bits: T::BITS,
+            epsilon: T::epsilon().to_f64(),
+            max_finite: max,
+            min_positive: min,
+            saturating,
+        }
+    }
+
+    /// Decimal orders of magnitude between the smallest and largest positive
+    /// values.
+    pub fn dynamic_range_decades(&self) -> f64 {
+        (self.max_finite.log10() - self.min_positive.log10()).abs()
+    }
+
+    /// Approximate decimal digits of precision near one.
+    pub fn decimal_digits(&self) -> f64 {
+        -self.epsilon.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::*;
+
+    #[test]
+    fn info_reflects_format_properties() {
+        let f16 = FormatInfo::of::<F16>();
+        assert_eq!(f16.name, "float16");
+        assert_eq!(f16.bits, 16);
+        assert!(!f16.saturating);
+        assert!((f16.dynamic_range_decades() - 12.6).abs() < 1.0);
+
+        let p16 = FormatInfo::of::<Posit16>();
+        assert!(p16.saturating);
+        assert!(p16.dynamic_range_decades() > 30.0);
+
+        let t16 = FormatInfo::of::<Takum16>();
+        assert!(t16.saturating);
+        // Takums keep their huge dynamic range at every width.
+        assert!(t16.dynamic_range_decades() > 140.0);
+
+        let e4m3 = FormatInfo::of::<E4M3>();
+        assert!(e4m3.dynamic_range_decades() < 6.5);
+
+        // bfloat16 trades precision for float32-like range.
+        let bf16 = FormatInfo::of::<Bf16>();
+        assert!(bf16.dynamic_range_decades() > 70.0);
+        assert!(bf16.decimal_digits() < f16.decimal_digits());
+    }
+}

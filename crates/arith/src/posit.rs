@@ -1,0 +1,245 @@
+//! Posit codec (Posit Standard 2022 parameterisation, generic in width and
+//! exponent-field size).
+//!
+//! A posit bit pattern is sign, regime (a run of identical bits plus a
+//! terminator), `es` exponent bits and fraction bits.  Negative values are
+//! the two's complement of their magnitude's pattern; `0` and NaR
+//! (`1000...0`) are the only special values.  Rounding is round-to-nearest,
+//! ties to even, with saturation: a non-zero real value never rounds to zero
+//! or NaR, values of magnitude above `maxpos` round to `maxpos` and below
+//! `minpos` to `minpos`.
+
+use crate::tapered::{compose_and_round, twos_complement, BitReader, Field};
+use crate::unpacked::{Class, Unpacked};
+
+/// Static description of a posit format.
+#[derive(Clone, Copy, Debug)]
+pub struct PositSpec {
+    pub name: &'static str,
+    pub bits: u32,
+    pub es: u32,
+}
+
+impl PositSpec {
+    pub const fn mask(&self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    pub const fn nar_pattern(&self) -> u64 {
+        1u64 << (self.bits - 1)
+    }
+
+    pub const fn maxpos_pattern(&self) -> u64 {
+        self.nar_pattern() - 1
+    }
+
+    pub const fn minpos_pattern(&self) -> u64 {
+        1
+    }
+
+    /// Largest binary exponent: `maxpos = 2^max_exp`.
+    pub const fn max_exp(&self) -> i32 {
+        ((self.bits - 2) << self.es) as i32
+    }
+}
+
+pub const POSIT8: PositSpec = PositSpec { name: "posit8", bits: 8, es: 2 };
+pub const POSIT16: PositSpec = PositSpec { name: "posit16", bits: 16, es: 2 };
+pub const POSIT32: PositSpec = PositSpec { name: "posit32", bits: 32, es: 2 };
+pub const POSIT64: PositSpec = PositSpec { name: "posit64", bits: 64, es: 2 };
+
+/// Legacy (pre-2022 draft) parameterisations, kept for the ablation study.
+pub const POSIT8_ES0: PositSpec = PositSpec { name: "posit8(es=0)", bits: 8, es: 0 };
+pub const POSIT16_ES1: PositSpec = PositSpec { name: "posit16(es=1)", bits: 16, es: 1 };
+
+/// Decode a posit bit pattern (always exact).
+pub fn decode(bits: u64, spec: &PositSpec) -> Unpacked {
+    let bits = bits & spec.mask();
+    if bits == 0 {
+        return Unpacked::zero(false);
+    }
+    if bits == spec.nar_pattern() {
+        return Unpacked::nan();
+    }
+    let sign = bits & spec.nar_pattern() != 0;
+    let mag = if sign { twos_complement(bits, spec.bits) } else { bits };
+    let body_len = spec.bits - 1;
+    let body = mag & (spec.mask() >> 1);
+    let mut r = BitReader::new(body, body_len);
+
+    let first = (body >> (body_len - 1)) & 1;
+    let run = r.run_length(first);
+    let regime: i32 = if first == 1 { run as i32 - 1 } else { -(run as i32) };
+    r.skip(run + 1); // the run plus its terminating bit (possibly past the end)
+
+    let e = r.read_bits(spec.es) as i32;
+    let frac_len = r.remaining();
+    let frac = r.read_bits(frac_len);
+
+    let exp = (regime << spec.es) + e;
+    let sig = (1u64 << 63) | if frac_len > 0 { frac << (63 - frac_len) } else { 0 };
+    Unpacked::finite(sign, exp, sig)
+}
+
+/// Encode an unpacked value as a posit with correct rounding and saturation.
+pub fn encode(u: &Unpacked, spec: &PositSpec) -> u64 {
+    match u.class {
+        Class::Nan | Class::Inf => return spec.nar_pattern(),
+        Class::Zero => return 0,
+        Class::Finite => {}
+    }
+    let emax = spec.max_exp();
+    // Saturation: |x| >= maxpos rounds to maxpos, |x| < minpos rounds to
+    // minpos (never to zero or NaR).
+    let body = if u.exp >= emax {
+        spec.maxpos_pattern()
+    } else if u.exp < -emax {
+        spec.minpos_pattern()
+    } else {
+        let step = 1i32 << spec.es;
+        let regime = u.exp.div_euclid(step);
+        let e = u.exp.rem_euclid(step) as u64;
+
+        let regime_field = if regime >= 0 {
+            // (regime + 1) ones followed by a zero.
+            let len = regime as u32 + 2;
+            Field::new(len, ((1u64 << (regime as u32 + 1)) - 1) << 1)
+        } else {
+            // (-regime) zeros followed by a one.
+            Field::new((-regime) as u32 + 1, 1)
+        };
+        let exp_field = Field::new(spec.es, e);
+        let frac_field = Field::new(63, u.sig & ((1u64 << 63) - 1));
+
+        let word = compose_and_round(
+            &[regime_field, exp_field, frac_field],
+            u.sticky,
+            spec.bits - 1,
+        );
+        word.clamp(spec.minpos_pattern(), spec.maxpos_pattern())
+    };
+    if u.sign {
+        twos_complement(body, spec.bits)
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieee::{pack_f64, unpack_f64};
+
+    fn to_f64(bits: u64, spec: &PositSpec) -> f64 {
+        pack_f64(&decode(bits, spec))
+    }
+
+    fn from_f64(x: f64, spec: &PositSpec) -> u64 {
+        encode(&unpack_f64(x), spec)
+    }
+
+    #[test]
+    fn known_posit8_values() {
+        // Standard posit with es = 2: 0x40 is 1.0, 0x01 is minpos = 2^-24,
+        // 0x7F is maxpos = 2^24.
+        assert_eq!(to_f64(0x40, &POSIT8), 1.0);
+        assert_eq!(to_f64(0x01, &POSIT8), 2f64.powi(-24));
+        assert_eq!(to_f64(0x7F, &POSIT8), 2f64.powi(24));
+        assert_eq!(to_f64(0xC0, &POSIT8), -1.0);
+        assert!(to_f64(0x80, &POSIT8).is_nan());
+        assert_eq!(to_f64(0x00, &POSIT8), 0.0);
+        // 0x48: sign 0, regime "10" (r=0), exp 01, frac 000 -> 2^1 = 2.
+        assert_eq!(to_f64(0x48, &POSIT8), 2.0);
+        // 0x44: exp bits 00, frac 100 -> 1.5
+        assert_eq!(to_f64(0x44, &POSIT8), 1.5);
+    }
+
+    #[test]
+    fn known_posit16_values() {
+        assert_eq!(to_f64(0x4000, &POSIT16), 1.0);
+        assert_eq!(to_f64(0x0001, &POSIT16), 2f64.powi(-56));
+        assert_eq!(to_f64(0x7FFF, &POSIT16), 2f64.powi(56));
+        assert_eq!(from_f64(1.0, &POSIT16), 0x4000);
+        assert_eq!(from_f64(-1.0, &POSIT16), 0xC000);
+        // 3.0 = 1.1b * 2^1: regime "10", exp "01", frac "1" -> 0x4C00.
+        assert_eq!(from_f64(3.0, &POSIT16), 0x4C00);
+        assert_eq!(to_f64(0x4C00, &POSIT16), 3.0);
+    }
+
+    #[test]
+    fn saturation_rules() {
+        // Values beyond maxpos saturate to maxpos, never NaR.
+        assert_eq!(from_f64(1e30, &POSIT8), 0x7F);
+        assert_eq!(from_f64(-1e30, &POSIT8), 0x81);
+        // Values below minpos round to minpos, never zero.
+        assert_eq!(from_f64(1e-30, &POSIT8), 0x01);
+        assert_eq!(from_f64(-1e-30, &POSIT8), 0xFF);
+        // Infinity maps to NaR.
+        assert_eq!(from_f64(f64::INFINITY, &POSIT16), POSIT16.nar_pattern());
+        assert_eq!(from_f64(f64::NAN, &POSIT16), POSIT16.nar_pattern());
+    }
+
+    #[test]
+    fn roundtrip_all_posit8_and_16_patterns() {
+        for spec in [&POSIT8, &POSIT16, &POSIT8_ES0, &POSIT16_ES1] {
+            for bits in 0..(1u64 << spec.bits) {
+                let u = decode(bits, spec);
+                if u.is_nan() {
+                    continue;
+                }
+                assert_eq!(encode(&u, spec), bits, "{} pattern {bits:#x}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_sampled_posit32_and_64_patterns() {
+        for spec in [&POSIT32, &POSIT64] {
+            let step = if spec.bits == 32 { 655_357 } else { 0x1234_5678_9ABC_D41 };
+            let mut bits: u64 = 1;
+            for _ in 0..20_000 {
+                bits = (bits.wrapping_mul(6364136223846793005).wrapping_add(step)) & spec.mask();
+                let u = decode(bits, spec);
+                if u.is_nan() || u.is_zero() {
+                    continue;
+                }
+                assert_eq!(encode(&u, spec), bits, "{} pattern {bits:#x}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_pattern() {
+        // Posit values are monotone in the signed integer interpretation of
+        // their pattern; check the positive half of posit16 exhaustively.
+        let mut prev = to_f64(1, &POSIT16);
+        for bits in 2..0x8000u64 {
+            let v = to_f64(bits, &POSIT16);
+            assert!(v > prev, "pattern {bits:#x}: {v} <= {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn negation_is_twos_complement() {
+        for bits in 1..0x8000u64 {
+            let v = to_f64(bits, &POSIT16);
+            let n = to_f64(twos_complement(bits, 16), &POSIT16);
+            assert_eq!(v, -n, "pattern {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn legacy_es_parameterisation() {
+        // posit8 with es = 0: useed = 2, maxpos = 2^6 = 64, 1.0 = 0x40.
+        assert_eq!(to_f64(0x40, &POSIT8_ES0), 1.0);
+        assert_eq!(to_f64(0x7F, &POSIT8_ES0), 64.0);
+        assert_eq!(to_f64(0x01, &POSIT8_ES0), 1.0 / 64.0);
+        // posit16 with es = 1: maxpos = 2^28.
+        assert_eq!(to_f64(0x7FFF, &POSIT16_ES1), 2f64.powi(28));
+    }
+}

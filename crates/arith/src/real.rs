@@ -1,0 +1,298 @@
+//! The [`Real`] trait: the scalar abstraction every algorithm in this
+//! workspace is generic over.
+//!
+//! The trait is deliberately small — exactly the operations the implicitly
+//! restarted Arnoldi method, the dense kernels and the experiment pipeline
+//! need — so that the algorithms stay "untailored" in the sense of the paper:
+//! the same code runs for IEEE 754 formats, OFP8, bfloat16, posits, takums
+//! and the double-double reference type.
+
+use core::fmt::{Debug, Display};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::dd::Dd;
+
+/// A real scalar type usable by the generic numerical algorithms.
+pub trait Real:
+    Copy
+    + Clone
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Human-readable format name (matches the paper's terminology).
+    const NAME: &'static str;
+    /// Storage width in bits.
+    const BITS: u32;
+
+    fn zero() -> Self;
+    fn one() -> Self;
+
+    /// Nearest representable value to the given `f64` (round to nearest).
+    fn from_f64(x: f64) -> Self;
+    /// Nearest `f64` to this value.
+    fn to_f64(self) -> f64;
+
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+
+    fn is_nan(self) -> bool;
+    fn is_finite(self) -> bool;
+    fn is_zero(self) -> bool;
+
+    /// Distance from one to the next larger representable value.
+    fn epsilon() -> Self;
+    /// Largest finite value.
+    fn max_finite() -> Self;
+    /// Smallest positive value.
+    fn min_positive() -> Self;
+
+    fn from_usize(n: usize) -> Self {
+        Self::from_f64(n as f64)
+    }
+
+    fn recip(self) -> Self {
+        Self::one() / self
+    }
+
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+
+    fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Self::one();
+        }
+        let invert = n < 0;
+        if invert {
+            n = -n;
+        }
+        let mut base = self;
+        let mut acc = Self::one();
+        while n > 0 {
+            if n & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            n >>= 1;
+        }
+        if invert {
+            acc.recip()
+        } else {
+            acc
+        }
+    }
+
+    fn max(self, o: Self) -> Self {
+        if self.is_nan() {
+            return o;
+        }
+        if o.is_nan() {
+            return self;
+        }
+        if self >= o {
+            self
+        } else {
+            o
+        }
+    }
+
+    fn min(self, o: Self) -> Self {
+        if self.is_nan() {
+            return o;
+        }
+        if o.is_nan() {
+            return self;
+        }
+        if self <= o {
+            self
+        } else {
+            o
+        }
+    }
+
+    /// Two, as a convenience for the many `x * 2` / `x / 2` spots in the
+    /// dense kernels.
+    fn two() -> Self {
+        Self::one() + Self::one()
+    }
+
+    fn half() -> Self {
+        Self::one() / Self::two()
+    }
+}
+
+impl Real for f64 {
+    const NAME: &'static str = "float64";
+    const BITS: u32 = 64;
+
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    fn is_zero(self) -> bool {
+        self == 0.0
+    }
+    fn epsilon() -> Self {
+        f64::EPSILON
+    }
+    fn max_finite() -> Self {
+        f64::MAX
+    }
+    fn min_positive() -> Self {
+        // Smallest positive subnormal.
+        5e-324
+    }
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+}
+
+impl Real for f32 {
+    const NAME: &'static str = "float32";
+    const BITS: u32 = 32;
+
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    fn is_nan(self) -> bool {
+        f32::is_nan(self)
+    }
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    fn is_zero(self) -> bool {
+        self == 0.0
+    }
+    fn epsilon() -> Self {
+        f32::EPSILON
+    }
+    fn max_finite() -> Self {
+        f32::MAX
+    }
+    fn min_positive() -> Self {
+        f32::from_bits(1)
+    }
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+}
+
+impl Real for Dd {
+    const NAME: &'static str = "float128";
+    const BITS: u32 = 128;
+
+    fn zero() -> Self {
+        Dd::ZERO
+    }
+    fn one() -> Self {
+        Dd::ONE
+    }
+    fn from_f64(x: f64) -> Self {
+        Dd::from_f64(x)
+    }
+    fn to_f64(self) -> f64 {
+        Dd::to_f64(self)
+    }
+    fn abs(self) -> Self {
+        Dd::abs(self)
+    }
+    fn sqrt(self) -> Self {
+        Dd::sqrt(self)
+    }
+    fn is_nan(self) -> bool {
+        Dd::is_nan(self)
+    }
+    fn is_finite(self) -> bool {
+        Dd::is_finite(self)
+    }
+    fn is_zero(self) -> bool {
+        Dd::is_zero(self)
+    }
+    fn epsilon() -> Self {
+        Dd::EPSILON
+    }
+    fn max_finite() -> Self {
+        Dd::from_f64(f64::MAX)
+    }
+    fn min_positive() -> Self {
+        Dd::from_f64(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_smoke<T: Real>() {
+        let one = T::one();
+        let two = T::two();
+        assert_eq!((one + one).to_f64(), two.to_f64());
+        assert_eq!(T::from_f64(4.0).sqrt().to_f64(), 2.0);
+        assert_eq!(T::from_usize(7).to_f64(), 7.0);
+        assert_eq!(T::from_f64(2.0).powi(10).to_f64(), 1024.0);
+        assert_eq!(T::from_f64(2.0).powi(-2).to_f64(), 0.25);
+        assert!(T::epsilon() > T::zero());
+        assert!((T::one() + T::epsilon()) > T::one());
+        assert!(T::max_finite() > T::one());
+        assert!(T::min_positive() > T::zero());
+        assert!(T::from_f64(-3.5).abs().to_f64() == 3.5);
+        assert!(T::from_f64(2.0).max(T::from_f64(3.0)).to_f64() == 3.0);
+        assert!(T::from_f64(2.0).min(T::from_f64(3.0)).to_f64() == 2.0);
+    }
+
+    #[test]
+    fn native_and_dd_smoke() {
+        generic_smoke::<f32>();
+        generic_smoke::<f64>();
+        generic_smoke::<Dd>();
+    }
+}

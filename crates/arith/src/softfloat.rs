@@ -1,0 +1,252 @@
+//! Format-independent arithmetic kernels.
+//!
+//! The four basic operations and the square root are computed on
+//! [`Unpacked`] values with 128-bit intermediates, producing a normalized
+//! 64-bit significand plus a sticky flag.  A format codec then performs the
+//! final rounding, so every emulated format — including 64-bit posits and
+//! takums whose significands exceed what `f64` can carry — obtains correctly
+//! rounded results from a single kernel.
+
+use crate::unpacked::{Class, Unpacked};
+
+/// Right shift of a 128-bit quantity that "jams" all shifted-out bits into
+/// the least significant retained bit (Berkeley SoftFloat's `shiftRightJam`).
+/// This keeps rounding decisions correct after alignment shifts.
+fn shift_right_jam_128(x: u128, shift: u32) -> u128 {
+    if shift == 0 {
+        x
+    } else if shift < 128 {
+        let dropped = x & ((1u128 << shift) - 1);
+        (x >> shift) | (dropped != 0) as u128
+    } else {
+        (x != 0) as u128
+    }
+}
+
+/// Addition of two values (signs included).
+pub fn add(a: &Unpacked, b: &Unpacked) -> Unpacked {
+    use Class::*;
+    match (a.class, b.class) {
+        (Nan, _) | (_, Nan) => Unpacked::nan(),
+        (Inf, Inf) => {
+            if a.sign == b.sign {
+                Unpacked::inf(a.sign)
+            } else {
+                Unpacked::nan()
+            }
+        }
+        (Inf, _) => Unpacked::inf(a.sign),
+        (_, Inf) => Unpacked::inf(b.sign),
+        (Zero, Zero) => Unpacked::zero(a.sign && b.sign),
+        (Zero, _) => *b,
+        (_, Zero) => *a,
+        (Finite, Finite) => add_finite(a, b),
+    }
+}
+
+fn add_finite(a: &Unpacked, b: &Unpacked) -> Unpacked {
+    // Order so `hi` has the larger magnitude.
+    let (hi, lo) = if a.cmp_magnitude(b) == core::cmp::Ordering::Less { (b, a) } else { (a, b) };
+    let d = (hi.exp - lo.exp) as u32;
+    // Place the leading bit of `hi` at frame position 126 so that an addition
+    // carry still fits in the 128-bit frame.
+    let hi_frame = (hi.sig as u128) << 63;
+    let lo_frame = shift_right_jam_128((lo.sig as u128) << 63, d.min(127));
+    if hi.sign == lo.sign {
+        let sum = hi_frame + lo_frame;
+        Unpacked::from_frame(hi.sign, hi.exp, sum, false)
+    } else {
+        let diff = hi_frame - lo_frame;
+        if diff == 0 {
+            // Exact cancellation; IEEE round-to-nearest produces +0.
+            return Unpacked::zero(false);
+        }
+        Unpacked::from_frame(hi.sign, hi.exp, diff, false)
+    }
+}
+
+/// Subtraction `a - b`.
+pub fn sub(a: &Unpacked, b: &Unpacked) -> Unpacked {
+    let mut nb = *b;
+    if nb.class != Class::Nan {
+        nb.sign = !nb.sign;
+    }
+    add(a, &nb)
+}
+
+/// Multiplication.
+pub fn mul(a: &Unpacked, b: &Unpacked) -> Unpacked {
+    use Class::*;
+    let sign = a.sign ^ b.sign;
+    match (a.class, b.class) {
+        (Nan, _) | (_, Nan) => Unpacked::nan(),
+        (Inf, Zero) | (Zero, Inf) => Unpacked::nan(),
+        (Inf, _) | (_, Inf) => Unpacked::inf(sign),
+        (Zero, _) | (_, Zero) => Unpacked::zero(sign),
+        (Finite, Finite) => {
+            let prod = (a.sig as u128) * (b.sig as u128);
+            // prod in [2^126, 2^128); its leading bit at 126 corresponds to
+            // exponent a.exp + b.exp.
+            Unpacked::from_frame(sign, a.exp + b.exp, prod, false)
+        }
+    }
+}
+
+/// Division `a / b`.
+pub fn div(a: &Unpacked, b: &Unpacked) -> Unpacked {
+    use Class::*;
+    let sign = a.sign ^ b.sign;
+    match (a.class, b.class) {
+        (Nan, _) | (_, Nan) => Unpacked::nan(),
+        (Inf, Inf) | (Zero, Zero) => Unpacked::nan(),
+        (Inf, _) => Unpacked::inf(sign),
+        (_, Inf) => Unpacked::zero(sign),
+        (Zero, _) => Unpacked::zero(sign),
+        (_, Zero) => Unpacked::inf(sign),
+        (Finite, Finite) => {
+            let num = (a.sig as u128) << 64;
+            let den = b.sig as u128;
+            let q = num / den;
+            let rem = num % den;
+            // value = q * 2^(a.exp - b.exp - 64); leading bit at 126 would
+            // correspond to frame_exp = a.exp - b.exp + 62.
+            Unpacked::from_frame(sign, a.exp - b.exp + 62, q, rem != 0)
+        }
+    }
+}
+
+/// Integer square root of a 128-bit radicand (returns floor(sqrt(x))).
+fn isqrt_u128(x: u128) -> u128 {
+    if x == 0 {
+        return 0;
+    }
+    // Initial estimate from floating point, then Newton iterations on
+    // integers.  The estimate is within a few ulps, so four iterations are
+    // ample for full convergence; the final adjustment loop guarantees the
+    // floor property exactly.
+    let mut r = (x as f64).sqrt() as u128 + 1;
+    for _ in 0..6 {
+        let next = (r + x / r) >> 1;
+        if next >= r {
+            break;
+        }
+        r = next;
+    }
+    while r.checked_mul(r).map_or(true, |rr| rr > x) {
+        r -= 1;
+    }
+    while (r + 1).checked_mul(r + 1).map_or(false, |rr| rr <= x) {
+        r += 1;
+    }
+    r
+}
+
+/// Square root.
+pub fn sqrt(a: &Unpacked) -> Unpacked {
+    use Class::*;
+    match a.class {
+        Nan => Unpacked::nan(),
+        Zero => Unpacked::zero(a.sign),
+        Inf => {
+            if a.sign {
+                Unpacked::nan()
+            } else {
+                Unpacked::inf(false)
+            }
+        }
+        Finite => {
+            if a.sign {
+                return Unpacked::nan();
+            }
+            // value = sig * 2^(exp - 63).  Write it as m * 2^(2k) with
+            // m in [1, 4): for even exponents m = sig/2^63, for odd ones
+            // m = sig/2^62.
+            let (radicand, k) = if a.exp % 2 == 0 {
+                ((a.sig as u128) << 63, a.exp / 2)
+            } else {
+                // Works for negative odd exponents too: (exp - 1) is even.
+                ((a.sig as u128) << 64, (a.exp - 1) / 2)
+            };
+            let r = isqrt_u128(radicand); // in [2^63, 2^64)
+            let rem = radicand - r * r;
+            // value = r * 2^(k - 63); frame_exp = k + 63.
+            Unpacked::from_frame(false, k + 63, r, rem != 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieee::{self, BINARY64};
+
+    fn up(x: f64) -> Unpacked {
+        ieee::decode(x.to_bits(), &BINARY64)
+    }
+
+    fn down(u: &Unpacked) -> f64 {
+        f64::from_bits(ieee::encode(u, &BINARY64))
+    }
+
+    /// Check a binary op against native f64 on operands that make the f64
+    /// result exact (small integers), so the comparison is exact.
+    #[test]
+    fn exact_small_integer_arithmetic() {
+        for a in [-7.0f64, -3.0, -1.0, 0.0, 1.0, 2.0, 5.0, 12.0, 100.0] {
+            for b in [-9.0f64, -2.0, -1.0, 0.5, 1.0, 3.0, 8.0, 64.0] {
+                assert_eq!(down(&add(&up(a), &up(b))), a + b, "{a} + {b}");
+                assert_eq!(down(&sub(&up(a), &up(b))), a - b, "{a} - {b}");
+                assert_eq!(down(&mul(&up(a), &up(b))), a * b, "{a} * {b}");
+                if b != 0.0 {
+                    assert_eq!(down(&div(&up(a), &up(b))), a / b, "{a} / {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_f64() {
+        for x in [0.0f64, 1.0, 2.0, 4.0, 0.25, 9.0, 1e10, 1e-12, 3.5, 7.1] {
+            assert_eq!(down(&sqrt(&up(x))), x.sqrt(), "sqrt({x})");
+        }
+        assert!(down(&sqrt(&up(-1.0))).is_nan());
+    }
+
+    #[test]
+    fn special_values() {
+        let inf = Unpacked::inf(false);
+        let ninf = Unpacked::inf(true);
+        let nan = Unpacked::nan();
+        let one = up(1.0);
+        assert!(add(&inf, &ninf).is_nan());
+        assert_eq!(add(&inf, &one).class, Class::Inf);
+        assert!(mul(&inf, &Unpacked::zero(false)).is_nan());
+        assert!(div(&Unpacked::zero(false), &Unpacked::zero(false)).is_nan());
+        assert_eq!(div(&one, &Unpacked::zero(false)).class, Class::Inf);
+        assert_eq!(div(&one, &inf).class, Class::Zero);
+        assert!(add(&nan, &one).is_nan());
+        assert!(sqrt(&ninf).is_nan());
+    }
+
+    #[test]
+    fn cancellation_is_exact() {
+        let a = up(1.0 + 2f64.powi(-40));
+        let b = up(1.0);
+        let d = sub(&a, &b);
+        assert_eq!(down(&d), 2f64.powi(-40));
+        let z = sub(&b, &b);
+        assert_eq!(z.class, Class::Zero);
+    }
+
+    #[test]
+    fn isqrt_exactness() {
+        assert_eq!(isqrt_u128(0), 0);
+        assert_eq!(isqrt_u128(1), 1);
+        assert_eq!(isqrt_u128(15), 3);
+        assert_eq!(isqrt_u128(16), 4);
+        assert_eq!(isqrt_u128(u128::MAX), (1u128 << 64) - 1);
+        let v = (1u128 << 100) + 12345;
+        let r = isqrt_u128(v);
+        assert!(r * r <= v && (r + 1) * (r + 1) > v);
+    }
+}

@@ -1,0 +1,254 @@
+//! Linear takum codec (Hunhold, 2024).
+//!
+//! An n-bit (linear) takum is the bit string `S D R2R1R0 C M`:
+//!
+//! * `S` — sign bit,
+//! * `D` — direction bit,
+//! * `R` — 3-bit regime,
+//! * `C` — characteristic, `r` bits where `r = R` if `D = 1` and `r = 7 - R`
+//!   if `D = 0` (the low bits are implicitly zero when the word is too short
+//!   to hold them),
+//! * `M` — mantissa, the remaining `p = n - 5 - r` bits.
+//!
+//! The characteristic is `c = 2^r - 1 + C` for `D = 1` and
+//! `c = -2^(r+1) + 1 + C` for `D = 0`, giving `c ∈ [-255, 254]` — the same
+//! (large) dynamic range at every width.  A positive linear takum has the
+//! value `(1 + M/2^p) * 2^c`; negation is the two's complement of the bit
+//! string, exactly as for posits.  `0` and NaR (`1000...0`) are the only
+//! special patterns, and rounding saturates: non-zero values never round to
+//! zero or NaR.
+
+use crate::tapered::{compose_and_round, twos_complement, BitReader, Field};
+use crate::unpacked::{Class, Unpacked};
+
+/// Static description of a takum format (the width is the only parameter).
+#[derive(Clone, Copy, Debug)]
+pub struct TakumSpec {
+    pub name: &'static str,
+    pub bits: u32,
+}
+
+impl TakumSpec {
+    pub const fn mask(&self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    pub const fn nar_pattern(&self) -> u64 {
+        1u64 << (self.bits - 1)
+    }
+
+    pub const fn max_pattern(&self) -> u64 {
+        self.nar_pattern() - 1
+    }
+
+    pub const fn min_pattern(&self) -> u64 {
+        1
+    }
+
+    /// Largest representable characteristic (binary exponent) for any width.
+    pub const MAX_CHARACTERISTIC: i32 = 254;
+    /// Smallest representable characteristic.
+    pub const MIN_CHARACTERISTIC: i32 = -255;
+}
+
+pub const TAKUM8: TakumSpec = TakumSpec { name: "takum8", bits: 8 };
+pub const TAKUM16: TakumSpec = TakumSpec { name: "takum16", bits: 16 };
+pub const TAKUM32: TakumSpec = TakumSpec { name: "takum32", bits: 32 };
+pub const TAKUM64: TakumSpec = TakumSpec { name: "takum64", bits: 64 };
+
+/// Decode a takum bit pattern (always exact).
+pub fn decode(bits: u64, spec: &TakumSpec) -> Unpacked {
+    let bits = bits & spec.mask();
+    if bits == 0 {
+        return Unpacked::zero(false);
+    }
+    if bits == spec.nar_pattern() {
+        return Unpacked::nan();
+    }
+    let sign = bits & spec.nar_pattern() != 0;
+    let mag = if sign { twos_complement(bits, spec.bits) } else { bits };
+    let body_len = spec.bits - 1;
+    let body = mag & (spec.mask() >> 1);
+    let mut rd = BitReader::new(body, body_len);
+
+    let d = rd.read_bit();
+    let regime = rd.read_bits(3);
+    let r = if d == 0 { 7 - regime as u32 } else { regime as u32 };
+    let c_field = rd.read_bits(r) as i64; // zero-padded if truncated
+    let c = if d == 0 {
+        -(1i64 << (r + 1)) + 1 + c_field
+    } else {
+        (1i64 << r) - 1 + c_field
+    };
+    let frac_len = rd.remaining();
+    let frac = rd.read_bits(frac_len);
+
+    let sig = (1u64 << 63) | if frac_len > 0 { frac << (63 - frac_len) } else { 0 };
+    Unpacked::finite(sign, c as i32, sig)
+}
+
+/// Encode an unpacked value as a takum with correct rounding and saturation.
+pub fn encode(u: &Unpacked, spec: &TakumSpec) -> u64 {
+    match u.class {
+        Class::Nan | Class::Inf => return spec.nar_pattern(),
+        Class::Zero => return 0,
+        Class::Finite => {}
+    }
+    let body = if u.exp > TakumSpec::MAX_CHARACTERISTIC {
+        spec.max_pattern()
+    } else if u.exp < TakumSpec::MIN_CHARACTERISTIC {
+        spec.min_pattern()
+    } else {
+        let c = u.exp;
+        let (d, r, c_field) = if c >= 0 {
+            // r = floor(log2(c + 1)); c = 2^r - 1 + C.
+            let r = 63 - ((c + 1) as u64).leading_zeros();
+            (1u64, r, (c as u64) - ((1u64 << r) - 1))
+        } else {
+            // r = floor(log2(-c)); c = -2^(r+1) + 1 + C.
+            let r = 63 - ((-c) as u64).leading_zeros();
+            (0u64, r, (c + (1i32 << (r + 1)) - 1) as u64)
+        };
+        debug_assert!(r <= 7);
+        let regime = if d == 0 { 7 - r as u64 } else { r as u64 };
+
+        let word = compose_and_round(
+            &[
+                Field::new(1, d),
+                Field::new(3, regime),
+                Field::new(r, c_field),
+                Field::new(63, u.sig & ((1u64 << 63) - 1)),
+            ],
+            u.sticky,
+            spec.bits - 1,
+        );
+        word.clamp(spec.min_pattern(), spec.max_pattern())
+    };
+    if u.sign {
+        twos_complement(body, spec.bits)
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieee::{pack_f64, unpack_f64};
+
+    fn to_f64(bits: u64, spec: &TakumSpec) -> f64 {
+        pack_f64(&decode(bits, spec))
+    }
+
+    fn from_f64(x: f64, spec: &TakumSpec) -> u64 {
+        encode(&unpack_f64(x), spec)
+    }
+
+    #[test]
+    fn known_takum_values() {
+        // 1.0: S=0 D=1 R=000 (r=0, c=0), mantissa 0.
+        // takum16 pattern: 0 1 000 00000000000 = 0x4000.
+        assert_eq!(from_f64(1.0, &TAKUM16), 0x4000);
+        assert_eq!(to_f64(0x4000, &TAKUM16), 1.0);
+        assert_eq!(from_f64(-1.0, &TAKUM16), 0xC000);
+        assert_eq!(to_f64(0xC000, &TAKUM16), -1.0);
+        // 2.0: c=1 -> D=1, r=1, C=0 -> 0 1 001 0 0000000000 = 0x4800.
+        assert_eq!(from_f64(2.0, &TAKUM16), 0x4800);
+        assert_eq!(to_f64(0x4800, &TAKUM16), 2.0);
+        // 0.5: c=-1 -> D=0, r=0, R=111 -> 0 0 111 00000000000 = 0x3800.
+        assert_eq!(from_f64(0.5, &TAKUM16), 0x3800);
+        assert_eq!(to_f64(0x3800, &TAKUM16), 0.5);
+        // 1.5: c=0, mantissa 100... -> 0x4000 | 0x0400 = 0x4400? no: mantissa
+        // field has 11 bits for r=0, top bit set -> 0x4000 | (1 << 10).
+        assert_eq!(from_f64(1.5, &TAKUM16), 0x4000 | (1 << 10));
+        // Zero and NaR.
+        assert_eq!(from_f64(0.0, &TAKUM16), 0);
+        assert_eq!(from_f64(f64::NAN, &TAKUM16), 0x8000);
+        assert_eq!(from_f64(f64::INFINITY, &TAKUM16), 0x8000);
+        assert!(to_f64(0x8000, &TAKUM16).is_nan());
+    }
+
+    #[test]
+    fn dynamic_range_is_width_independent() {
+        // The largest takum8 uses c = 239 (truncated characteristic).
+        let max8 = decode(TAKUM8.max_pattern(), &TAKUM8);
+        assert_eq!(max8.exp, 239);
+        // takum16 and wider reach the full characteristic range, c = 254.
+        assert_eq!(decode(TAKUM16.max_pattern(), &TAKUM16).exp, 254);
+        assert_eq!(decode(TAKUM32.max_pattern(), &TAKUM32).exp, 254);
+        assert_eq!(decode(TAKUM64.max_pattern(), &TAKUM64).exp, 254);
+        // The smallest positive takum8 has c = -2^8 + 1 + 16 = -239.
+        assert_eq!(decode(TAKUM8.min_pattern(), &TAKUM8).exp, -239);
+        assert_eq!(decode(TAKUM32.min_pattern(), &TAKUM32).exp, -255);
+        // Far larger than any float16/posit16 value but still finite.
+        assert!(to_f64(TAKUM16.max_pattern(), &TAKUM16) > 1e70);
+    }
+
+    #[test]
+    fn saturation_rules() {
+        assert_eq!(from_f64(1e300, &TAKUM8), TAKUM8.max_pattern());
+        assert_eq!(from_f64(-1e300, &TAKUM8), twos_complement(TAKUM8.max_pattern(), 8));
+        assert_eq!(from_f64(1e-300, &TAKUM8), TAKUM8.min_pattern());
+        assert_eq!(from_f64(-1e-300, &TAKUM8), twos_complement(TAKUM8.min_pattern(), 8));
+    }
+
+    #[test]
+    fn roundtrip_all_takum8_and_16_patterns() {
+        for spec in [&TAKUM8, &TAKUM16] {
+            for bits in 0..(1u64 << spec.bits) {
+                let u = decode(bits, spec);
+                if u.is_nan() {
+                    continue;
+                }
+                assert_eq!(encode(&u, spec), bits, "{} pattern {bits:#x}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_sampled_takum32_and_64_patterns() {
+        for spec in [&TAKUM32, &TAKUM64] {
+            let mut bits: u64 = 7;
+            for _ in 0..20_000 {
+                bits = bits.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+                    & spec.mask();
+                let u = decode(bits, spec);
+                if u.is_nan() || u.is_zero() {
+                    continue;
+                }
+                assert_eq!(encode(&u, spec), bits, "{} pattern {bits:#x}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_pattern() {
+        // Exhaustive over the positive half of takum16.  Values with c close
+        // to ±255 overflow f64, so compare via the unpacked representation.
+        let mut prev = decode(1, &TAKUM16);
+        for bits in 2..0x8000u64 {
+            let u = decode(bits, &TAKUM16);
+            assert_eq!(
+                prev.partial_cmp_value(&u),
+                Some(core::cmp::Ordering::Less),
+                "pattern {bits:#x}"
+            );
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn negation_is_twos_complement() {
+        for bits in 1..0x8000u64 {
+            let v = decode(bits, &TAKUM16);
+            let n = decode(twos_complement(bits, 16), &TAKUM16);
+            assert_eq!(v.exp, n.exp, "pattern {bits:#x}");
+            assert_eq!(v.sig, n.sig, "pattern {bits:#x}");
+            assert!(!v.sign && n.sign, "pattern {bits:#x}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Shared machinery for tapered-precision formats (posits and takums).
+//!
+//! Both formats encode a value as a variable-length prefix (regime /
+//! characteristic) followed by exponent and fraction bits, and both are
+//! monotone in their bit pattern: incrementing the pattern yields the next
+//! representable value.  Encoding therefore composes the *unbounded* bit
+//! string field by field and rounds it at the word boundary; a carry during
+//! rounding automatically lands on the correct neighbouring value.
+
+/// One field of the unbounded bit string: `len` bits holding `value`
+/// (left-padded with zeros up to `len`).
+#[derive(Clone, Copy, Debug)]
+pub struct Field {
+    pub len: u32,
+    pub value: u64,
+}
+
+impl Field {
+    pub fn new(len: u32, value: u64) -> Self {
+        debug_assert!(len <= 64);
+        debug_assert!(len == 64 || value < (1u64 << len), "field value does not fit its width");
+        Field { len, value }
+    }
+
+    /// Bit `i` counted from the most significant end of the field.
+    fn bit(&self, i: u32) -> u64 {
+        debug_assert!(i < self.len);
+        (self.value >> (self.len - 1 - i)) & 1
+    }
+}
+
+/// Compose the given fields into a `field_len`-bit word (the bits after the
+/// sign bit of an n-bit tapered format) and round to nearest, ties to even,
+/// using the bits that fall beyond the word plus `trailing_sticky`.
+///
+/// Returns the rounded `field_len`-bit word.  Saturation against the
+/// all-ones / all-zeros patterns is the caller's responsibility.
+pub fn compose_and_round(fields: &[Field], trailing_sticky: bool, field_len: u32) -> u64 {
+    debug_assert!(field_len < 64);
+    let mut word: u64 = 0;
+    let mut filled: u32 = 0;
+    let mut round_bit: Option<u64> = None;
+    let mut sticky = trailing_sticky;
+
+    for f in fields {
+        for i in 0..f.len {
+            let b = f.bit(i);
+            if filled < field_len {
+                word = (word << 1) | b;
+                filled += 1;
+            } else if round_bit.is_none() {
+                round_bit = Some(b);
+            } else {
+                sticky |= b != 0;
+            }
+        }
+    }
+    // If the fields were shorter than the word, pad with zeros.
+    if filled < field_len {
+        word <<= field_len - filled;
+    }
+
+    let round = round_bit.unwrap_or(0) != 0;
+    if round && (sticky || word & 1 == 1) {
+        word += 1;
+    }
+    word
+}
+
+/// Decode helper: a cursor over the bits after the sign bit of an n-bit
+/// pattern, most significant first.  Bits read past the end are zero
+/// (matching the "missing low bits are zero" truncation convention of both
+/// formats).
+pub struct BitReader {
+    word: u64,
+    len: u32,
+    pos: u32,
+}
+
+impl BitReader {
+    /// `word` holds the `len` bits after the sign bit, right-aligned.
+    pub fn new(word: u64, len: u32) -> Self {
+        BitReader { word, len, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> u32 {
+        self.len.saturating_sub(self.pos)
+    }
+
+    /// Read a single bit (zero past the end).
+    pub fn read_bit(&mut self) -> u64 {
+        let b = if self.pos < self.len { (self.word >> (self.len - 1 - self.pos)) & 1 } else { 0 };
+        self.pos += 1;
+        b
+    }
+
+    /// Read up to `count` bits, zero-padded on the right past the end of the
+    /// word, returning them left-aligned within a `count`-bit value.
+    pub fn read_bits(&mut self, count: u32) -> u64 {
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | self.read_bit();
+        }
+        v
+    }
+
+    /// Number of leading bits equal to `bit`, capped at the remaining length.
+    pub fn run_length(&self, bit: u64) -> u32 {
+        let mut n = 0;
+        let mut pos = self.pos;
+        while pos < self.len && ((self.word >> (self.len - 1 - pos)) & 1) == bit {
+            n += 1;
+            pos += 1;
+        }
+        n
+    }
+
+    pub fn skip(&mut self, count: u32) {
+        self.pos += count;
+    }
+}
+
+/// Two's complement of an `n`-bit pattern (used for negation in both
+/// formats).
+pub fn twos_complement(bits: u64, n: u32) -> u64 {
+    let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    bits.wrapping_neg() & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_simple() {
+        // Fields 10 | 1 | 011 into a 6-bit word: 101011, nothing to round.
+        let w = compose_and_round(
+            &[Field::new(2, 0b10), Field::new(1, 1), Field::new(3, 0b011)],
+            false,
+            6,
+        );
+        assert_eq!(w, 0b101011);
+    }
+
+    #[test]
+    fn compose_rounds_tail() {
+        // 4-bit word from 10111...: word 1011, round bit 1, sticky 1 -> 1100.
+        let w = compose_and_round(&[Field::new(8, 0b1011_1100)], false, 4);
+        assert_eq!(w, 0b1100);
+        // Tie with even word stays: 1010|10 00 -> round bit 1, rest zero, word even -> stays 1010.
+        let w = compose_and_round(&[Field::new(8, 0b1010_1000)], false, 4);
+        assert_eq!(w, 0b1010);
+        // Tie with odd word rounds up: 1011|1000 -> 1100.
+        let w = compose_and_round(&[Field::new(8, 0b1011_1000)], false, 4);
+        assert_eq!(w, 0b1100);
+        // Trailing sticky breaks the tie upward.
+        let w = compose_and_round(&[Field::new(8, 0b1010_1000)], true, 4);
+        assert_eq!(w, 0b1011);
+    }
+
+    #[test]
+    fn compose_pads_short_fields() {
+        let w = compose_and_round(&[Field::new(2, 0b11)], false, 5);
+        assert_eq!(w, 0b11000);
+    }
+
+    #[test]
+    fn reader_roundtrip() {
+        let mut r = BitReader::new(0b1011011, 7);
+        assert_eq!(r.read_bit(), 1);
+        assert_eq!(r.run_length(0), 1);
+        assert_eq!(r.read_bits(3), 0b011);
+        assert_eq!(r.read_bits(5), 0b01100); // pads past the end with zeros
+    }
+
+    #[test]
+    fn twos_complement_small() {
+        assert_eq!(twos_complement(0b0100_0000, 8), 0b1100_0000);
+        assert_eq!(twos_complement(0b1100_0000, 8), 0b0100_0000);
+        assert_eq!(twos_complement(1, 8), 0xFF);
+        assert_eq!(twos_complement(1, 64), u64::MAX);
+    }
+}

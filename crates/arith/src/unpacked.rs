@@ -1,0 +1,238 @@
+//! Format-independent unpacked representation of a machine number.
+//!
+//! Every software-emulated format in this crate decodes its bit pattern into
+//! an [`Unpacked`] value, performs arithmetic on that representation through
+//! the kernels in [`crate::softfloat`], and re-encodes the (possibly inexact)
+//! result with format-specific rounding.  The representation is wide enough
+//! (64-bit significand, 32-bit exponent) to hold any value of any format in
+//! this crate exactly.
+
+use core::cmp::Ordering;
+
+/// Classification of an unpacked value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// Exact zero (the sign is kept for IEEE formats with signed zero).
+    Zero,
+    /// A non-zero finite value.
+    Finite,
+    /// An infinity (IEEE formats only; posits and takums map it to NaR).
+    Inf,
+    /// Not a number / NaR.
+    Nan,
+}
+
+/// A sign-magnitude, normalized, arbitrary-format scalar value.
+///
+/// For `class == Finite` the represented value is
+/// `(-1)^sign * (sig / 2^63) * 2^exp` with bit 63 of `sig` set, i.e. the
+/// significand lies in `[1, 2)`.  The `sticky` flag records whether the true
+/// (infinitely precise) result of the producing operation had any non-zero
+/// bits below the least significant bit of `sig`; decoders always produce
+/// `sticky == false`.
+#[derive(Clone, Copy, Debug)]
+pub struct Unpacked {
+    pub class: Class,
+    pub sign: bool,
+    pub exp: i32,
+    pub sig: u64,
+    pub sticky: bool,
+}
+
+impl Unpacked {
+    pub const fn zero(sign: bool) -> Self {
+        Unpacked { class: Class::Zero, sign, exp: 0, sig: 0, sticky: false }
+    }
+
+    pub const fn nan() -> Self {
+        Unpacked { class: Class::Nan, sign: false, exp: 0, sig: 0, sticky: false }
+    }
+
+    pub const fn inf(sign: bool) -> Self {
+        Unpacked { class: Class::Inf, sign, exp: 0, sig: 0, sticky: false }
+    }
+
+    /// A finite, already-normalized value (bit 63 of `sig` must be set).
+    pub fn finite(sign: bool, exp: i32, sig: u64) -> Self {
+        debug_assert!(sig >> 63 == 1, "significand must be normalized");
+        Unpacked { class: Class::Finite, sign, exp, sig, sticky: false }
+    }
+
+    pub fn is_nan(&self) -> bool {
+        self.class == Class::Nan
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.class == Class::Zero
+    }
+
+    pub fn is_finite(&self) -> bool {
+        matches!(self.class, Class::Zero | Class::Finite)
+    }
+
+    /// Build a normalized value from a 128-bit "frame".
+    ///
+    /// The frame represents the magnitude `frame * 2^(frame_exp - 126)`, i.e.
+    /// a leading bit at position 126 corresponds to a significand in `[1, 2)`
+    /// with binary exponent `frame_exp`.  `extra_sticky` accounts for true
+    /// result bits that were already discarded below the frame (e.g. a
+    /// non-zero division remainder).
+    pub fn from_frame(sign: bool, frame_exp: i32, frame: u128, extra_sticky: bool) -> Self {
+        if frame == 0 {
+            if extra_sticky {
+                // The magnitude is tiny but non-zero; represent it as the
+                // smallest frame value so that saturating formats round it
+                // away from zero.  This only happens after extreme alignment
+                // shifts and the exact magnitude no longer matters.
+                return Unpacked {
+                    class: Class::Finite,
+                    sign,
+                    exp: frame_exp - 126,
+                    sig: 1 << 63,
+                    sticky: true,
+                };
+            }
+            return Unpacked::zero(sign);
+        }
+        let msb = 127 - frame.leading_zeros() as i32;
+        let exp = frame_exp - 126 + msb;
+        // Shift so the most significant bit lands on bit 127, then split into
+        // a 64-bit significand and a sticky remainder.
+        let shifted = frame << (127 - msb);
+        let sig = (shifted >> 64) as u64;
+        let sticky = (shifted as u64) != 0 || extra_sticky;
+        Unpacked { class: Class::Finite, sign, exp, sig, sticky }
+    }
+
+    /// Total magnitude comparison of two finite non-zero values.
+    pub fn cmp_magnitude(&self, other: &Self) -> Ordering {
+        debug_assert!(self.class == Class::Finite && other.class == Class::Finite);
+        match self.exp.cmp(&other.exp) {
+            Ordering::Equal => self.sig.cmp(&other.sig),
+            o => o,
+        }
+    }
+
+    /// IEEE-style comparison of the represented values.
+    ///
+    /// Returns `None` if either operand is NaN.  Zeros compare equal
+    /// regardless of sign.
+    pub fn partial_cmp_value(&self, other: &Self) -> Option<Ordering> {
+        use Class::*;
+        match (self.class, other.class) {
+            (Nan, _) | (_, Nan) => None,
+            (Zero, Zero) => Some(Ordering::Equal),
+            (Zero, Finite) | (Zero, Inf) => {
+                Some(if other.sign { Ordering::Greater } else { Ordering::Less })
+            }
+            (Finite, Zero) | (Inf, Zero) => {
+                Some(if self.sign { Ordering::Less } else { Ordering::Greater })
+            }
+            (Inf, Inf) => Some(match (self.sign, other.sign) {
+                (true, true) | (false, false) => Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+            }),
+            (Inf, Finite) => Some(if self.sign { Ordering::Less } else { Ordering::Greater }),
+            (Finite, Inf) => Some(if other.sign { Ordering::Greater } else { Ordering::Less }),
+            (Finite, Finite) => {
+                if self.sign != other.sign {
+                    return Some(if self.sign { Ordering::Less } else { Ordering::Greater });
+                }
+                let mag = self.cmp_magnitude(other);
+                Some(if self.sign { mag.reverse() } else { mag })
+            }
+        }
+    }
+}
+
+/// Round-to-nearest-even of `sig` (with a trailing `sticky` flag) after
+/// dropping its `drop` least significant bits.
+///
+/// Returns the rounded value (which may have one more bit than `64 - drop`
+/// when a carry propagates all the way up) and whether the operation was
+/// inexact.
+pub fn round_at(sig: u64, sticky: bool, drop: u32) -> (u64, bool) {
+    if drop == 0 {
+        return (sig, sticky);
+    }
+    if drop > 64 {
+        // Everything is dropped; the value is far below one ulp.
+        return (0, sig != 0 || sticky);
+    }
+    if drop == 64 {
+        let inexact = sig != 0 || sticky;
+        // Round bit is bit 63 of sig.
+        let round = sig >> 63 != 0;
+        let rest = (sig << 1) != 0 || sticky;
+        let up = round && rest; // ties (round set, rest clear) go to even = 0
+        return (up as u64, inexact);
+    }
+    let keep = sig >> drop;
+    let rem = sig & ((1u64 << drop) - 1);
+    let half = 1u64 << (drop - 1);
+    let inexact = rem != 0 || sticky;
+    let up = rem > half || (rem == half && (sticky || keep & 1 == 1));
+    (keep + up as u64, inexact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_at_basics() {
+        // 0b1011 dropping 2 bits: keep 0b10, rem 0b11 > half -> 0b11
+        assert_eq!(round_at(0b1011, false, 2), (0b11, true));
+        // exact halves go to even
+        assert_eq!(round_at(0b1010, false, 2), (0b10, true));
+        assert_eq!(round_at(0b1110, false, 2), (0b100, true));
+        // sticky breaks the tie upward
+        assert_eq!(round_at(0b1010, true, 2), (0b11, true));
+        // exact value stays
+        assert_eq!(round_at(0b1000, false, 2), (0b10, false));
+        assert_eq!(round_at(0xdead_beef, false, 0), (0xdead_beef, false));
+    }
+
+    #[test]
+    fn round_at_full_drop() {
+        assert_eq!(round_at(1 << 63, false, 64), (0, true)); // exactly half, ties to even
+        assert_eq!(round_at((1 << 63) | 1, false, 64), (1, true));
+        assert_eq!(round_at(1 << 62, false, 64), (0, true));
+        assert_eq!(round_at(123, false, 65), (0, true));
+        assert_eq!(round_at(0, false, 65), (0, false));
+    }
+
+    #[test]
+    fn from_frame_normalizes() {
+        // frame with MSB at 126 and clean low bits: exact significand.
+        let u = Unpacked::from_frame(false, 10, 1u128 << 126, false);
+        assert_eq!(u.exp, 10);
+        assert_eq!(u.sig, 1 << 63);
+        assert!(!u.sticky);
+        // MSB at 127: exponent goes up by one.
+        let u = Unpacked::from_frame(false, 10, 1u128 << 127, false);
+        assert_eq!(u.exp, 11);
+        assert_eq!(u.sig, 1 << 63);
+        // Low bits below the significand set the sticky flag.
+        let u = Unpacked::from_frame(true, 0, (1u128 << 126) | 1, false);
+        assert!(u.sticky);
+        assert!(u.sign);
+        assert_eq!(u.sig, 1 << 63);
+    }
+
+    #[test]
+    fn value_comparison() {
+        let one = Unpacked::finite(false, 0, 1 << 63);
+        let two = Unpacked::finite(false, 1, 1 << 63);
+        let neg_two = Unpacked::finite(true, 1, 1 << 63);
+        assert_eq!(one.partial_cmp_value(&two), Some(Ordering::Less));
+        assert_eq!(two.partial_cmp_value(&one), Some(Ordering::Greater));
+        assert_eq!(neg_two.partial_cmp_value(&one), Some(Ordering::Less));
+        assert_eq!(neg_two.partial_cmp_value(&neg_two), Some(Ordering::Equal));
+        assert_eq!(Unpacked::zero(true).partial_cmp_value(&Unpacked::zero(false)), Some(Ordering::Equal));
+        assert_eq!(Unpacked::nan().partial_cmp_value(&one), None);
+        assert_eq!(Unpacked::inf(false).partial_cmp_value(&two), Some(Ordering::Greater));
+        assert_eq!(Unpacked::inf(true).partial_cmp_value(&two), Some(Ordering::Less));
+    }
+}

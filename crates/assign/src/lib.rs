@@ -1,0 +1,209 @@
+//! # lpa-assign — Hungarian (Kuhn–Munkres) assignment
+//!
+//! The experiment harness matches computed eigenvectors to reference
+//! eigenvectors by maximizing total absolute cosine similarity.  As in the
+//! paper (which uses `Hungarian.jl`), the optimal permutation is found with
+//! the Hungarian algorithm; the cost matrices are tiny
+//! (`eigenvalue_count + buffer` ≈ 12), so the `O(n^3)` complexity is
+//! irrelevant.
+//!
+//! The implementation is the shortest-augmenting-path formulation (a.k.a.
+//! the Jonker–Volgenant variant of Kuhn–Munkres) for square cost matrices of
+//! `f64` values; it minimizes total cost.  Use [`maximize_similarity`] for
+//! the similarity-maximization wrapper used by the pipeline.
+
+/// Solve the square assignment problem, minimizing total cost.
+///
+/// `cost[i][j]` is the cost of assigning row `i` to column `j`.  Returns
+/// `perm` with `perm[i] = j` meaning row `i` is assigned column `j`.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or contains NaN.
+pub fn hungarian(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(cost.iter().all(|row| row.len() == n), "cost matrix must be square");
+    assert!(
+        cost.iter().all(|row| row.iter().all(|c| !c.is_nan())),
+        "cost matrix must not contain NaN"
+    );
+
+    // Shortest augmenting path algorithm with potentials, 1-based sentinel
+    // column 0 (standard e-maxx formulation).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1]; // row potentials
+    let mut v = vec![0.0f64; n + 1]; // column potentials
+    let mut p = vec![0usize; n + 1]; // p[j] = row assigned to column j (0 = none)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut perm = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            perm[p[j] - 1] = j - 1;
+        }
+    }
+    perm
+}
+
+/// Total cost of an assignment.
+pub fn assignment_cost(cost: &[Vec<f64>], perm: &[usize]) -> f64 {
+    perm.iter().enumerate().map(|(i, &j)| cost[i][j]).sum()
+}
+
+/// Find the permutation maximizing the total similarity
+/// (`similarity[i][j]` = similarity between reference `i` and candidate `j`),
+/// by minimizing the negated matrix — exactly how the paper feeds its
+/// absolute cosine similarity matrix to the Hungarian algorithm.
+pub fn maximize_similarity(similarity: &[Vec<f64>]) -> Vec<usize> {
+    let neg: Vec<Vec<f64>> =
+        similarity.iter().map(|row| row.iter().map(|&s| -s).collect()).collect();
+    hungarian(&neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimal assignment for small n.
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        fn permutations(n: usize) -> Vec<Vec<usize>> {
+            if n == 0 {
+                return vec![vec![]];
+            }
+            let mut out = Vec::new();
+            for p in permutations(n - 1) {
+                for pos in 0..=p.len() {
+                    let mut q = p.clone();
+                    q.insert(pos, n - 1);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        permutations(cost.len())
+            .into_iter()
+            .map(|p| assignment_cost(cost, &p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn simple_cases() {
+        assert_eq!(hungarian(&[]), Vec::<usize>::new());
+        assert_eq!(hungarian(&[vec![5.0]]), vec![0]);
+        // Classic example.
+        let cost = vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]];
+        let perm = hungarian(&cost);
+        assert_eq!(assignment_cost(&cost, &perm), 5.0);
+        assert_eq!(perm, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn identity_is_optimal_for_diagonal_dominant_similarity() {
+        let n = 6;
+        let sim: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n).map(|j| if i == j { 0.99 } else { 0.01 * ((i + j) as f64 % 3.0) }).collect()
+            })
+            .collect();
+        let perm = maximize_similarity(&sim);
+        assert_eq!(perm, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn detects_swapped_pairs() {
+        // Reference vectors 0 and 1 are swapped among the candidates.
+        let sim = vec![
+            vec![0.1, 0.98, 0.05],
+            vec![0.97, 0.2, 0.01],
+            vec![0.02, 0.03, 0.99],
+        ];
+        let perm = maximize_similarity(&sim);
+        assert_eq!(perm, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        let mut seed = 123u64;
+        let mut rand = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in 1..=6usize {
+            for _ in 0..30 {
+                let cost: Vec<Vec<f64>> =
+                    (0..n).map(|_| (0..n).map(|_| (rand() * 20.0).round()).collect()).collect();
+                let perm = hungarian(&cost);
+                // Valid permutation.
+                let mut seen = vec![false; n];
+                for &j in &perm {
+                    assert!(!seen[j]);
+                    seen[j] = true;
+                }
+                let best = brute_force(&cost);
+                assert!(
+                    (assignment_cost(&cost, &perm) - best).abs() < 1e-9,
+                    "n={n}: {} vs {best}",
+                    assignment_cost(&cost, &perm)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let cost = vec![vec![-5.0, 2.0], vec![1.0, -3.0]];
+        let perm = hungarian(&cost);
+        assert_eq!(assignment_cost(&cost, &perm), -8.0);
+    }
+}

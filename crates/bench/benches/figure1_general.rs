@@ -1,0 +1,7 @@
+//! Figure 1: cumulative relative-error distributions of the 10 largest
+//! eigenpairs on the general-matrix corpus (SuiteSparse substitute), for all
+//! formats grouped by bit width.
+fn main() {
+    let corpus = lpa_bench::general_bench_corpus();
+    lpa_bench::run_figure("figure1", "general matrices", &corpus);
+}

@@ -1,0 +1,5 @@
+//! Figure 2: biological graph Laplacians.
+fn main() {
+    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Biological);
+    lpa_bench::run_figure("figure2", "biological graph Laplacians", &corpus);
+}

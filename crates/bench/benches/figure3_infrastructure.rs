@@ -1,0 +1,5 @@
+//! Figure 3: infrastructure graph Laplacians.
+fn main() {
+    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Infrastructure);
+    lpa_bench::run_figure("figure3", "infrastructure graph Laplacians", &corpus);
+}

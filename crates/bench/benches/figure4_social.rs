@@ -1,0 +1,5 @@
+//! Figure 4: social graph Laplacians.
+fn main() {
+    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Social);
+    lpa_bench::run_figure("figure4", "social graph Laplacians", &corpus);
+}

@@ -1,0 +1,5 @@
+//! Figure 5: miscellaneous graph Laplacians.
+fn main() {
+    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Miscellaneous);
+    lpa_bench::run_figure("figure5", "miscellaneous graph Laplacians", &corpus);
+}

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the substrates: per-format scalar
+//! arithmetic, sparse matrix-vector products, a full partial Schur solve and
+//! the Hungarian matching step.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use lpa_arith::types::{Posit16, Posit64, Takum16, Takum64, Bf16, F16, E4M3};
+use lpa_arith::{Dd, Real};
+use lpa_arnoldi::{partial_schur, ArnoldiOptions};
+use lpa_datagen::general;
+use lpa_sparse::CsrMatrix;
+
+fn scalar_ops<T: Real>(c: &mut Criterion, label: &str) {
+    let xs: Vec<T> = (1..200).map(|i| T::from_f64(0.37 * i as f64 - 19.0)).collect();
+    c.bench_function(&format!("scalar/{label}/mul_add_chain"), |b| {
+        b.iter(|| {
+            let mut acc = T::one();
+            for &x in &xs {
+                acc = acc * x + T::from_f64(0.5);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function(&format!("scalar/{label}/div_sqrt"), |b| {
+        b.iter(|| {
+            let mut acc = T::from_f64(2.0);
+            for &x in &xs {
+                if !x.is_zero() {
+                    acc = (acc / x).abs().sqrt() + T::one();
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_scalars(c: &mut Criterion) {
+    scalar_ops::<f64>(c, "float64");
+    scalar_ops::<F16>(c, "float16");
+    scalar_ops::<Bf16>(c, "bfloat16");
+    scalar_ops::<E4M3>(c, "ofp8_e4m3");
+    scalar_ops::<Posit16>(c, "posit16");
+    scalar_ops::<Takum16>(c, "takum16");
+    scalar_ops::<Posit64>(c, "posit64");
+    scalar_ops::<Takum64>(c, "takum64");
+    scalar_ops::<Dd>(c, "float128_dd");
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let a64 = general::laplacian_2d(24, 24, 1.0);
+    fn run<T: Real>(c: &mut Criterion, a64: &CsrMatrix<f64>, label: &str) {
+        let a: CsrMatrix<T> = a64.convert();
+        let x: Vec<T> = (0..a.ncols()).map(|i| T::from_f64((i % 7) as f64 * 0.1)).collect();
+        let mut y = vec![T::zero(); a.nrows()];
+        c.bench_function(&format!("spmv/{label}"), |b| {
+            b.iter(|| {
+                a.spmv(black_box(&x), &mut y);
+                black_box(&y);
+            })
+        });
+    }
+    run::<f64>(c, &a64, "float64");
+    run::<Posit16>(c, &a64, "posit16");
+    run::<Takum16>(c, &a64, "takum16");
+    run::<Dd>(c, &a64, "float128_dd");
+}
+
+fn bench_arnoldi(c: &mut Criterion) {
+    let a64 = general::laplacian_1d(64, 1.0);
+    fn run<T: Real>(c: &mut Criterion, a64: &CsrMatrix<f64>, label: &str, tol: f64) {
+        let a: CsrMatrix<T> = a64.convert();
+        c.bench_function(&format!("partial_schur/{label}"), |b| {
+            b.iter(|| {
+                let opts = ArnoldiOptions { nev: 6, tol, max_restarts: 50, ..Default::default() };
+                black_box(partial_schur(&a, &opts).ok())
+            })
+        });
+    }
+    run::<f64>(c, &a64, "float64", 1e-10);
+    run::<Posit16>(c, &a64, "posit16", 1e-4);
+    run::<Takum16>(c, &a64, "takum16", 1e-4);
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let n = 12; // eigenvalue_count + buffer of the paper
+    let sim: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 0.9 } else { ((i * 7 + j * 13) % 10) as f64 / 100.0 }).collect())
+        .collect();
+    c.bench_function("hungarian/12x12_similarity", |b| {
+        b.iter(|| black_box(lpa_assign::maximize_similarity(black_box(&sim))))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scalars, bench_spmv, bench_arnoldi, bench_hungarian
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Reproduce every table and figure of the paper in one run.
+//!
+//! ```text
+//! cargo run --release -p lpa-bench --bin reproduce -- [--experiment figureN|table1|all] [--scale K] [--matrices M]
+//! ```
+//!
+//! CSV artifacts are written to `out/`.
+use lpa_datagen::GraphClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut experiment = "all".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--experiment" => {
+                experiment = args.get(i + 1).cloned().unwrap_or_else(|| "all".into());
+                i += 2;
+            }
+            "--scale" => {
+                if let Some(v) = args.get(i + 1) {
+                    std::env::set_var("LPA_BENCH_SCALE", v);
+                }
+                i += 2;
+            }
+            "--matrices" => {
+                if let Some(v) = args.get(i + 1) {
+                    std::env::set_var("LPA_BENCH_MATRICES", v);
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let want = |name: &str| experiment == "all" || experiment == name;
+    if want("table1") {
+        print_table1();
+    }
+    if want("figure1") {
+        lpa_bench::run_figure("figure1", "general matrices", &lpa_bench::general_bench_corpus());
+    }
+    for (name, class, title) in [
+        ("figure2", GraphClass::Biological, "biological graph Laplacians"),
+        ("figure3", GraphClass::Infrastructure, "infrastructure graph Laplacians"),
+        ("figure4", GraphClass::Social, "social graph Laplacians"),
+        ("figure5", GraphClass::Miscellaneous, "miscellaneous graph Laplacians"),
+    ] {
+        if want(name) {
+            lpa_bench::run_figure(name, title, &lpa_bench::class_bench_corpus(class));
+        }
+    }
+}
+
+fn print_table1() {
+    let cfg = lpa_bench::bench_corpus_config();
+    let corpus = lpa_datagen::graph_corpus(&cfg);
+    println!("=== table1: graph classification ===");
+    for (cat, class, count) in lpa_datagen::category_counts(&corpus) {
+        println!("{:<16} {:<16} {:>5}", class.name(), cat, count);
+    }
+}

@@ -1,0 +1,133 @@
+//! # lpa-bench — benchmark and figure-regeneration harnesses
+//!
+//! One harness per table/figure of the paper (run via `cargo bench -p
+//! lpa-bench --bench <name>` or all at once with `cargo bench`), plus
+//! criterion micro-benchmarks of the substrates.  Harness sizes are kept
+//! small enough for a laptop run by default; set `LPA_BENCH_SCALE` (an
+//! integer ≥ 1) to enlarge the corpora, and `LPA_BENCH_SIZE_MAX` to raise the
+//! matrix dimensions.
+
+use std::fs;
+use std::path::PathBuf;
+
+use lpa_datagen::{CorpusConfig, GraphClass, TestMatrix};
+use lpa_experiments::{
+    format_summary_table, run_experiment, write_figure_csv, ExperimentConfig, ExperimentResults,
+    FormatTag, Metric,
+};
+
+/// Corpus configuration used by the figure harnesses, honouring the
+/// `LPA_BENCH_SCALE` / `LPA_BENCH_SIZE_MAX` environment variables.
+pub fn bench_corpus_config() -> CorpusConfig {
+    let scale = std::env::var("LPA_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let size_max =
+        std::env::var("LPA_BENCH_SIZE_MAX").ok().and_then(|s| s.parse().ok()).unwrap_or(72);
+    CorpusConfig { seed: 0x5EED, scale, size_range: (40, size_max), max_nnz: 20_000 }
+}
+
+/// Experiment configuration used by the figure harnesses: the paper's
+/// parameters (10 eigenvalues + 2 buffer, largest magnitude, per-width
+/// tolerances) with a restart budget suited to small matrices.
+pub fn bench_experiment_config() -> ExperimentConfig {
+    ExperimentConfig { max_restarts: 80, ..Default::default() }
+}
+
+/// The output directory for CSV artifacts (`out/` at the workspace root).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../out");
+    fs::create_dir_all(&dir).expect("create out dir");
+    dir
+}
+
+/// Run one figure: the corpus slice, all 14 formats, grouped by bit width,
+/// printing the same kind of series the paper plots and writing CSVs.
+pub fn run_figure(figure: &str, title: &str, corpus: &[TestMatrix]) -> ExperimentResults {
+    let cfg = bench_experiment_config();
+    let formats = FormatTag::all();
+    println!("=== {figure}: {title} ===");
+    println!(
+        "corpus: {} matrices (n = {}..{}, nnz <= {})",
+        corpus.len(),
+        corpus.iter().map(|t| t.n()).min().unwrap_or(0),
+        corpus.iter().map(|t| t.n()).max().unwrap_or(0),
+        corpus.iter().map(|t| t.nnz()).max().unwrap_or(0),
+    );
+    let results = run_experiment(corpus, &formats, &cfg);
+    if !results.skipped.is_empty() {
+        println!("skipped (reference failed): {}", results.skipped.len());
+    }
+
+    for bits in [8u32, 16, 32, 64] {
+        let row = FormatTag::with_bits(bits);
+        println!("\n-- {bits}-bit formats, relative eigenvalue errors (log10 percentiles) --");
+        print!("{}", format_summary_table(&results, &row, Metric::Eigenvalues));
+        println!("-- {bits}-bit formats, relative eigenvector errors (log10 percentiles) --");
+        print!("{}", format_summary_table(&results, &row, Metric::Eigenvectors));
+    }
+
+    for metric in [Metric::Eigenvalues, Metric::Eigenvectors] {
+        let path = out_dir().join(format!("{figure}_{}.csv", metric.name()));
+        let file = fs::File::create(&path).expect("create csv");
+        write_figure_csv(file, &results, &formats, metric).expect("write csv");
+        println!("wrote {}", path.display());
+    }
+    results
+}
+
+/// How many matrices a default figure run uses (kept small because the whole
+/// pipeline runs in software-emulated arithmetic); `LPA_BENCH_MATRICES`
+/// overrides it.
+pub fn bench_matrix_budget() -> usize {
+    std::env::var("LPA_BENCH_MATRICES").ok().and_then(|s| s.parse().ok()).unwrap_or(6)
+}
+
+fn subsample(mut corpus: Vec<TestMatrix>, budget: usize) -> Vec<TestMatrix> {
+    if corpus.len() <= budget {
+        return corpus;
+    }
+    let step = corpus.len() as f64 / budget as f64;
+    let picks: Vec<usize> = (0..budget).map(|i| (i as f64 * step) as usize).collect();
+    let mut out = Vec::with_capacity(budget);
+    for (i, t) in corpus.drain(..).enumerate() {
+        if picks.contains(&i) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// The general-matrix corpus slice used by the Figure 1 harness.
+pub fn general_bench_corpus() -> Vec<TestMatrix> {
+    subsample(lpa_datagen::general_corpus(&bench_corpus_config()), bench_matrix_budget())
+}
+
+/// The graph-Laplacian corpus restricted to one of the paper's four classes
+/// (used by the Figure 2-5 harnesses).
+pub fn class_bench_corpus(class: GraphClass) -> Vec<TestMatrix> {
+    let corpus: Vec<TestMatrix> = lpa_datagen::graph_laplacian_corpus(&bench_corpus_config())
+        .into_iter()
+        .filter(|t| t.class() == Some(class))
+        .collect();
+    subsample(corpus, bench_matrix_budget())
+}
+
+/// Alias kept for the integration tests.
+pub fn class_corpus(class: GraphClass) -> Vec<TestMatrix> {
+    class_bench_corpus(class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_resolve() {
+        let c = bench_corpus_config();
+        assert!(c.size_range.0 >= 40);
+        let e = bench_experiment_config();
+        assert_eq!(e.eigenvalue_count, 10);
+        assert_eq!(e.eigenvalue_buffer_count, 2);
+        let biological = class_corpus(GraphClass::Biological);
+        assert!(!biological.is_empty());
+    }
+}

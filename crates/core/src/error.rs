@@ -1,0 +1,52 @@
+//! Error type of the Arnoldi driver.
+
+use core::fmt;
+
+use lpa_dense::DenseError;
+
+/// Failure modes of [`partial_schur`](crate::partial_schur).
+///
+/// None of these panic: the experiment harness maps them onto the paper's
+/// `∞ω` (no convergence) outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArnoldiError {
+    /// The requested number of eigenvalues does not fit the operator.
+    InvalidInput(String),
+    /// The restart budget was exhausted before `nev` Ritz pairs converged.
+    NotConverged {
+        restarts: usize,
+        converged: usize,
+        requested: usize,
+    },
+    /// A non-finite value appeared in the factorization (overflow in a
+    /// narrow format).
+    NonFinite,
+    /// The dense projected eigensolver failed (itself usually a symptom of
+    /// too little precision).
+    Projection(DenseError),
+}
+
+impl fmt::Display for ArnoldiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArnoldiError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ArnoldiError::NotConverged { restarts, converged, requested } => write!(
+                f,
+                "Arnoldi did not converge: {converged}/{requested} Ritz pairs after {restarts} restarts"
+            ),
+            ArnoldiError::NonFinite => write!(f, "non-finite value encountered"),
+            ArnoldiError::Projection(e) => write!(f, "projected eigensolver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArnoldiError {}
+
+impl From<DenseError> for ArnoldiError {
+    fn from(e: DenseError) -> Self {
+        match e {
+            DenseError::NonFinite => ArnoldiError::NonFinite,
+            other => ArnoldiError::Projection(other),
+        }
+    }
+}

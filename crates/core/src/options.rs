@@ -1,0 +1,74 @@
+//! Options for [`partial_schur`](crate::partial_schur), mirroring the
+//! parameters of `ArnoldiMethod.jl`'s `partialschur()` that the paper's
+//! experiments exercise.
+
+/// Which part of the spectrum to compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Which {
+    /// The eigenvalues of largest modulus (the paper's "10 largest
+    /// eigenvalues" experiments on Laplacians).
+    LargestMagnitude,
+    /// The eigenvalues of smallest modulus.
+    SmallestMagnitude,
+    /// The eigenvalues with largest real part.
+    LargestReal,
+    /// The eigenvalues with smallest real part.
+    SmallestReal,
+}
+
+/// Parameters of the implicitly restarted Arnoldi run.
+#[derive(Clone, Debug)]
+pub struct ArnoldiOptions {
+    /// Number of eigenpairs to compute (the paper's `eigenvalue_count` plus
+    /// `eigenvalue_buffer_count`).
+    pub nev: usize,
+    /// Spectrum target.
+    pub which: Which,
+    /// Relative convergence tolerance (`10^-2` … `10^-20` in the paper,
+    /// depending on the format's width).
+    pub tol: f64,
+    /// Maximum dimension of the Krylov subspace before a restart.  `None`
+    /// selects `min(max(2 nev + 1, 20), n)`.
+    pub max_dim: Option<usize>,
+    /// Maximum number of restarts before giving up (the paper's `∞ω`).
+    pub max_restarts: usize,
+    /// Seed of the random starting vector, for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for ArnoldiOptions {
+    fn default() -> Self {
+        ArnoldiOptions {
+            nev: 6,
+            which: Which::LargestMagnitude,
+            tol: 1e-8,
+            max_dim: None,
+            max_restarts: 100,
+            seed: 1,
+        }
+    }
+}
+
+impl ArnoldiOptions {
+    /// Resolve the Krylov dimension for a problem of size `n`.
+    pub fn resolved_max_dim(&self, n: usize) -> usize {
+        let wanted = self.max_dim.unwrap_or_else(|| (2 * self.nev + 1).max(20));
+        wanted.clamp(self.nev + 2, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_dim_resolution() {
+        let o = ArnoldiOptions { nev: 10, ..Default::default() };
+        assert_eq!(o.resolved_max_dim(1000), 21);
+        assert_eq!(o.resolved_max_dim(15), 15);
+        let o = ArnoldiOptions { nev: 3, max_dim: Some(12), ..Default::default() };
+        assert_eq!(o.resolved_max_dim(1000), 12);
+        let o = ArnoldiOptions { nev: 3, ..Default::default() };
+        assert_eq!(o.resolved_max_dim(1000), 20);
+    }
+}

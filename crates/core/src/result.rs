@@ -1,0 +1,84 @@
+//! Results of a partial Schur computation.
+
+use lpa_arith::Real;
+use lpa_dense::{Complex, DMatrix};
+
+/// A partial Schur decomposition `A Q ≈ Q R`.
+///
+/// `Q` has orthonormal columns; `R` is quasi-upper-triangular.  For symmetric
+/// input matrices `R` is (numerically) diagonal, its diagonal entries are the
+/// computed eigenvalues and the columns of `Q` are the corresponding
+/// eigenvectors — the extraction rule the paper relies on.
+#[derive(Clone, Debug)]
+pub struct PartialSchur<T: Real> {
+    /// Orthonormal basis of the invariant subspace (`n × k`).
+    pub q: DMatrix<T>,
+    /// Projected quasi-triangular factor (`k × k`).
+    pub r: DMatrix<T>,
+    /// Eigenvalues, ordered consistently with the diagonal blocks of `R`
+    /// (so `eigenvalues[i]` belongs to column `i` of `Q` for 1×1 blocks).
+    pub eigenvalues: Vec<Complex<T>>,
+}
+
+impl<T: Real> PartialSchur<T> {
+    /// Number of computed Schur vectors.
+    pub fn len(&self) -> usize {
+        self.q.ncols()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Real parts of the eigenvalues (exact eigenvalues in the symmetric
+    /// case), in the order of the Schur columns.
+    pub fn real_eigenvalues(&self) -> Vec<T> {
+        self.eigenvalues.iter().map(|c| c.re).collect()
+    }
+
+    /// Largest absolute imaginary part — a diagnostic for how "symmetric"
+    /// the computation stayed in the working precision.
+    pub fn max_imaginary(&self) -> T {
+        let mut m = T::zero();
+        for e in &self.eigenvalues {
+            m = m.max(e.im.abs());
+        }
+        m
+    }
+
+    /// The eigenvector approximation for 1×1 blocks: simply column `i` of
+    /// `Q` (valid for symmetric matrices).
+    pub fn eigenvector(&self, i: usize) -> &[T] {
+        self.q.col(i)
+    }
+
+    /// Residual norms `||A q_i - λ_i q_i||` given the operator, useful for
+    /// verification in tests.
+    pub fn residuals<Op: crate::operator::LinearOperator<T> + ?Sized>(&self, op: &Op) -> Vec<T> {
+        let n = self.q.nrows();
+        (0..self.len())
+            .map(|i| {
+                let mut y = vec![T::zero(); n];
+                op.apply(self.q.col(i), &mut y);
+                let lambda = self.eigenvalues[i].re;
+                for (yk, qk) in y.iter_mut().zip(self.q.col(i)) {
+                    *yk = *yk - lambda * *qk;
+                }
+                lpa_dense::blas::nrm2(&y)
+            })
+            .collect()
+    }
+}
+
+/// Statistics of the iteration.
+#[derive(Clone, Debug)]
+pub struct History {
+    /// Number of restarts performed (including the final one).
+    pub restarts: usize,
+    /// Number of operator applications.
+    pub matvecs: usize,
+    /// Whether the requested Ritz pairs converged.
+    pub converged: bool,
+    /// Final residual estimates of the returned Schur vectors (as `f64`).
+    pub residuals: Vec<f64>,
+}

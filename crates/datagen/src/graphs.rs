@@ -1,0 +1,284 @@
+//! Random graph generators used to synthesize the Network Repository
+//! substitute corpus (DESIGN.md, substitution S2).
+//!
+//! Every generator returns a symmetric, unweighted adjacency matrix in `f64`
+//! (the downstream pipeline symmetrizes again and builds the normalized
+//! Laplacian, exactly as the paper's preprocessing does for the real data).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lpa_sparse::{CooMatrix, CsrMatrix};
+
+fn adjacency_from_edges(n: usize, edges: &[(usize, usize)]) -> CsrMatrix<f64> {
+    let mut coo = CooMatrix::<f64>::with_capacity(n, n, edges.len() * 2);
+    for &(a, b) in edges {
+        if a == b {
+            continue;
+        }
+        coo.push_sym(a, b, 1.0);
+    }
+    // Duplicate edges accumulate; clamp back to a 0/1 adjacency matrix.
+    let csr = coo.to_csr();
+    let triplets: Vec<(usize, usize, f64)> =
+        csr.iter().map(|(i, j, v)| (i, j, if v > 0.0 { 1.0 } else { 0.0 })).collect();
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Erdős–Rényi G(n, p).
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> CsrMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            if rng.gen::<f64>() < p {
+                edges.push((i, j));
+            }
+        }
+    }
+    adjacency_from_edges(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment with `m` edges per new vertex.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = m.max(1).min(n.saturating_sub(1)).max(1);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Repeated-endpoint list for preferential attachment.
+    let mut targets: Vec<usize> = Vec::new();
+    // Start from a small clique of m + 1 vertices.
+    for i in 0..=m {
+        for j in 0..i {
+            edges.push((i, j));
+            targets.push(i);
+            targets.push(j);
+        }
+    }
+    for v in m + 1..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < m {
+            let t = if targets.is_empty() { rng.gen_range(0..v) } else { targets[rng.gen_range(0..targets.len())] };
+            if t != v {
+                chosen.insert(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((v, t));
+            targets.push(v);
+            targets.push(t);
+        }
+    }
+    adjacency_from_edges(n, &edges)
+}
+
+/// Watts–Strogatz small-world graph: ring lattice with `k` neighbours per
+/// side and rewiring probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = k.max(1);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for d in 1..=k {
+            let j = (i + d) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a random vertex.
+                let mut t = rng.gen_range(0..n);
+                if t == i {
+                    t = (t + 1) % n;
+                }
+                edges.push((i, t));
+            } else {
+                edges.push((i, j));
+            }
+        }
+    }
+    adjacency_from_edges(n, &edges)
+}
+
+/// Stochastic block model with equally sized communities.
+pub fn stochastic_block_model(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> CsrMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let communities = communities.max(1);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            let same = (i * communities / n.max(1)) == (j * communities / n.max(1));
+            let p = if same { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                edges.push((i, j));
+            }
+        }
+    }
+    adjacency_from_edges(n, &edges)
+}
+
+/// 2D grid graph (road-network-like) with optional random perturbation edges.
+pub fn grid_2d(rows: usize, cols: usize, extra_edges: usize, seed: u64) -> CsrMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    for _ in 0..extra_edges {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    adjacency_from_edges(n, &edges)
+}
+
+/// Ring with random chords (power-grid-like topology).
+pub fn ring_with_chords(n: usize, chords: usize, seed: u64) -> CsrMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    for _ in 0..chords {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    adjacency_from_edges(n, &edges)
+}
+
+/// Star-like graph (retweet cascades): a few hubs with many leaves.
+pub fn hub_and_spokes(n: usize, hubs: usize, seed: u64) -> CsrMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hubs = hubs.clamp(1, n.max(1));
+    let mut edges = Vec::new();
+    for v in hubs..n {
+        edges.push((v, rng.gen_range(0..hubs)));
+    }
+    // Connect the hubs in a path so the graph is connected.
+    for h in 1..hubs {
+        edges.push((h - 1, h));
+    }
+    adjacency_from_edges(n, &edges)
+}
+
+/// Random bipartite graph folded into a square adjacency matrix
+/// (recommendation / rating style data).
+pub fn bipartite(left: usize, right: usize, p: f64, seed: u64) -> CsrMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = left + right;
+    let mut edges = Vec::new();
+    for i in 0..left {
+        for j in 0..right {
+            if rng.gen::<f64>() < p {
+                edges.push((i, left + j));
+            }
+        }
+    }
+    adjacency_from_edges(n, &edges)
+}
+
+/// Protein-interaction-like graph: small dense modules sparsely linked, plus
+/// a handful of high-degree hub proteins.
+pub fn protein_like(n: usize, seed: u64) -> CsrMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let module_size = 8.max(n / 12);
+    let mut edges = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let end = (start + module_size).min(n);
+        for i in start..end {
+            for j in i + 1..end {
+                if rng.gen::<f64>() < 0.45 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        if end < n {
+            edges.push((end - 1, end)); // link to the next module
+        }
+        start = end;
+    }
+    // Hubs.
+    let hubs = (n / 20).max(1);
+    for h in 0..hubs {
+        let hub = rng.gen_range(0..n);
+        for _ in 0..(n / 5) {
+            let t = rng.gen_range(0..n);
+            if t != hub {
+                edges.push((hub, t));
+            }
+        }
+        let _ = h;
+    }
+    adjacency_from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_symmetric_unweighted(a: &CsrMatrix<f64>) {
+        assert!(a.is_symmetric(0.0));
+        for (_, _, v) in a.iter() {
+            assert!(v == 0.0 || v == 1.0);
+        }
+        for i in 0..a.nrows() {
+            assert_eq!(a.get(i, i), 0.0, "self loop at {i}");
+        }
+    }
+
+    #[test]
+    fn generators_produce_symmetric_adjacency() {
+        check_symmetric_unweighted(&erdos_renyi(40, 0.1, 1));
+        check_symmetric_unweighted(&barabasi_albert(50, 3, 2));
+        check_symmetric_unweighted(&watts_strogatz(45, 2, 0.2, 3));
+        check_symmetric_unweighted(&stochastic_block_model(48, 4, 0.4, 0.02, 4));
+        check_symmetric_unweighted(&grid_2d(6, 7, 5, 5));
+        check_symmetric_unweighted(&ring_with_chords(40, 8, 6));
+        check_symmetric_unweighted(&hub_and_spokes(40, 3, 7));
+        check_symmetric_unweighted(&bipartite(20, 25, 0.1, 8));
+        check_symmetric_unweighted(&protein_like(60, 9));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = barabasi_albert(30, 2, 77);
+        let b = barabasi_albert(30, 2, 77);
+        assert_eq!(a, b);
+        let c = barabasi_albert(30, 2, 78);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn expected_edge_counts_are_reasonable() {
+        let n = 60;
+        let er = erdos_renyi(n, 0.2, 11);
+        // ~ p * n(n-1)/2 undirected edges -> twice that many stored entries.
+        let expected = 0.2 * (n * (n - 1) / 2) as f64 * 2.0;
+        assert!((er.nnz() as f64) > expected * 0.5 && (er.nnz() as f64) < expected * 1.5);
+        let ba = barabasi_albert(n, 3, 12);
+        assert!(ba.nnz() >= 2 * 3 * (n - 4));
+        let grid = grid_2d(8, 8, 0, 0);
+        assert_eq!(grid.nnz(), 2 * (2 * 8 * 7));
+    }
+
+    #[test]
+    fn hub_graph_has_high_degree_vertices() {
+        let a = hub_and_spokes(100, 2, 3);
+        let degrees = a.row_sums();
+        let max_deg = degrees.iter().cloned().fold(0.0, f64::max);
+        assert!(max_deg > 20.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # lpa-datagen — synthetic test-matrix corpora
+//!
+//! The paper evaluates the implicitly restarted Arnoldi method on two
+//! datasets scraped from the web: 302 symmetric SuiteSparse matrices and
+//! 3 302 Network Repository graphs (31 categories aggregated into 4 classes,
+//! Table 1).  Neither dataset can be redistributed or downloaded here, so
+//! this crate generates deterministic synthetic corpora that exercise the
+//! identical code path — symmetric sparse matrices of comparable size,
+//! sparsity, spectral character and (for the general matrices) dynamic
+//! range.  See DESIGN.md, substitution S2, for the rationale.
+//!
+//! * [`general`] / [`corpus::general_corpus`] — the SuiteSparse substitute,
+//! * [`graphs`] / [`corpus::graph_corpus`] — the Network Repository
+//!   substitute, organized in the original 31 categories,
+//! * [`corpus::graph_laplacian_corpus`] — the same graphs as symmetric
+//!   normalized Laplacians (the experiments' actual input),
+//! * [`testmatrix::TestMatrix`] — matrix plus provenance metadata.
+
+pub mod corpus;
+pub mod general;
+pub mod graphs;
+pub mod testmatrix;
+
+pub use corpus::{
+    category_counts, general_corpus, graph_corpus, graph_laplacian_corpus, CorpusConfig,
+    GRAPH_CATEGORIES,
+};
+pub use testmatrix::{GraphClass, Source, TestMatrix};

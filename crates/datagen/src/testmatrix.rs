@@ -1,0 +1,97 @@
+//! The `TestMatrix` wrapper: a named matrix with provenance metadata,
+//! mirroring MuFoLAB's `TestMatrices.jl`.
+
+use lpa_sparse::CsrMatrix;
+
+/// The four aggregated graph classes of the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GraphClass {
+    Biological,
+    Infrastructure,
+    Social,
+    Miscellaneous,
+}
+
+impl GraphClass {
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphClass::Biological => "biological",
+            GraphClass::Infrastructure => "infrastructure",
+            GraphClass::Social => "social",
+            GraphClass::Miscellaneous => "miscellaneous",
+        }
+    }
+
+    pub fn all() -> [GraphClass; 4] {
+        [
+            GraphClass::Biological,
+            GraphClass::Infrastructure,
+            GraphClass::Social,
+            GraphClass::Miscellaneous,
+        ]
+    }
+}
+
+/// Where a test matrix came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// The synthetic stand-in for the SuiteSparse general matrices.
+    General,
+    /// The synthetic stand-in for a Network Repository graph Laplacian.
+    Graph(GraphClass),
+}
+
+/// A named symmetric test matrix.
+#[derive(Clone, Debug)]
+pub struct TestMatrix {
+    /// Unique name ("power/grid-042", "lap2d-16", …).
+    pub name: String,
+    /// Original (fine-grained) category, e.g. "protein", "road", "rt".
+    pub category: String,
+    /// Provenance.
+    pub source: Source,
+    /// The symmetric matrix itself, stored in `f64`.
+    pub matrix: CsrMatrix<f64>,
+}
+
+impl TestMatrix {
+    pub fn new(
+        name: impl Into<String>,
+        category: impl Into<String>,
+        source: Source,
+        matrix: CsrMatrix<f64>,
+    ) -> Self {
+        TestMatrix { name: name.into(), category: category.into(), source, matrix }
+    }
+
+    pub fn n(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    pub fn class(&self) -> Option<GraphClass> {
+        match self.source {
+            Source::General => None,
+            Source::Graph(c) => Some(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_accessors() {
+        let m = CsrMatrix::<f64>::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let t = TestMatrix::new("t", "rand", Source::Graph(GraphClass::Miscellaneous), m);
+        assert_eq!(t.n(), 3);
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.class(), Some(GraphClass::Miscellaneous));
+        assert_eq!(GraphClass::Miscellaneous.name(), "miscellaneous");
+        assert_eq!(GraphClass::all().len(), 4);
+    }
+}

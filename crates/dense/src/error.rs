@@ -1,0 +1,33 @@
+//! Error type for the dense eigenvalue kernels.
+
+use core::fmt;
+
+/// Failure modes of the dense eigen-solvers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DenseError {
+    /// The QR iteration did not converge within its iteration budget.  In the
+    /// experiment harness this surfaces as the paper's `∞ω` outcome.
+    QrNoConvergence { position: usize, iterations: usize },
+    /// A non-finite value (overflow or NaN/NaR) appeared during the
+    /// factorization, which can happen for the narrow IEEE formats.
+    NonFinite,
+    /// A reordering swap was rejected because it is too ill-conditioned.
+    SwapRejected { position: usize },
+}
+
+impl fmt::Display for DenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenseError::QrNoConvergence { position, iterations } => write!(
+                f,
+                "QR iteration failed to converge at eigenvalue position {position} after {iterations} iterations"
+            ),
+            DenseError::NonFinite => write!(f, "non-finite value encountered in dense kernel"),
+            DenseError::SwapRejected { position } => {
+                write!(f, "Schur reordering swap rejected at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DenseError {}

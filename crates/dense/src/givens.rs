@@ -1,0 +1,102 @@
+//! Givens rotations.
+
+use lpa_arith::Real;
+
+use crate::matrix::DMatrix;
+
+/// A plane rotation `G = [[c, s], [-s, c]]` with `c^2 + s^2 = 1`.
+#[derive(Clone, Copy, Debug)]
+pub struct Givens<T> {
+    pub c: T,
+    pub s: T,
+}
+
+impl<T: Real> Givens<T> {
+    /// Rotation that maps `[a, b]` to `[r, 0]` (LAPACK `dlartg`-style,
+    /// computed with scaling to avoid overflow).
+    pub fn compute(a: T, b: T) -> (Self, T) {
+        if b.is_zero() {
+            return (Givens { c: T::one(), s: T::zero() }, a);
+        }
+        if a.is_zero() {
+            return (Givens { c: T::zero(), s: T::one() }, b);
+        }
+        let (aa, ab) = (a.abs(), b.abs());
+        let scale = aa.max(ab);
+        let (ar, br) = (a / scale, b / scale);
+        let r = (ar * ar + br * br).sqrt() * scale;
+        // Keep r's sign tied to the larger component for stability.
+        let r = if aa > ab {
+            if a < T::zero() {
+                -r
+            } else {
+                r
+            }
+        } else if b < T::zero() {
+            -r
+        } else {
+            r
+        };
+        let c = a / r;
+        let s = b / r;
+        (Givens { c, s }, r)
+    }
+
+    /// Apply to a pair of scalars: `(x, y) -> (c*x + s*y, -s*x + c*y)`.
+    #[inline]
+    pub fn apply(&self, x: T, y: T) -> (T, T) {
+        (self.c * x + self.s * y, self.c * y - self.s * x)
+    }
+
+    /// Apply to rows `i1`, `i2` of a matrix (left multiplication by `G`).
+    pub fn apply_left(&self, m: &mut DMatrix<T>, i1: usize, i2: usize) {
+        for j in 0..m.ncols() {
+            let (x, y) = (m[(i1, j)], m[(i2, j)]);
+            let (nx, ny) = self.apply(x, y);
+            m[(i1, j)] = nx;
+            m[(i2, j)] = ny;
+        }
+    }
+
+    /// Apply to columns `j1`, `j2` of a matrix (right multiplication by
+    /// `G^T`).
+    pub fn apply_right(&self, m: &mut DMatrix<T>, j1: usize, j2: usize) {
+        for i in 0..m.nrows() {
+            let (x, y) = (m[(i, j1)], m[(i, j2)]);
+            let (nx, ny) = self.apply(x, y);
+            m[(i, j1)] = nx;
+            m[(i, j2)] = ny;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroes_second_component() {
+        for (a, b) in [(3.0f64, 4.0), (-2.0, 5.0), (1e-8, 1.0), (7.0, 0.0), (0.0, 2.0), (-1.0, -1.0)]
+        {
+            let (g, r) = Givens::compute(a, b);
+            let (x, y) = g.apply(a, b);
+            assert!((x - r).abs() < 1e-12, "r mismatch for ({a},{b})");
+            assert!(y.abs() < 1e-12, "second component not zeroed for ({a},{b})");
+            assert!((g.c * g.c + g.s * g.s - 1.0).abs() < 1e-12);
+            assert!((r.abs() - (a * a + b * b).sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn left_right_application_preserves_product() {
+        // G applied left then G^T applied right is a similarity transform:
+        // the trace must be preserved.
+        let mut m = DMatrix::<f64>::from_rows(&[&[1.0, 2.0, 0.0], &[3.0, 4.0, 1.0], &[0.0, 1.0, 5.0]]);
+        let trace_before = m[(0, 0)] + m[(1, 1)] + m[(2, 2)];
+        let (g, _) = Givens::compute(m[(1, 0)], m[(2, 0)]);
+        g.apply_left(&mut m, 1, 2);
+        g.apply_right(&mut m, 1, 2);
+        let trace_after = m[(0, 0)] + m[(1, 1)] + m[(2, 2)];
+        assert!((trace_before - trace_after).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! # lpa-dense — generic dense linear algebra
+//!
+//! Dense kernels used by the Krylov–Schur implicitly restarted Arnoldi
+//! method, all generic over the [`lpa_arith::Real`] scalar trait so that the
+//! same untailored code runs in every number format evaluated by the paper:
+//!
+//! * [`matrix::DMatrix`] — column-major dense matrices,
+//! * [`blas`] — dot / axpy / scaled 2-norm / normalize,
+//! * [`householder`] — Householder reflectors and QR,
+//! * [`hessenberg`] — reduction to upper Hessenberg form,
+//! * [`schur`] — Francis double-shift real Schur decomposition,
+//! * [`ordschur`] — reordering of the Schur form (adjacent block swaps),
+//! * [`eigen_sym`] — symmetric tridiagonal eigensolver (test oracle and
+//!   ablation path),
+//! * [`complex::Complex`] — the eigenvalue type of the real Schur form.
+//!
+//! These modules replace the role LAPACK plays for `float32`/`float64` in
+//! conventional stacks; the paper's point is precisely that such routines
+//! must be format-generic to evaluate posits and takums fairly.
+
+pub mod blas;
+pub mod complex;
+pub mod eigen_sym;
+pub mod error;
+pub mod givens;
+pub mod hessenberg;
+pub mod householder;
+pub mod matrix;
+pub mod ordschur;
+pub mod schur;
+
+pub use complex::Complex;
+pub use error::DenseError;
+pub use matrix::DMatrix;
+pub use schur::{schur, Schur};

@@ -1,0 +1,127 @@
+//! The experiment driver: run every format on every matrix of a corpus, in
+//! parallel over matrices (MuFoLAB's `Experiments.jl` role).
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use lpa_datagen::TestMatrix;
+
+use crate::formats::FormatTag;
+use crate::outcome::Outcome;
+use crate::pipeline::{compute_reference, run_format, ExperimentConfig};
+
+/// All results for one matrix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatrixResult {
+    pub name: String,
+    pub category: String,
+    pub n: usize,
+    pub nnz: usize,
+    /// One outcome per requested format, in the same order as the `formats`
+    /// argument of [`run_experiment`].
+    pub outcomes: Vec<(FormatTag, Outcome)>,
+}
+
+/// Results of a whole experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentResults {
+    pub formats: Vec<FormatTag>,
+    pub matrices: Vec<MatrixResult>,
+    /// Matrices skipped because even the double-double reference failed to
+    /// converge (mirrors the paper's preparation step discarding such cases).
+    pub skipped: Vec<String>,
+}
+
+impl ExperimentResults {
+    /// All outcomes of one format across the corpus.
+    pub fn outcomes_for(&self, format: FormatTag) -> Vec<Outcome> {
+        self.matrices
+            .iter()
+            .filter_map(|m| {
+                m.outcomes.iter().find(|(f, _)| *f == format).map(|(_, o)| *o)
+            })
+            .collect()
+    }
+}
+
+/// Run the experiment over a corpus for the given formats.
+///
+/// Matrices are processed in parallel with rayon; each matrix is solved once
+/// in the double-double reference arithmetic and then once per format.
+pub fn run_experiment(
+    corpus: &[TestMatrix],
+    formats: &[FormatTag],
+    cfg: &ExperimentConfig,
+) -> ExperimentResults {
+    let per_matrix: Vec<Result<MatrixResult, String>> = corpus
+        .par_iter()
+        .map(|tm| {
+            let reference = match compute_reference(&tm.matrix, cfg) {
+                Ok(r) => r,
+                Err(_) => return Err(tm.name.clone()),
+            };
+            let outcomes = formats
+                .iter()
+                .map(|&f| (f, run_format(&tm.matrix, &reference, f, cfg).outcome))
+                .collect();
+            Ok(MatrixResult {
+                name: tm.name.clone(),
+                category: tm.category.clone(),
+                n: tm.n(),
+                nnz: tm.nnz(),
+                outcomes,
+            })
+        })
+        .collect();
+
+    let mut matrices = Vec::new();
+    let mut skipped = Vec::new();
+    for r in per_matrix {
+        match r {
+            Ok(m) => matrices.push(m),
+            Err(name) => skipped.push(name),
+        }
+    }
+    ExperimentResults { formats: formats.to_vec(), matrices, skipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpa_datagen::{general_corpus, CorpusConfig};
+
+    #[test]
+    fn tiny_experiment_end_to_end() {
+        // A handful of small matrices, a couple of formats: the full pipeline
+        // must produce an outcome for every (matrix, format) pair.
+        let corpus: Vec<TestMatrix> = general_corpus(&CorpusConfig {
+            scale: 1,
+            size_range: (30, 40),
+            ..CorpusConfig::tiny()
+        })
+        .into_iter()
+        .filter(|t| t.category == "lap1d" || t.category == "diagdom")
+        .collect();
+        assert!(corpus.len() >= 3);
+        let formats = [FormatTag::Float64, FormatTag::Takum16, FormatTag::Ofp8E4M3];
+        let cfg = ExperimentConfig {
+            eigenvalue_count: 4,
+            eigenvalue_buffer_count: 2,
+            max_restarts: 60,
+            ..Default::default()
+        };
+        let res = run_experiment(&corpus, &formats, &cfg);
+        assert_eq!(res.matrices.len() + res.skipped.len(), corpus.len());
+        for m in &res.matrices {
+            assert_eq!(m.outcomes.len(), 3);
+        }
+        // float64 should essentially always produce small errors here.
+        let f64_outcomes = res.outcomes_for(FormatTag::Float64);
+        assert!(!f64_outcomes.is_empty());
+        for o in f64_outcomes {
+            if let Some(e) = o.errors() {
+                assert!(e.eigenvalue_rel < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The registry of number formats under evaluation, grouped by bit width as
+//! in the paper's figures (one row of plots per width).
+
+use serde::{Deserialize, Serialize};
+
+/// Every number format evaluated by the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FormatTag {
+    Ofp8E4M3,
+    Ofp8E5M2,
+    Posit8,
+    Takum8,
+    Float16,
+    Bfloat16,
+    Posit16,
+    Takum16,
+    Float32,
+    Posit32,
+    Takum32,
+    Float64,
+    Posit64,
+    Takum64,
+}
+
+impl FormatTag {
+    /// Name as used in the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FormatTag::Ofp8E4M3 => "OFP8 E4M3",
+            FormatTag::Ofp8E5M2 => "OFP8 E5M2",
+            FormatTag::Posit8 => "posit8",
+            FormatTag::Takum8 => "takum8",
+            FormatTag::Float16 => "float16",
+            FormatTag::Bfloat16 => "bfloat16",
+            FormatTag::Posit16 => "posit16",
+            FormatTag::Takum16 => "takum16",
+            FormatTag::Float32 => "float32",
+            FormatTag::Posit32 => "posit32",
+            FormatTag::Takum32 => "takum32",
+            FormatTag::Float64 => "float64",
+            FormatTag::Posit64 => "posit64",
+            FormatTag::Takum64 => "takum64",
+        }
+    }
+
+    /// Storage width in bits.
+    pub fn bits(&self) -> u32 {
+        match self {
+            FormatTag::Ofp8E4M3 | FormatTag::Ofp8E5M2 | FormatTag::Posit8 | FormatTag::Takum8 => 8,
+            FormatTag::Float16 | FormatTag::Bfloat16 | FormatTag::Posit16 | FormatTag::Takum16 => {
+                16
+            }
+            FormatTag::Float32 | FormatTag::Posit32 | FormatTag::Takum32 => 32,
+            FormatTag::Float64 | FormatTag::Posit64 | FormatTag::Takum64 => 64,
+        }
+    }
+
+    /// The relative convergence tolerance the paper assigns to this width
+    /// (1e-2 / 1e-4 / 1e-8 / 1e-12 for 8/16/32/64 bits).
+    pub fn tolerance(&self) -> f64 {
+        match self.bits() {
+            8 => 1e-2,
+            16 => 1e-4,
+            32 => 1e-8,
+            _ => 1e-12,
+        }
+    }
+
+    /// All formats, in the order the paper groups them.
+    pub fn all() -> Vec<FormatTag> {
+        use FormatTag::*;
+        vec![
+            Ofp8E4M3, Ofp8E5M2, Posit8, Takum8, Float16, Bfloat16, Posit16, Takum16, Float32,
+            Posit32, Takum32, Float64, Posit64, Takum64,
+        ]
+    }
+
+    /// The formats of one bit width (one row of a paper figure).
+    pub fn with_bits(bits: u32) -> Vec<FormatTag> {
+        Self::all().into_iter().filter(|f| f.bits() == bits).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_matches_the_paper() {
+        assert_eq!(FormatTag::all().len(), 14);
+        assert_eq!(FormatTag::with_bits(8).len(), 4);
+        assert_eq!(FormatTag::with_bits(16).len(), 4);
+        assert_eq!(FormatTag::with_bits(32).len(), 3);
+        assert_eq!(FormatTag::with_bits(64).len(), 3);
+        assert_eq!(FormatTag::Posit16.tolerance(), 1e-4);
+        assert_eq!(FormatTag::Float64.tolerance(), 1e-12);
+        assert_eq!(FormatTag::Ofp8E4M3.tolerance(), 1e-2);
+        assert_eq!(FormatTag::Bfloat16.name(), "bfloat16");
+    }
+}

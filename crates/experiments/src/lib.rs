@@ -1,0 +1,36 @@
+//! # lpa-experiments — the eigenvalue experiment harness
+//!
+//! The MuFoLAB-equivalent layer of the reproduction: given a corpus of
+//! symmetric test matrices (from `lpa-datagen`) and a set of number formats,
+//! it
+//!
+//! 1. computes a double-double reference partial Schur decomposition per
+//!    matrix (tolerance 1e-20),
+//! 2. converts the matrix to each target format, classifying dynamic-range
+//!    failures as the paper's `∞σ`,
+//! 3. runs the identical Krylov–Schur Arnoldi code in the target format,
+//!    classifying solver failures as `∞ω`,
+//! 4. matches computed to reference eigenvectors with the paper's buffered
+//!    absolute-cosine-similarity + Hungarian + sign-anchor scheme, and
+//! 5. aggregates relative errors into the cumulative error distributions the
+//!    paper plots (Figures 1–5), with CSV output and text summaries.
+//!
+//! Matrices are processed in parallel with rayon.
+
+pub mod driver;
+pub mod formats;
+pub mod outcome;
+pub mod pipeline;
+pub mod report;
+
+pub use driver::{run_experiment, ExperimentResults, MatrixResult};
+pub use formats::FormatTag;
+pub use outcome::{EigenErrors, Outcome};
+pub use pipeline::{
+    compare_to_reference, compute_reference, cosine_similarity_matrix, run_format,
+    ExperimentConfig, Reference,
+};
+pub use report::{
+    cumulative_distribution, format_summary_table, log10_clamped, write_figure_csv,
+    CumulativeDistribution, Metric,
+};

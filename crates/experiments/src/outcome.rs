@@ -1,0 +1,61 @@
+//! Outcome classification of a single (matrix, format) run.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative errors of one successful run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EigenErrors {
+    /// Relative L2 error of the vector of the `eigenvalue_count` largest
+    /// eigenvalues.
+    pub eigenvalue_rel: f64,
+    /// Relative L2 error of the corresponding eigenvector matrix (after
+    /// permutation matching and sign correction).
+    pub eigenvector_rel: f64,
+}
+
+/// What happened when a matrix was run in a given format.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The run converged; relative errors are reported.
+    Errors(EigenErrors),
+    /// The Arnoldi method did not converge — the paper's `∞ω`.
+    NotConverged,
+    /// The matrix entries exceeded the format's dynamic range — the paper's
+    /// `∞σ`.
+    RangeExceeded,
+}
+
+impl Outcome {
+    pub fn errors(&self) -> Option<EigenErrors> {
+        match self {
+            Outcome::Errors(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    pub fn is_not_converged(&self) -> bool {
+        matches!(self, Outcome::NotConverged)
+    }
+
+    pub fn is_range_exceeded(&self) -> bool {
+        matches!(self, Outcome::RangeExceeded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = EigenErrors { eigenvalue_rel: 1e-3, eigenvector_rel: 1e-2 };
+        assert_eq!(Outcome::Errors(e).errors(), Some(e));
+        assert!(Outcome::NotConverged.is_not_converged());
+        assert!(Outcome::RangeExceeded.is_range_exceeded());
+        assert!(Outcome::Errors(e).errors().unwrap().eigenvalue_rel < 1e-2);
+        // serde round trip
+        let json = serde_json::to_string(&Outcome::Errors(e)).unwrap();
+        let back: Outcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Outcome::Errors(e));
+    }
+}

@@ -1,0 +1,248 @@
+//! Post-processing: cumulative error distributions (the quantity plotted in
+//! every figure of the paper), CSV emission and a small ASCII rendering for
+//! terminal inspection.
+
+use std::io::Write;
+
+use crate::driver::ExperimentResults;
+use crate::formats::FormatTag;
+
+/// The cumulative error distribution of one format on one metric: the sorted
+/// relative errors plus the counts of the two failure modes.
+#[derive(Clone, Debug)]
+pub struct CumulativeDistribution {
+    pub format: FormatTag,
+    /// Sorted relative errors (ascending) of the converged runs.
+    pub sorted_errors: Vec<f64>,
+    /// Runs where the Arnoldi method did not converge (`∞ω`).
+    pub not_converged: usize,
+    /// Runs where the matrix exceeded the format's dynamic range (`∞σ`).
+    pub range_exceeded: usize,
+    /// Total number of runs.
+    pub total: usize,
+}
+
+/// Which error metric to extract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    Eigenvalues,
+    Eigenvectors,
+}
+
+impl Metric {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Eigenvalues => "eigenvalues",
+            Metric::Eigenvectors => "eigenvectors",
+        }
+    }
+}
+
+/// Build the cumulative error distribution of a format (one curve of a paper
+/// figure).
+pub fn cumulative_distribution(
+    results: &ExperimentResults,
+    format: FormatTag,
+    metric: Metric,
+) -> CumulativeDistribution {
+    let outcomes = results.outcomes_for(format);
+    let total = outcomes.len();
+    let mut errors = Vec::new();
+    let mut not_converged = 0;
+    let mut range_exceeded = 0;
+    for o in outcomes {
+        match o.errors() {
+            Some(e) => errors.push(match metric {
+                Metric::Eigenvalues => e.eigenvalue_rel,
+                Metric::Eigenvectors => e.eigenvector_rel,
+            }),
+            None => {
+                if o.is_range_exceeded() {
+                    range_exceeded += 1;
+                } else {
+                    not_converged += 1;
+                }
+            }
+        }
+    }
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    CumulativeDistribution { format, sorted_errors: errors, not_converged, range_exceeded, total }
+}
+
+impl CumulativeDistribution {
+    /// log10 of the error at a percentile of all runs (failures count as the
+    /// top of the distribution), `None` when the percentile falls into the
+    /// failure region.
+    pub fn log10_at_percentile(&self, pct: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let idx = ((pct / 100.0) * self.total as f64).floor() as usize;
+        if idx >= self.sorted_errors.len() {
+            return None;
+        }
+        Some(log10_clamped(self.sorted_errors[idx]))
+    }
+
+    /// Median log10 relative error of the converged runs.
+    pub fn median_log10(&self) -> Option<f64> {
+        if self.sorted_errors.is_empty() {
+            return None;
+        }
+        Some(log10_clamped(self.sorted_errors[self.sorted_errors.len() / 2]))
+    }
+
+    /// Fraction of runs that produced a usable (converged, in-range) result.
+    pub fn success_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sorted_errors.len() as f64 / self.total as f64
+        }
+    }
+}
+
+/// Clamp log10 so exact-zero errors remain plottable (the paper's y axes
+/// bottom out around -40).
+pub fn log10_clamped(x: f64) -> f64 {
+    if x <= 0.0 {
+        -40.0
+    } else {
+        x.log10().max(-40.0)
+    }
+}
+
+/// Write one figure's data as CSV: one row per (format, run index), columns
+/// `format,metric,fraction,log10_relative_error`, plus failure counts.
+pub fn write_figure_csv<W: Write>(
+    mut w: W,
+    results: &ExperimentResults,
+    formats: &[FormatTag],
+    metric: Metric,
+) -> std::io::Result<()> {
+    writeln!(w, "format,metric,fraction,log10_relative_error")?;
+    for &f in formats {
+        let dist = cumulative_distribution(results, f, metric);
+        let n = dist.total.max(1);
+        for (i, e) in dist.sorted_errors.iter().enumerate() {
+            writeln!(
+                w,
+                "{},{},{:.4},{:.6}",
+                f.name(),
+                metric.name(),
+                (i + 1) as f64 / n as f64,
+                log10_clamped(*e)
+            )?;
+        }
+        writeln!(w, "# {} not_converged={} range_exceeded={} total={}", f.name(), dist.not_converged, dist.range_exceeded, dist.total)?;
+    }
+    Ok(())
+}
+
+/// Render one figure row (a set of formats, one metric) as a compact text
+/// table: percentiles of log10 relative error plus failure counts, which is
+/// what EXPERIMENTS.md records against the paper's plots.
+pub fn format_summary_table(
+    results: &ExperimentResults,
+    formats: &[FormatTag],
+    metric: Metric,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6}\n",
+        "format", "p25", "p50", "p75", "p95", "ok", "inf_w", "inf_s"
+    ));
+    for &f in formats {
+        let d = cumulative_distribution(results, f, metric);
+        let fmt_pct = |p: f64| -> String {
+            match d.log10_at_percentile(p) {
+                Some(v) => format!("{v:8.2}"),
+                None => format!("{:>8}", "inf"),
+            }
+        };
+        out.push_str(&format!(
+            "{:<12} {} {} {} {} {:>6} {:>6} {:>6}\n",
+            f.name(),
+            fmt_pct(25.0),
+            fmt_pct(50.0),
+            fmt_pct(75.0),
+            fmt_pct(95.0),
+            d.sorted_errors.len(),
+            d.not_converged,
+            d.range_exceeded
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::MatrixResult;
+    use crate::outcome::{EigenErrors, Outcome};
+
+    fn fake_results() -> ExperimentResults {
+        let formats = vec![FormatTag::Float64, FormatTag::Ofp8E4M3];
+        let mut matrices = Vec::new();
+        for i in 0..10usize {
+            let e64 = EigenErrors {
+                eigenvalue_rel: 1e-14 * (i + 1) as f64,
+                eigenvector_rel: 1e-8 * (i + 1) as f64,
+            };
+            let o8 = if i < 3 {
+                Outcome::RangeExceeded
+            } else if i < 5 {
+                Outcome::NotConverged
+            } else {
+                Outcome::Errors(EigenErrors { eigenvalue_rel: 0.1 * i as f64, eigenvector_rel: 0.5 })
+            };
+            matrices.push(MatrixResult {
+                name: format!("m{i}"),
+                category: "test".into(),
+                n: 10,
+                nnz: 20,
+                outcomes: vec![(FormatTag::Float64, Outcome::Errors(e64)), (FormatTag::Ofp8E4M3, o8)],
+            });
+        }
+        ExperimentResults { formats, matrices, skipped: vec![] }
+    }
+
+    #[test]
+    fn distribution_counts_failures() {
+        let r = fake_results();
+        let d = cumulative_distribution(&r, FormatTag::Ofp8E4M3, Metric::Eigenvalues);
+        assert_eq!(d.total, 10);
+        assert_eq!(d.range_exceeded, 3);
+        assert_eq!(d.not_converged, 2);
+        assert_eq!(d.sorted_errors.len(), 5);
+        assert!(d.success_rate() < 0.51);
+        let d64 = cumulative_distribution(&r, FormatTag::Float64, Metric::Eigenvalues);
+        assert_eq!(d64.sorted_errors.len(), 10);
+        assert!(d64.median_log10().unwrap() < -13.0);
+        // Percentile 99 of the OFP8 distribution falls into the failure zone.
+        assert!(d.log10_at_percentile(99.0).is_none());
+        assert!(d.log10_at_percentile(10.0).is_some());
+    }
+
+    #[test]
+    fn csv_and_table_render() {
+        let r = fake_results();
+        let mut buf = Vec::new();
+        write_figure_csv(&mut buf, &r, &[FormatTag::Float64, FormatTag::Ofp8E4M3], Metric::Eigenvalues)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("format,metric,fraction"));
+        assert!(text.contains("OFP8 E4M3"));
+        assert!(text.contains("range_exceeded=3"));
+        let table = format_summary_table(&r, &[FormatTag::Float64, FormatTag::Ofp8E4M3], Metric::Eigenvectors);
+        assert!(table.contains("float64"));
+        assert!(table.contains("inf_s"));
+    }
+
+    #[test]
+    fn log10_clamping() {
+        assert_eq!(log10_clamped(0.0), -40.0);
+        assert_eq!(log10_clamped(1e-50), -40.0);
+        assert!((log10_clamped(1e-3) + 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Checked conversion of a matrix into a target number format.
+//!
+//! The paper's `∞σ` outcome marks runs where "the dynamic range of the matrix
+//! entries exceeded the target number type": a non-zero finite entry that
+//! converts to zero, an infinity or a NaN.  Saturating formats (posits,
+//! takums) never trigger this; the narrow IEEE formats (OFP8, float16) do on
+//! the general matrices, exactly as in Figure 1 of the paper.
+
+use lpa_arith::Real;
+
+use crate::csr::CsrMatrix;
+
+/// Why a conversion was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RangeViolation {
+    /// A non-zero entry underflowed to zero.
+    UnderflowToZero { row: usize, col: usize, value: f64 },
+    /// An entry overflowed to infinity or NaN.
+    Overflow { row: usize, col: usize, value: f64 },
+}
+
+/// Result of a checked conversion.
+pub type ConversionResult<U> = Result<CsrMatrix<U>, RangeViolation>;
+
+/// Convert a matrix entry-wise into format `U`, reporting the first entry
+/// whose magnitude leaves the representable range of `U`.
+pub fn convert_checked<T: Real, U: Real>(m: &CsrMatrix<T>) -> ConversionResult<U> {
+    for (i, j, v) in m.iter() {
+        if v.is_zero() {
+            continue;
+        }
+        let f = v.to_f64();
+        let converted = U::from_f64(f);
+        if converted.is_zero() {
+            return Err(RangeViolation::UnderflowToZero { row: i, col: j, value: f });
+        }
+        if converted.is_nan() || !converted.is_finite() {
+            return Err(RangeViolation::Overflow { row: i, col: j, value: f });
+        }
+    }
+    Ok(m.convert::<U>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpa_arith::types::{Posit8, Takum8, E4M3, F16};
+
+    #[test]
+    fn in_range_matrices_convert() {
+        let m = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, -0.5)]);
+        assert!(convert_checked::<f64, E4M3>(&m).is_ok());
+        assert!(convert_checked::<f64, F16>(&m).is_ok());
+        assert!(convert_checked::<f64, Posit8>(&m).is_ok());
+    }
+
+    #[test]
+    fn overflow_is_detected_for_ieee_formats() {
+        let m = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1e6)]);
+        match convert_checked::<f64, E4M3>(&m) {
+            Err(RangeViolation::Overflow { row: 1, col: 0, .. }) => {}
+            other => panic!("expected overflow, got {other:?}"),
+        }
+        // float16 overflows at 65520.
+        let m = CsrMatrix::<f64>::from_triplets(1, 1, &[(0, 0, 1e5)]);
+        assert!(convert_checked::<f64, F16>(&m).is_err());
+    }
+
+    #[test]
+    fn underflow_is_detected_for_ieee_formats() {
+        let m = CsrMatrix::<f64>::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, 1e-12)]);
+        match convert_checked::<f64, E4M3>(&m) {
+            Err(RangeViolation::UnderflowToZero { col: 1, .. }) => {}
+            other => panic!("expected underflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tapered_formats_saturate_and_pass() {
+        // The same extreme matrix converts fine for posits/takums because
+        // they saturate instead of flushing to zero or infinity.
+        let m = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 1e30), (1, 1, 1e-30)]);
+        assert!(convert_checked::<f64, Posit8>(&m).is_ok());
+        assert!(convert_checked::<f64, Takum8>(&m).is_ok());
+        assert!(convert_checked::<f64, E4M3>(&m).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+
+use lpa_arith::Real;
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix in coordinate (triplet) form.  Duplicate entries are
+/// summed when converting to CSR, matching Matrix Market semantics.
+#[derive(Clone, Debug)]
+pub struct CooMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Real> CooMatrix<T> {
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix { nrows, ncols, entries: Vec::new() }
+    }
+
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix { nrows, ncols, entries: Vec::with_capacity(cap) }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn entries(&self) -> &[(usize, usize, T)] {
+        &self.entries
+    }
+
+    /// Add an entry (duplicates accumulate on conversion).
+    pub fn push(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.nrows && j < self.ncols, "entry ({i},{j}) out of bounds");
+        if !v.is_zero() {
+            self.entries.push((i, j, v));
+        }
+    }
+
+    /// Add `v` at `(i, j)` and `(j, i)`.
+    pub fn push_sym(&mut self, i: usize, j: usize, v: T) {
+        self.push(i, j, v);
+        if i != j {
+            self.push(j, i, v);
+        }
+    }
+
+    /// Grow the matrix to be square by appending zero rows or columns
+    /// (the paper pads non-square adjacency files the same way).
+    pub fn pad_square(&mut self) {
+        let n = self.nrows.max(self.ncols);
+        self.nrows = n;
+        self.ncols = n;
+    }
+
+    /// Convert to compressed sparse row format, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        CsrMatrix::from_triplets(self.nrows, self.ncols, &self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_convert() {
+        let mut coo = CooMatrix::<f64>::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 2, 2.0);
+        coo.push(1, 2, 3.0); // duplicate accumulates
+        coo.push(2, 1, -1.0);
+        coo.push(2, 2, 0.0); // explicit zero dropped
+        assert_eq!(coo.nnz(), 4);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(1, 2), 5.0);
+        assert_eq!(csr.get(2, 1), -1.0);
+        assert_eq!(csr.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn pad_square_grows_dimensions() {
+        let mut coo = CooMatrix::<f64>::new(2, 5);
+        coo.push(1, 4, 1.0);
+        coo.pad_square();
+        assert_eq!(coo.nrows(), 5);
+        assert_eq!(coo.ncols(), 5);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let mut coo = CooMatrix::<f64>::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+}

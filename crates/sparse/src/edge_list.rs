@@ -1,0 +1,161 @@
+//! Edge-list (`.edges`) reader, mirroring the Network Repository
+//! preprocessing described in Section 2.1 of the paper.
+//!
+//! Lines contain `src dst [weight]` with `%` or `#` comments; vertex labels
+//! are arbitrary non-negative integers (they are compacted to a contiguous
+//! range).  Non-square adjacency blocks are fixed by padding, and the result
+//! can be symmetrized and turned into a normalized Laplacian downstream.
+
+use std::io::BufRead;
+
+use lpa_arith::Real;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Errors produced by the edge-list parser.
+#[derive(Debug)]
+pub enum EdgeListError {
+    Io(std::io::Error),
+    Parse(String),
+}
+
+impl core::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "I/O error: {e}"),
+            EdgeListError::Parse(msg) => write!(f, "edge list parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<std::io::Error> for EdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// A parsed edge list with compacted vertex ids.
+#[derive(Clone, Debug)]
+pub struct EdgeList {
+    pub vertex_count: usize,
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+/// Parse an edge list from a reader.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<EdgeList, EdgeListError> {
+    let mut raw: Vec<(u64, u64, f64)> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') || t.starts_with('#') {
+            continue;
+        }
+        // Some Network Repository files use commas as separators.
+        let cleaned = t.replace(',', " ");
+        let mut it = cleaned.split_whitespace();
+        let a: u64 = it
+            .next()
+            .ok_or_else(|| EdgeListError::Parse("missing source vertex".into()))?
+            .parse()
+            .map_err(|_| EdgeListError::Parse(format!("bad source vertex in '{t}'")))?;
+        let b: u64 = it
+            .next()
+            .ok_or_else(|| EdgeListError::Parse("missing target vertex".into()))?
+            .parse()
+            .map_err(|_| EdgeListError::Parse(format!("bad target vertex in '{t}'")))?;
+        let w: f64 = match it.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|_| EdgeListError::Parse(format!("bad edge weight in '{t}'")))?,
+            None => 1.0,
+        };
+        raw.push((a, b, w));
+    }
+
+    // Compact the vertex labels to 0..n.
+    let mut labels: Vec<u64> = raw.iter().flat_map(|&(a, b, _)| [a, b]).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    let index_of = |v: u64| labels.binary_search(&v).expect("label present");
+    let edges: Vec<(usize, usize, f64)> =
+        raw.iter().map(|&(a, b, w)| (index_of(a), index_of(b), w)).collect();
+    Ok(EdgeList { vertex_count: labels.len(), edges })
+}
+
+/// Parse from a string.
+pub fn read_edge_list_str(s: &str) -> Result<EdgeList, EdgeListError> {
+    read_edge_list(s.as_bytes())
+}
+
+impl EdgeList {
+    /// Build the (directed, weighted) adjacency matrix.  Self-loops are kept;
+    /// duplicate edges accumulate.
+    pub fn to_adjacency<T: Real>(&self) -> CsrMatrix<T> {
+        let n = self.vertex_count;
+        let mut coo = CooMatrix::<T>::with_capacity(n, n, self.edges.len());
+        for &(a, b, w) in &self.edges {
+            coo.push(a, b, T::from_f64(w));
+        }
+        coo.pad_square();
+        coo.to_csr()
+    }
+
+    /// Adjacency → average symmetrization → symmetric normalized Laplacian,
+    /// i.e. the full preprocessing pipeline of the paper's Section 2.1.
+    pub fn to_normalized_laplacian<T: Real>(&self) -> CsrMatrix<T> {
+        let adj = self.to_adjacency::<T>().symmetrize();
+        crate::laplacian::normalized_laplacian(&adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_weights_comments_and_commas() {
+        let text = "% comment\n# another\n1 2\n2 3 0.5\n7,1,2.0\n\n";
+        let el = read_edge_list_str(text).unwrap();
+        assert_eq!(el.vertex_count, 4); // labels 1, 2, 3, 7
+        assert_eq!(el.edges.len(), 3);
+        let adj: CsrMatrix<f64> = el.to_adjacency();
+        assert_eq!(adj.nrows(), 4);
+        assert_eq!(adj.get(0, 1), 1.0); // 1 -> 2, default weight
+        assert_eq!(adj.get(1, 2), 0.5); // 2 -> 3
+        assert_eq!(adj.get(3, 0), 2.0); // 7 -> 1
+    }
+
+    #[test]
+    fn laplacian_pipeline_produces_unit_diagonal() {
+        let text = "0 1\n1 2\n2 0\n3 0\n";
+        let el = read_edge_list_str(text).unwrap();
+        let l: CsrMatrix<f64> = el.to_normalized_laplacian();
+        assert!(l.is_symmetric(1e-14));
+        for i in 0..4 {
+            assert_eq!(l.get(i, i), 1.0);
+        }
+        // Eigenvalues of a normalized Laplacian live in [0, 2].
+        let eigs = lpa_dense::eigen_sym::symmetric_eigenvalues(&l.to_dense()).unwrap();
+        for e in eigs {
+            assert!(e > -1e-12 && e < 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_edge_list_str("a b\n").is_err());
+        assert!(read_edge_list_str("1\n").is_err());
+        assert!(read_edge_list_str("1 2 x\n").is_err());
+    }
+
+    #[test]
+    fn empty_graph_is_ok() {
+        let el = read_edge_list_str("% nothing\n").unwrap();
+        assert_eq!(el.vertex_count, 0);
+        let adj: CsrMatrix<f64> = el.to_adjacency();
+        assert_eq!(adj.nrows(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Graph Laplacian construction.
+//!
+//! Implements Eq. (1) of the paper: given a (symmetrized) adjacency matrix
+//! `A` with degrees `deg(i) = Σ_j A_ij`, the symmetric normalized Laplacian
+//! is
+//!
+//! ```text
+//! L_sym[i,j] = 1                              if i = j and deg(i) > 0
+//!            = -1 / sqrt(deg(i) deg(j))       if i ≠ j and A[i,j] ≠ 0
+//!            = 0                              otherwise
+//! ```
+//!
+//! For the unweighted, undirected graphs the paper prepares, `A[i,j]` is 1
+//! whenever it is non-zero and the formula above coincides with the standard
+//! weighted normalized Laplacian `I - D^{-1/2} A D^{-1/2}`.  This module
+//! implements the weighted form (off-diagonal `-A[i,j]/sqrt(deg(i) deg(j))`)
+//! so that average-symmetrized directed graphs (whose entries become 1/2)
+//! still yield a positive semi-definite Laplacian with spectrum in `[0, 2]`.
+
+use lpa_arith::Real;
+
+use crate::csr::CsrMatrix;
+
+/// Vertex degrees of an adjacency matrix (row sums).
+pub fn degrees<T: Real>(adjacency: &CsrMatrix<T>) -> Vec<T> {
+    adjacency.row_sums()
+}
+
+/// Symmetric normalized Laplacian of a symmetric adjacency matrix.
+///
+/// The adjacency matrix is expected to be symmetric (apply
+/// [`CsrMatrix::symmetrize`] first for directed graphs, as the paper's
+/// preprocessing does).  Isolated vertices (zero degree) produce an all-zero
+/// row/column, matching the paper's definition.
+pub fn normalized_laplacian<T: Real>(adjacency: &CsrMatrix<T>) -> CsrMatrix<T> {
+    assert!(adjacency.is_square(), "adjacency matrix must be square");
+    let n = adjacency.nrows();
+    let deg = degrees(adjacency);
+
+    let mut triplets = Vec::with_capacity(adjacency.nnz() + n);
+    for i in 0..n {
+        if deg[i] > T::zero() {
+            triplets.push((i, i, T::one()));
+        }
+    }
+    for (i, j, v) in adjacency.iter() {
+        if i == j || v.is_zero() {
+            continue;
+        }
+        if deg[i] > T::zero() && deg[j] > T::zero() {
+            triplets.push((i, j, -(v / (deg[i] * deg[j]).sqrt())));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Combinatorial (unnormalized) Laplacian `D - A`, kept for completeness and
+/// used by some of the synthetic general matrices.
+pub fn combinatorial_laplacian<T: Real>(adjacency: &CsrMatrix<T>) -> CsrMatrix<T> {
+    assert!(adjacency.is_square());
+    let n = adjacency.nrows();
+    let deg = degrees(adjacency);
+    let mut triplets = Vec::with_capacity(adjacency.nnz() + n);
+    for (i, &d) in deg.iter().enumerate() {
+        if !d.is_zero() {
+            triplets.push((i, i, d));
+        }
+    }
+    for (i, j, v) in adjacency.iter() {
+        if i != j {
+            triplets.push((i, j, -v));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Unweighted triangle plus one isolated vertex.
+    fn triangle_adjacency() -> CsrMatrix<f64> {
+        CsrMatrix::from_triplets(
+            4,
+            4,
+            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (0, 2, 1.0), (2, 0, 1.0)],
+        )
+    }
+
+    #[test]
+    fn normalized_laplacian_of_triangle() {
+        let l = normalized_laplacian(&triangle_adjacency());
+        // Unit diagonal on non-isolated vertices, zero row for the isolated
+        // one.
+        assert_eq!(l.get(0, 0), 1.0);
+        assert_eq!(l.get(3, 3), 0.0);
+        // Off-diagonals are -1/sqrt(2*2) = -0.5.
+        assert_eq!(l.get(0, 1), -0.5);
+        assert_eq!(l.get(2, 0), -0.5);
+        assert!(l.is_symmetric(1e-14));
+        // Spectrum of the normalized Laplacian of K3 is {0, 1.5, 1.5} plus
+        // the isolated vertex's 0.
+        let mut eigs =
+            lpa_dense::eigen_sym::symmetric_eigenvalues(&l.to_dense()).expect("eig");
+        eigs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected = [0.0, 0.0, 1.5, 1.5];
+        for (e, x) in eigs.iter().zip(expected) {
+            assert!((e - x).abs() < 1e-12, "{e} vs {x}");
+        }
+    }
+
+    #[test]
+    fn normalized_laplacian_eigenvalues_bounded_by_two() {
+        // Path graph with weights.
+        let n = 12;
+        let mut trip = Vec::new();
+        for i in 0..n - 1 {
+            let w = 1.0 + (i as f64) * 0.3;
+            trip.push((i, i + 1, w));
+            trip.push((i + 1, i, w));
+        }
+        let a = CsrMatrix::from_triplets(n, n, &trip);
+        let l = normalized_laplacian(&a);
+        let eigs = lpa_dense::eigen_sym::symmetric_eigenvalues(&l.to_dense()).unwrap();
+        for e in eigs {
+            assert!(e > -1e-12 && e < 2.0 + 1e-12, "eigenvalue {e} outside [0,2]");
+        }
+    }
+
+    #[test]
+    fn combinatorial_laplacian_row_sums_are_zero() {
+        let l = combinatorial_laplacian(&triangle_adjacency());
+        for s in l.row_sums() {
+            assert!(s.abs() < 1e-14);
+        }
+        assert_eq!(l.get(0, 0), 2.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Matrix Market (`.mtx`) coordinate-format reader and writer.
+//!
+//! The SuiteSparse collection and about half of the Network Repository
+//! distribute matrices in this format.  Only the subsets the paper needs are
+//! supported: `matrix coordinate real/integer/pattern general/symmetric`.
+
+use std::io::{BufRead, Write};
+
+use lpa_arith::Real;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Errors produced by the Matrix Market parser.
+#[derive(Debug)]
+pub enum MmError {
+    Io(std::io::Error),
+    Parse(String),
+}
+
+impl core::fmt::Display for MmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Read a Matrix Market coordinate matrix from a buffered reader.
+pub fn read_matrix_market<T: Real, R: BufRead>(reader: R) -> Result<CsrMatrix<T>, MmError> {
+    let mut lines = reader.lines();
+
+    // Header.
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => return Err(parse_err("empty file")),
+        }
+    };
+    let header = header.to_lowercase();
+    if !header.starts_with("%%matrixmarket") {
+        return Err(parse_err("missing %%MatrixMarket header"));
+    }
+    if !header.contains("matrix") || !header.contains("coordinate") {
+        return Err(parse_err("only coordinate matrices are supported"));
+    }
+    let pattern = header.contains("pattern");
+    let symmetric = header.contains("symmetric") || header.contains("skew-symmetric");
+    let skew = header.contains("skew-symmetric");
+    if header.contains("complex") {
+        return Err(parse_err("complex matrices are not supported"));
+    }
+
+    // Size line (skipping comments).
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break line;
+            }
+            None => return Err(parse_err("missing size line")),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|_| parse_err(format!("bad size token '{t}'"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must have three fields"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::<T>::with_capacity(nrows, ncols, nnz);
+    let mut read = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing row index"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing column index"))?
+            .parse()
+            .map_err(|_| parse_err("bad column index"))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err("bad value"))?
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("entry ({i},{j}) out of bounds")));
+        }
+        let (i, j) = (i - 1, j - 1);
+        coo.push(i, j, T::from_f64(v));
+        if symmetric && i != j {
+            coo.push(j, i, T::from_f64(if skew { -v } else { v }));
+        }
+        read += 1;
+    }
+    if read != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {read}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Read from a string (convenience for tests and embedded data).
+pub fn read_matrix_market_str<T: Real>(s: &str) -> Result<CsrMatrix<T>, MmError> {
+    read_matrix_market(s.as_bytes())
+}
+
+/// Write a matrix in `matrix coordinate real general` format.
+pub fn write_matrix_market<T: Real, W: Write>(m: &CsrMatrix<T>, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by lpa-sparse")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (i, j, v) in m.iter() {
+        writeln!(w, "{} {} {:e}", i + 1, j + 1, v.to_f64())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 4\n\
+                    1 1 2.0\n\
+                    2 3 -1.5\n\
+                    3 1 4\n\
+                    3 3 1e-2\n";
+        let m: CsrMatrix<f64> = read_matrix_market_str(text).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 2), -1.5);
+        assert_eq!(m.get(2, 2), 0.01);
+    }
+
+    #[test]
+    fn parse_symmetric_and_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 3\n\
+                    1 1\n\
+                    2 1\n\
+                    3 2\n";
+        let m: CsrMatrix<f64> = read_matrix_market_str(text).unwrap();
+        // symmetric pattern: mirrored entries added
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let m = CsrMatrix::<f64>::from_triplets(
+            4,
+            4,
+            &[(0, 0, 1.5), (1, 2, -2.25), (3, 1, 0.125), (2, 3, 1e-8)],
+        );
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back: CsrMatrix<f64> = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back.nrows(), 4);
+        assert_eq!(back.nnz(), 4);
+        for (i, j, v) in m.iter() {
+            assert_eq!(back.get(i, j), v);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_matrix_market_str::<f64>("not a matrix").is_err());
+        assert!(read_matrix_market_str::<f64>("%%MatrixMarket matrix array real general\n2 2\n").is_err());
+        let bad_count = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market_str::<f64>(bad_count).is_err());
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market_str::<f64>(oob).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Print the precision / dynamic-range trade-off of every number format the
+//! paper evaluates, plus a few decoded example values per format.
+//!
+//! ```text
+//! cargo run --example format_explorer
+//! ```
+
+use lp_arnoldi::arith::types::*;
+use lp_arnoldi::arith::{FormatInfo, Real};
+
+fn row<T: Real>() {
+    let info = FormatInfo::of::<T>();
+    println!(
+        "{:<14} {:>4} {:>10.2e} {:>12.3e} {:>12.3e} {:>8.1} {:>6.1} {:>10}",
+        info.name,
+        info.bits,
+        info.epsilon,
+        info.max_finite,
+        info.min_positive,
+        info.dynamic_range_decades(),
+        info.decimal_digits(),
+        if info.saturating { "saturates" } else { "overflows" }
+    );
+}
+
+fn sample_values<T: Real>() {
+    let values = [1.0 / 3.0, 1000.0, 1e-5, 6.25e7];
+    let rendered: Vec<String> =
+        values.iter().map(|&v| format!("{v:.3e}→{:.6e}", T::from_f64(v).to_f64())).collect();
+    println!("{:<14} {}", T::NAME, rendered.join("  "));
+}
+
+fn main() {
+    println!(
+        "{:<14} {:>4} {:>10} {:>12} {:>12} {:>8} {:>6} {:>10}",
+        "format", "bits", "eps(1.0)", "max", "min>0", "decades", "digits", "overflow"
+    );
+    row::<E4M3>();
+    row::<E5M2>();
+    row::<Posit8>();
+    row::<Takum8>();
+    row::<F16>();
+    row::<Bf16>();
+    row::<Posit16>();
+    row::<Takum16>();
+    row::<f32>();
+    row::<Posit32>();
+    row::<Takum32>();
+    row::<f64>();
+    row::<Posit64>();
+    row::<Takum64>();
+
+    println!("\nHow a few values round in each 8/16-bit format:");
+    sample_values::<E4M3>();
+    sample_values::<E5M2>();
+    sample_values::<Posit8>();
+    sample_values::<Takum8>();
+    sample_values::<F16>();
+    sample_values::<Bf16>();
+    sample_values::<Posit16>();
+    sample_values::<Takum16>();
+}

@@ -1,0 +1,69 @@
+//! Quickstart: compute the 6 largest eigenpairs of a sparse symmetric matrix
+//! in float64 and in a couple of emulated formats, and compare.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lp_arnoldi::arith::types::{Posit16, Takum16, F16};
+use lp_arnoldi::{partial_schur, ArnoldiOptions, CsrMatrix, Real, Which};
+
+fn main() {
+    // A 2D Laplacian on a 12 x 12 grid (144 unknowns, 5-point stencil).
+    let a = lp_arnoldi::datagen::general::laplacian_2d(12, 12, 1.0);
+    println!("matrix: {} x {}, {} non-zeros", a.nrows(), a.ncols(), a.nnz());
+
+    let opts = ArnoldiOptions {
+        nev: 6,
+        which: Which::LargestMagnitude,
+        tol: 1e-10,
+        ..Default::default()
+    };
+
+    // Reference run in float64.
+    let (reference, hist) = partial_schur(&a, &opts).expect("float64 solve");
+    let mut ref_eigs = reference.real_eigenvalues();
+    ref_eigs.sort_by(|x, y| y.partial_cmp(x).unwrap());
+    println!(
+        "float64: {} restarts, {} matvecs, largest eigenvalues:",
+        hist.restarts, hist.matvecs
+    );
+    for e in &ref_eigs {
+        println!("  {e:.12}");
+    }
+
+    // The same computation in three 16-bit formats.
+    run_in::<F16>(&a, &ref_eigs);
+    run_in::<Posit16>(&a, &ref_eigs);
+    run_in::<Takum16>(&a, &ref_eigs);
+}
+
+fn run_in<T: Real>(a: &CsrMatrix<f64>, reference: &[f64]) {
+    let low: CsrMatrix<T> = a.convert();
+    let opts = ArnoldiOptions {
+        nev: 6,
+        which: Which::LargestMagnitude,
+        tol: 1e-4,
+        max_restarts: 60,
+        ..Default::default()
+    };
+    match partial_schur(&low, &opts) {
+        Ok((ps, hist)) => {
+            let mut eigs: Vec<f64> = ps.real_eigenvalues().iter().map(|x| x.to_f64()).collect();
+            eigs.sort_by(|x, y| y.partial_cmp(x).unwrap());
+            let rel: f64 = eigs
+                .iter()
+                .zip(reference)
+                .map(|(g, r)| ((g - r) / r).abs())
+                .fold(0.0, f64::max);
+            println!(
+                "{:<10} {} restarts, largest eigenvalue {:.6}, max relative error {:.2e}",
+                T::NAME,
+                hist.restarts,
+                eigs[0],
+                rel
+            );
+        }
+        Err(e) => println!("{:<10} failed: {e}", T::NAME),
+    }
+}
