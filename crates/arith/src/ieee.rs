@@ -127,7 +127,7 @@ pub fn decode(bits: u64, spec: &IeeeSpec) -> Unpacked {
         }
         // Subnormal: value = frac * 2^(emin - frac_bits).
         let lz = frac.leading_zeros() - (64 - spec.frac_bits);
-        let exp = spec.emin() - 1 - lz as i32 + 0;
+        let exp = spec.emin() - 1 - lz as i32;
         // Normalize the fraction so its leading bit reaches bit 63.
         let sig = frac << (63 - (spec.frac_bits - 1 - lz));
         return Unpacked { class: Class::Finite, sign, exp, sig, sticky: false };
@@ -269,7 +269,7 @@ mod tests {
     #[test]
     fn bfloat16_known_values() {
         // bfloat16 is the top half of binary32.
-        for x in [1.0f64, -2.5, 3.1415926, 1e30, -1e-30, 0.1] {
+        for x in [1.0f64, -2.5, std::f64::consts::PI, 1e30, -1e-30, 0.1] {
             let expected = {
                 let f = x as f32;
                 let bits = f.to_bits();

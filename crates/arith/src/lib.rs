@@ -36,6 +36,7 @@
 pub mod dd;
 pub mod ieee;
 pub mod info;
+pub mod lut;
 pub mod posit;
 pub mod real;
 pub mod softfloat;

@@ -1,0 +1,178 @@
+//! Lookup-table arithmetic backend for the narrow formats.
+//!
+//! An 8-bit format has only 256 bit patterns, so *every* binary operation is
+//! a function `u8 × u8 → u8` with 65 536 entries — small enough to
+//! precompute and keep resident (64 KiB per operation, ~260 KiB per format
+//! including the unary/decode tables).  The tables are generated **from the
+//! soft-float path itself** the first time a format is used
+//! ([`std::sync::OnceLock`]), so the LUT backend is correct by construction:
+//! it cannot disagree with the decode → kernel → round reference
+//! implementation it replaces, and the exhaustive equivalence tests in
+//! `tests/lut_exhaustive.rs` verify exactly that for all 65 536 operand
+//! pairs per operation.
+//!
+//! For the 16-bit formats a full binary table would be 8 GiB, but a 64 Ki ×
+//! `f64` *decode* table (512 KiB) is still cheap and removes the full
+//! unpack from `to_f64`, comparisons and zero/NaN classification — the
+//! operations that dominate outside the arithmetic kernel proper (`nrm2`
+//! scaling tests, convergence checks, `iamax`).
+//!
+//! Backend tiers after this module (see README):
+//!
+//! | tier          | formats                | binary ops | decode/compare |
+//! |---------------|------------------------|------------|----------------|
+//! | LUT           | all 8-bit              | table      | table          |
+//! | decode-table  | all 16-bit             | soft-float | table          |
+//! | soft-float    | 32/64-bit posit, takum | soft-float | unpack         |
+//! | native        | f32, f64 (+ Dd pairs)  | hardware   | hardware       |
+
+use crate::ieee::pack_f64;
+use crate::softfloat;
+use crate::unpacked::Unpacked;
+
+/// Number of bit patterns of an 8-bit format.
+const N8: usize = 1 << 8;
+/// Number of operand pairs of an 8-bit format.
+const N8X8: usize = 1 << 16;
+/// Number of bit patterns of a 16-bit format.
+const N16: usize = 1 << 16;
+
+/// Complete operation tables for one 8-bit format.
+pub struct Lut8 {
+    add: Box<[u8; N8X8]>,
+    sub: Box<[u8; N8X8]>,
+    mul: Box<[u8; N8X8]>,
+    div: Box<[u8; N8X8]>,
+    neg: [u8; N8],
+    abs: [u8; N8],
+    sqrt: [u8; N8],
+    recip: [u8; N8],
+    decode: [f64; N8],
+}
+
+fn boxed_table() -> Box<[u8; N8X8]> {
+    vec![0u8; N8X8].into_boxed_slice().try_into().expect("length is N8X8")
+}
+
+impl Lut8 {
+    /// Generate the tables from a format codec by running the shared
+    /// soft-float kernel over every operand pattern (pair).
+    ///
+    /// The per-entry procedures mirror `types.rs`'s soft-float operator
+    /// implementations step for step, which is what makes the backend
+    /// bit-identical by construction.
+    pub fn build(decode: impl Fn(u8) -> Unpacked, encode: impl Fn(&Unpacked) -> u8) -> Lut8 {
+        let unpacked: Vec<Unpacked> = (0..N8).map(|bits| decode(bits as u8)).collect();
+        // `one` goes through a decode(encode(..)) round trip exactly like
+        // `Real::one()` (= `from_f64(1.0)`) does.
+        let one = decode(encode(&crate::ieee::unpack_f64(1.0)));
+
+        let mut lut = Lut8 {
+            add: boxed_table(),
+            sub: boxed_table(),
+            mul: boxed_table(),
+            div: boxed_table(),
+            neg: [0; N8],
+            abs: [0; N8],
+            sqrt: [0; N8],
+            recip: [0; N8],
+            decode: [0.0; N8],
+        };
+        for a in 0..N8 {
+            let ua = &unpacked[a];
+            let base = a << 8;
+            for (b, ub) in unpacked.iter().enumerate() {
+                lut.add[base | b] = encode(&softfloat::add(ua, ub));
+                lut.sub[base | b] = encode(&softfloat::sub(ua, ub));
+                lut.mul[base | b] = encode(&softfloat::mul(ua, ub));
+                lut.div[base | b] = encode(&softfloat::div(ua, ub));
+            }
+            lut.neg[a] = {
+                let mut u = *ua;
+                if !u.is_nan() {
+                    u.sign = !u.sign;
+                }
+                encode(&u)
+            };
+            lut.abs[a] = {
+                let mut u = *ua;
+                u.sign = false;
+                encode(&u)
+            };
+            lut.sqrt[a] = encode(&softfloat::sqrt(ua));
+            lut.recip[a] = encode(&softfloat::div(&one, ua));
+            lut.decode[a] = pack_f64(ua);
+        }
+        lut
+    }
+
+    #[inline(always)]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        self.add[((a as usize) << 8) | b as usize]
+    }
+
+    #[inline(always)]
+    pub fn sub(&self, a: u8, b: u8) -> u8 {
+        self.sub[((a as usize) << 8) | b as usize]
+    }
+
+    #[inline(always)]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        self.mul[((a as usize) << 8) | b as usize]
+    }
+
+    #[inline(always)]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        self.div[((a as usize) << 8) | b as usize]
+    }
+
+    #[inline(always)]
+    pub fn neg(&self, a: u8) -> u8 {
+        self.neg[a as usize]
+    }
+
+    #[inline(always)]
+    pub fn abs(&self, a: u8) -> u8 {
+        self.abs[a as usize]
+    }
+
+    #[inline(always)]
+    pub fn sqrt(&self, a: u8) -> u8 {
+        self.sqrt[a as usize]
+    }
+
+    #[inline(always)]
+    pub fn recip(&self, a: u8) -> u8 {
+        self.recip[a as usize]
+    }
+
+    #[inline(always)]
+    pub fn decode(&self, a: u8) -> f64 {
+        self.decode[a as usize]
+    }
+}
+
+/// `bits → f64` decode table for one 16-bit format.
+///
+/// Every value of every 16-bit format in this crate (≤ 12 significand bits,
+/// |exponent| ≤ 254) is exactly representable in `f64`, so decoding through
+/// the table is lossless and `f64` comparison semantics coincide with the
+/// format's own (`NaN`/NaR unordered, zeros equal).
+pub struct Decode16 {
+    to_f64: Box<[f64; N16]>,
+}
+
+impl Decode16 {
+    pub fn build(decode: impl Fn(u16) -> Unpacked) -> Decode16 {
+        let mut table = vec![0.0f64; N16].into_boxed_slice();
+        for (bits, slot) in table.iter_mut().enumerate() {
+            *slot = pack_f64(&decode(bits as u16));
+        }
+        Decode16 { to_f64: table.try_into().expect("length is N16") }
+    }
+
+    #[inline(always)]
+    pub fn decode(&self, a: u16) -> f64 {
+        self.to_f64[a as usize]
+    }
+}

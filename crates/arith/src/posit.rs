@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn roundtrip_sampled_posit32_and_64_patterns() {
         for spec in [&POSIT32, &POSIT64] {
-            let step = if spec.bits == 32 { 655_357 } else { 0x1234_5678_9ABC_D41 };
+            let step = if spec.bits == 32 { 655_357 } else { 0x123_4567_89AB_CD41 };
             let mut bits: u64 = 1;
             for _ in 0..20_000 {
                 bits = (bits.wrapping_mul(6364136223846793005).wrapping_add(step)) & spec.mask();

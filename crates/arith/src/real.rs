@@ -84,7 +84,7 @@ pub trait Real:
         let mut acc = Self::one();
         while n > 0 {
             if n & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
             base = base * base;
             n >>= 1;

@@ -132,10 +132,10 @@ fn isqrt_u128(x: u128) -> u128 {
         }
         r = next;
     }
-    while r.checked_mul(r).map_or(true, |rr| rr > x) {
+    while r.checked_mul(r).is_none_or(|rr| rr > x) {
         r -= 1;
     }
-    while (r + 1).checked_mul(r + 1).map_or(false, |rr| rr <= x) {
+    while (r + 1).checked_mul(r + 1).is_some_and(|rr| rr <= x) {
         r += 1;
     }
     r

@@ -1,10 +1,24 @@
 //! Concrete scalar types for every emulated format, all implementing
 //! [`Real`](crate::Real).
 //!
-//! Each type is a thin newtype over its storage word; arithmetic decodes the
-//! operands, runs the shared soft-float kernel and re-encodes with the
-//! format's rounding rules.  This keeps results bit-exact and reproducible
-//! across platforms.
+//! Each type is a thin newtype over its storage word.  Arithmetic is served
+//! by one of three backends, chosen per width (see [`crate::lut`]):
+//!
+//! * **8-bit formats** route every operation through precomputed lookup
+//!   tables ([`crate::lut::Lut8`]), generated once per format from the
+//!   soft-float path — bit-identical to it by construction and several
+//!   times faster.
+//! * **16-bit formats** keep soft-float arithmetic but use a 64 Ki-entry
+//!   decode table ([`crate::lut::Decode16`]) for `to_f64`, comparisons and
+//!   zero/NaN classification, skipping the full unpack on those paths.
+//! * **32/64-bit formats** use the soft-float kernel directly; their
+//!   significands do not fit in `f64`, so correctly rounded emulation needs
+//!   the wide integer path.
+//!
+//! Every type also exposes the raw reference path (`softfloat_add` & co.)
+//! regardless of backend, which the exhaustive equivalence tests and the
+//! backend micro-benchmarks compare against.  This keeps results bit-exact
+//! and reproducible across platforms and backends.
 
 use core::cmp::Ordering;
 use core::fmt;
@@ -16,11 +30,13 @@ use crate::softfloat;
 use crate::takum;
 use crate::unpacked::Unpacked;
 
-macro_rules! emulated_format {
+/// The storage newtype plus everything that is backend-independent: bit
+/// access, the unpack/pack codec bridge, the soft-float reference path,
+/// formatting and the compound-assignment operators.
+macro_rules! format_shell {
     (
         $(#[$meta:meta])*
-        $name:ident, $storage:ty, $fmtname:expr, $bits:expr,
-        $codec:ident, $spec:expr, $max_pat:expr, $min_pat:expr
+        $name:ident, $storage:ty, $fmtname:expr, $codec:ident, $spec:expr
     ) => {
         $(#[$meta])*
         #[derive(Clone, Copy)]
@@ -48,47 +64,71 @@ macro_rules! emulated_format {
             fn pack(u: &Unpacked) -> Self {
                 $name($codec::encode(u, &$spec) as $storage)
             }
-        }
 
-        impl core::ops::Add for $name {
-            type Output = Self;
+            /// Reference addition through the decode → kernel → round path,
+            /// independent of the active backend.
             #[inline]
-            fn add(self, o: Self) -> Self {
+            pub fn softfloat_add(self, o: Self) -> Self {
                 Self::pack(&softfloat::add(&self.unpack(), &o.unpack()))
             }
-        }
-        impl core::ops::Sub for $name {
-            type Output = Self;
+
+            /// Reference subtraction (see [`Self::softfloat_add`]).
             #[inline]
-            fn sub(self, o: Self) -> Self {
+            pub fn softfloat_sub(self, o: Self) -> Self {
                 Self::pack(&softfloat::sub(&self.unpack(), &o.unpack()))
             }
-        }
-        impl core::ops::Mul for $name {
-            type Output = Self;
+
+            /// Reference multiplication (see [`Self::softfloat_add`]).
             #[inline]
-            fn mul(self, o: Self) -> Self {
+            pub fn softfloat_mul(self, o: Self) -> Self {
                 Self::pack(&softfloat::mul(&self.unpack(), &o.unpack()))
             }
-        }
-        impl core::ops::Div for $name {
-            type Output = Self;
+
+            /// Reference division (see [`Self::softfloat_add`]).
             #[inline]
-            fn div(self, o: Self) -> Self {
+            pub fn softfloat_div(self, o: Self) -> Self {
                 Self::pack(&softfloat::div(&self.unpack(), &o.unpack()))
             }
-        }
-        impl core::ops::Neg for $name {
-            type Output = Self;
+
+            /// Reference square root (see [`Self::softfloat_add`]).
             #[inline]
-            fn neg(self) -> Self {
+            pub fn softfloat_sqrt(self) -> Self {
+                Self::pack(&softfloat::sqrt(&self.unpack()))
+            }
+
+            /// Reference decode to `f64` (see [`Self::softfloat_add`]).
+            #[inline]
+            pub fn softfloat_to_f64(self) -> f64 {
+                pack_f64(&self.unpack())
+            }
+
+            /// Reference negation (see [`Self::softfloat_add`]).
+            #[inline]
+            pub fn softfloat_neg(self) -> Self {
                 let mut u = self.unpack();
                 if !u.is_nan() {
                     u.sign = !u.sign;
                 }
                 Self::pack(&u)
             }
+
+            /// Reference absolute value (see [`Self::softfloat_add`]).
+            #[inline]
+            pub fn softfloat_abs(self) -> Self {
+                let mut u = self.unpack();
+                u.sign = false;
+                Self::pack(&u)
+            }
+
+            /// Reference comparison through the unpacked representation
+            /// (`Unpacked::partial_cmp_value`), independent of the active
+            /// backend's comparison path.
+            #[inline]
+            pub fn softfloat_partial_cmp(self, o: Self) -> Option<Ordering> {
+                self.unpack().partial_cmp_value(&o.unpack())
+            }
         }
+
         impl core::ops::AddAssign for $name {
             #[inline]
             fn add_assign(&mut self, o: Self) {
@@ -114,6 +154,101 @@ macro_rules! emulated_format {
             }
         }
 
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.to_f64())
+            }
+        }
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:#x} ≈ {})", $fmtname, self.0, self.to_f64())
+            }
+        }
+    };
+}
+
+/// The five arithmetic operator impls delegating to the soft-float
+/// reference path, shared by [`soft_backend!`] and [`dec16_backend!`].
+macro_rules! softfloat_ops {
+    ($name:ident) => {
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, o: Self) -> Self {
+                self.softfloat_add(o)
+            }
+        }
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, o: Self) -> Self {
+                self.softfloat_sub(o)
+            }
+        }
+        impl core::ops::Mul for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, o: Self) -> Self {
+                self.softfloat_mul(o)
+            }
+        }
+        impl core::ops::Div for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, o: Self) -> Self {
+                self.softfloat_div(o)
+            }
+        }
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                self.softfloat_neg()
+            }
+        }
+    };
+}
+
+/// `Real` items identical across all three backends (expands inside an
+/// `impl Real` block): constants, constructors and the storage-pattern
+/// constants.
+macro_rules! real_storage_core {
+    ($name:ident, $storage:ty, $fmtname:expr, $bits:expr, $max_pat:expr, $min_pat:expr) => {
+        const NAME: &'static str = $fmtname;
+        const BITS: u32 = $bits;
+
+        #[inline]
+        fn zero() -> Self {
+            $name(0)
+        }
+        #[inline]
+        fn one() -> Self {
+            Self::from_f64(1.0)
+        }
+        #[inline]
+        fn from_f64(x: f64) -> Self {
+            Self::pack(&unpack_f64(x))
+        }
+        fn epsilon() -> Self {
+            let one = Self::one();
+            let next = $name(one.0 + 1);
+            next - one
+        }
+        fn max_finite() -> Self {
+            $name($max_pat as $storage)
+        }
+        fn min_positive() -> Self {
+            $name($min_pat as $storage)
+        }
+    };
+}
+
+/// Soft-float backend: operators and `Real` through the decode → kernel →
+/// round path (the 32- and 64-bit formats, whose significands exceed `f64`).
+macro_rules! soft_backend {
+    ($name:ident, $storage:ty, $fmtname:expr, $bits:expr, $max_pat:expr, $min_pat:expr) => {
+        softfloat_ops!($name);
+
         impl PartialEq for $name {
             #[inline]
             fn eq(&self, o: &Self) -> bool {
@@ -127,46 +262,20 @@ macro_rules! emulated_format {
             }
         }
 
-        impl fmt::Display for $name {
-            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                write!(f, "{}", self.to_f64())
-            }
-        }
-        impl fmt::Debug for $name {
-            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                write!(f, "{}({:#x} ≈ {})", $fmtname, self.0, self.to_f64())
-            }
-        }
-
         impl Real for $name {
-            const NAME: &'static str = $fmtname;
-            const BITS: u32 = $bits;
+            real_storage_core!($name, $storage, $fmtname, $bits, $max_pat, $min_pat);
 
-            #[inline]
-            fn zero() -> Self {
-                $name(0)
-            }
-            #[inline]
-            fn one() -> Self {
-                Self::from_f64(1.0)
-            }
-            #[inline]
-            fn from_f64(x: f64) -> Self {
-                Self::pack(&unpack_f64(x))
-            }
             #[inline]
             fn to_f64(self) -> f64 {
-                pack_f64(&self.unpack())
+                self.softfloat_to_f64()
             }
             #[inline]
             fn abs(self) -> Self {
-                let mut u = self.unpack();
-                u.sign = false;
-                Self::pack(&u)
+                self.softfloat_abs()
             }
             #[inline]
             fn sqrt(self) -> Self {
-                Self::pack(&softfloat::sqrt(&self.unpack()))
+                self.softfloat_sqrt()
             }
             #[inline]
             fn is_nan(self) -> bool {
@@ -180,91 +289,275 @@ macro_rules! emulated_format {
             fn is_zero(self) -> bool {
                 self.unpack().is_zero()
             }
-            fn epsilon() -> Self {
-                let one = Self::one();
-                let next = $name(one.0 + 1);
-                next - one
+        }
+    };
+}
+
+/// Comparison operators through the decoded `f64` value, shared by both
+/// table-served backends.  Every 8/16-bit value decodes exactly into `f64`,
+/// and `f64` comparison semantics coincide with
+/// `Unpacked::partial_cmp_value` (NaN/NaR unordered, zeros equal regardless
+/// of sign) — verified per format in `tests/lut_exhaustive.rs`.
+macro_rules! decoded_cmp_backend {
+    ($name:ident) => {
+        impl PartialEq for $name {
+            #[inline]
+            fn eq(&self, o: &Self) -> bool {
+                self.to_f64() == o.to_f64()
             }
-            fn max_finite() -> Self {
-                $name($max_pat as $storage)
-            }
-            fn min_positive() -> Self {
-                $name($min_pat as $storage)
+        }
+        impl PartialOrd for $name {
+            #[inline]
+            fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+                self.to_f64().partial_cmp(&o.to_f64())
             }
         }
     };
 }
 
-emulated_format!(
+/// Zero/NaN/finite classification through the decoded `f64` value, shared
+/// by both table-served backends (expands inside their `impl Real` blocks).
+macro_rules! decoded_class_core {
+    () => {
+        #[inline]
+        fn is_nan(self) -> bool {
+            self.to_f64().is_nan()
+        }
+        #[inline]
+        fn is_finite(self) -> bool {
+            self.to_f64().is_finite()
+        }
+        #[inline]
+        fn is_zero(self) -> bool {
+            self.to_f64() == 0.0
+        }
+    };
+}
+
+/// Lookup-table backend for the 8-bit formats: every operation is one or
+/// two table loads.  The tables are built from the soft-float path on first
+/// use, so results are bit-identical to [`soft_backend!`]'s.
+macro_rules! lut8_backend {
+    ($name:ident, $fmtname:expr, $max_pat:expr, $min_pat:expr, $codec:ident, $spec:expr) => {
+        impl $name {
+            /// This format's operation tables (built on first use).
+            #[inline]
+            fn lut() -> &'static crate::lut::Lut8 {
+                static LUT: std::sync::OnceLock<crate::lut::Lut8> = std::sync::OnceLock::new();
+                LUT.get_or_init(|| {
+                    crate::lut::Lut8::build(
+                        |bits| $codec::decode(bits as u64, &$spec),
+                        |u| $codec::encode(u, &$spec) as u8,
+                    )
+                })
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, o: Self) -> Self {
+                $name(Self::lut().add(self.0, o.0))
+            }
+        }
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, o: Self) -> Self {
+                $name(Self::lut().sub(self.0, o.0))
+            }
+        }
+        impl core::ops::Mul for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, o: Self) -> Self {
+                $name(Self::lut().mul(self.0, o.0))
+            }
+        }
+        impl core::ops::Div for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, o: Self) -> Self {
+                $name(Self::lut().div(self.0, o.0))
+            }
+        }
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                $name(Self::lut().neg(self.0))
+            }
+        }
+
+        decoded_cmp_backend!($name);
+
+        impl Real for $name {
+            real_storage_core!($name, u8, $fmtname, 8, $max_pat, $min_pat);
+            decoded_class_core!();
+
+            #[inline]
+            fn to_f64(self) -> f64 {
+                Self::lut().decode(self.0)
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                $name(Self::lut().abs(self.0))
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                $name(Self::lut().sqrt(self.0))
+            }
+            #[inline]
+            fn recip(self) -> Self {
+                // Table built as `one / x` through the kernel, matching the
+                // `Real::recip` default exactly.
+                $name(Self::lut().recip(self.0))
+            }
+        }
+    };
+}
+
+/// Decode-table backend for the 16-bit formats: arithmetic stays on the
+/// soft-float kernel, but `to_f64`, comparisons and classification skip the
+/// unpack via a 64 Ki-entry table (every 16-bit value is exact in `f64`).
+macro_rules! dec16_backend {
+    ($name:ident, $fmtname:expr, $max_pat:expr, $min_pat:expr, $codec:ident, $spec:expr) => {
+        impl $name {
+            /// This format's `bits → f64` decode table (built on first use).
+            #[inline]
+            fn decode_table() -> &'static crate::lut::Decode16 {
+                static TABLE: std::sync::OnceLock<crate::lut::Decode16> =
+                    std::sync::OnceLock::new();
+                TABLE.get_or_init(|| {
+                    crate::lut::Decode16::build(|bits| $codec::decode(bits as u64, &$spec))
+                })
+            }
+        }
+
+        softfloat_ops!($name);
+        decoded_cmp_backend!($name);
+
+        impl Real for $name {
+            real_storage_core!($name, u16, $fmtname, 16, $max_pat, $min_pat);
+            decoded_class_core!();
+
+            #[inline]
+            fn to_f64(self) -> f64 {
+                Self::decode_table().decode(self.0)
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                self.softfloat_abs()
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                self.softfloat_sqrt()
+            }
+        }
+    };
+}
+
+macro_rules! lut8_format {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $fmtname:expr, $codec:ident, $spec:expr, $max_pat:expr, $min_pat:expr
+    ) => {
+        format_shell!($(#[$meta])* $name, u8, $fmtname, $codec, $spec);
+        lut8_backend!($name, $fmtname, $max_pat, $min_pat, $codec, $spec);
+    };
+}
+
+macro_rules! dec16_format {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $fmtname:expr, $codec:ident, $spec:expr, $max_pat:expr, $min_pat:expr
+    ) => {
+        format_shell!($(#[$meta])* $name, u16, $fmtname, $codec, $spec);
+        dec16_backend!($name, $fmtname, $max_pat, $min_pat, $codec, $spec);
+    };
+}
+
+macro_rules! soft_format {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $storage:ty, $fmtname:expr, $bits:expr,
+        $codec:ident, $spec:expr, $max_pat:expr, $min_pat:expr
+    ) => {
+        format_shell!($(#[$meta])* $name, $storage, $fmtname, $codec, $spec);
+        soft_backend!($name, $storage, $fmtname, $bits, $max_pat, $min_pat);
+    };
+}
+
+dec16_format!(
     /// IEEE 754 binary16 (`float16`).
-    F16, u16, "float16", 16, ieee, ieee::BINARY16,
+    F16, "float16", ieee, ieee::BINARY16,
     ieee::BINARY16.max_finite_bits(), ieee::BINARY16.min_positive_bits()
 );
-emulated_format!(
+dec16_format!(
     /// Google Brain `bfloat16` (8 exponent bits, 7 fraction bits).
-    Bf16, u16, "bfloat16", 16, ieee, ieee::BFLOAT16,
+    Bf16, "bfloat16", ieee, ieee::BFLOAT16,
     ieee::BFLOAT16.max_finite_bits(), ieee::BFLOAT16.min_positive_bits()
 );
-emulated_format!(
+lut8_format!(
     /// OCP OFP8 E4M3 (no infinities, single NaN mantissa, max finite 448).
-    E4M3, u8, "OFP8 E4M3", 8, ieee, ieee::OFP8_E4M3,
+    E4M3, "OFP8 E4M3", ieee, ieee::OFP8_E4M3,
     ieee::OFP8_E4M3.max_finite_bits(), ieee::OFP8_E4M3.min_positive_bits()
 );
-emulated_format!(
+lut8_format!(
     /// OCP OFP8 E5M2 (IEEE-like specials, max finite 57344).
-    E5M2, u8, "OFP8 E5M2", 8, ieee, ieee::OFP8_E5M2,
+    E5M2, "OFP8 E5M2", ieee, ieee::OFP8_E5M2,
     ieee::OFP8_E5M2.max_finite_bits(), ieee::OFP8_E5M2.min_positive_bits()
 );
 
-emulated_format!(
+lut8_format!(
     /// 8-bit posit, 2022 standard (es = 2).
-    Posit8, u8, "posit8", 8, posit, posit::POSIT8,
+    Posit8, "posit8", posit, posit::POSIT8,
     posit::POSIT8.maxpos_pattern(), posit::POSIT8.minpos_pattern()
 );
-emulated_format!(
+dec16_format!(
     /// 16-bit posit, 2022 standard (es = 2).
-    Posit16, u16, "posit16", 16, posit, posit::POSIT16,
+    Posit16, "posit16", posit, posit::POSIT16,
     posit::POSIT16.maxpos_pattern(), posit::POSIT16.minpos_pattern()
 );
-emulated_format!(
+soft_format!(
     /// 32-bit posit, 2022 standard (es = 2).
     Posit32, u32, "posit32", 32, posit, posit::POSIT32,
     posit::POSIT32.maxpos_pattern(), posit::POSIT32.minpos_pattern()
 );
-emulated_format!(
+soft_format!(
     /// 64-bit posit, 2022 standard (es = 2).
     Posit64, u64, "posit64", 64, posit, posit::POSIT64,
     posit::POSIT64.maxpos_pattern(), posit::POSIT64.minpos_pattern()
 );
-emulated_format!(
+lut8_format!(
     /// Legacy 8-bit posit with es = 0 (pre-2022 draft), used by the ablation
     /// study only.
-    Posit8Es0, u8, "posit8(es=0)", 8, posit, posit::POSIT8_ES0,
+    Posit8Es0, "posit8(es=0)", posit, posit::POSIT8_ES0,
     posit::POSIT8_ES0.maxpos_pattern(), posit::POSIT8_ES0.minpos_pattern()
 );
-emulated_format!(
+dec16_format!(
     /// Legacy 16-bit posit with es = 1 (pre-2022 draft), used by the ablation
     /// study only.
-    Posit16Es1, u16, "posit16(es=1)", 16, posit, posit::POSIT16_ES1,
+    Posit16Es1, "posit16(es=1)", posit, posit::POSIT16_ES1,
     posit::POSIT16_ES1.maxpos_pattern(), posit::POSIT16_ES1.minpos_pattern()
 );
 
-emulated_format!(
+lut8_format!(
     /// 8-bit linear takum.
-    Takum8, u8, "takum8", 8, takum, takum::TAKUM8,
+    Takum8, "takum8", takum, takum::TAKUM8,
     takum::TAKUM8.max_pattern(), takum::TAKUM8.min_pattern()
 );
-emulated_format!(
+dec16_format!(
     /// 16-bit linear takum.
-    Takum16, u16, "takum16", 16, takum, takum::TAKUM16,
+    Takum16, "takum16", takum, takum::TAKUM16,
     takum::TAKUM16.max_pattern(), takum::TAKUM16.min_pattern()
 );
-emulated_format!(
+soft_format!(
     /// 32-bit linear takum.
     Takum32, u32, "takum32", 32, takum, takum::TAKUM32,
     takum::TAKUM32.max_pattern(), takum::TAKUM32.min_pattern()
 );
-emulated_format!(
+soft_format!(
     /// 64-bit linear takum.
     Takum64, u64, "takum64", 64, takum, takum::TAKUM64,
     takum::TAKUM64.max_pattern(), takum::TAKUM64.min_pattern()
@@ -398,6 +691,8 @@ mod tests {
 
     #[test]
     fn nan_and_comparison_semantics() {
+        // The negated comparisons are the point: NaN must be unordered.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         fn check<T: Real>() {
             let nan = T::from_f64(f64::NAN);
             assert!(nan.is_nan(), "{}", T::NAME);
@@ -445,5 +740,19 @@ mod tests {
         assert!(format!("{x:?}").contains("posit16"));
         let y = Takum8::from_f64(-2.0);
         assert_eq!(format!("{y}"), "-2");
+    }
+
+    #[test]
+    fn backends_match_reference_on_samples() {
+        // Spot check that the table-served operators agree with the public
+        // soft-float reference methods (the exhaustive sweep lives in
+        // tests/lut_exhaustive.rs).
+        for a in 0..=255u8 {
+            let (x8, y8) = (Takum8::from_bits(a), Takum8::from_bits(a.wrapping_mul(37)));
+            assert_eq!((x8 + y8).to_bits(), x8.softfloat_add(y8).to_bits());
+            assert_eq!((x8 * y8).to_bits(), x8.softfloat_mul(y8).to_bits());
+            let x16 = Posit16::from_bits((a as u16) << 7 | 0x1d);
+            assert_eq!(x16.to_f64(), x16.softfloat_to_f64());
+        }
     }
 }

@@ -1,0 +1,233 @@
+//! Machine-readable micro-benchmark summary: `cargo bench -p lpa-bench
+//! --bench bench_summary` writes `out/BENCH_micro.json` with median ns/op
+//! per format for scalar add/mul, per-element dot and per-nonzero SpMV,
+//! the soft-float baselines for the LUT-served 8-bit formats, and the
+//! end-to-end wall time of a Figure-1 style experiment run.
+//!
+//! The file gives future PRs a perf trajectory to compare against; keep the
+//! schema (`lpa-bench-micro/v1`) stable or bump the version.
+
+use std::time::Instant;
+
+use lpa_arith::types::{
+    Bf16, E4M3, E5M2, F16, Posit16, Posit32, Posit64, Posit8, Takum16, Takum32, Takum64, Takum8,
+};
+use lpa_arith::{Dd, Real};
+use lpa_datagen::general;
+use lpa_experiments::{run_experiment, FormatTag};
+use lpa_sparse::CsrMatrix;
+use serde::Value;
+
+const DOT_LEN: usize = 1024;
+const SCALAR_LEN: usize = 512;
+
+/// Median ns per call of `f` across several samples, with the iteration
+/// count calibrated so each sample runs a few milliseconds.
+fn median_ns_per_call<F: FnMut()>(mut f: F) -> f64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 2 || iters > 1 << 24 {
+            break;
+        }
+        iters *= 4;
+    }
+    let samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    let mut s = samples;
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    s[s.len() / 2]
+}
+
+/// Values whose running sums and products stay well inside every format's
+/// dynamic range (even E4M3's ±448): magnitudes alternate between m and
+/// 1/m so the mul chain's product is bounded, and signs alternate so the
+/// add chain's partial sums are bounded — every iteration exercises the
+/// full normalize-and-round path rather than saturation/overflow
+/// early-outs.
+fn operands<T: Real>() -> Vec<T> {
+    (0..SCALAR_LEN)
+        .map(|i| {
+            let m = 0.5 + (i % 13) as f64 * 0.11;
+            T::from_f64(if i % 2 == 0 { m } else { -1.0 / m })
+        })
+        .collect()
+}
+
+fn scalar_add_ns<T: Real>() -> f64 {
+    let xs = operands::<T>();
+    median_ns_per_call(|| {
+        let mut acc = T::zero();
+        for &x in &xs {
+            acc += x;
+        }
+        std::hint::black_box(acc);
+    }) / SCALAR_LEN as f64
+}
+
+fn scalar_mul_ns<T: Real>() -> f64 {
+    let xs = operands::<T>();
+    median_ns_per_call(|| {
+        let mut acc = T::one();
+        for &x in &xs {
+            acc *= x;
+        }
+        std::hint::black_box(acc);
+    }) / SCALAR_LEN as f64
+}
+
+fn dot_ns<T: Real>() -> f64 {
+    // Alternating signs keep the 1024-term accumulator inside E4M3's range.
+    let x = (0..DOT_LEN)
+        .map(|i| T::from_f64((0.6 + (i % 7) as f64 * 0.09) * if i % 2 == 0 { 1.0 } else { -1.0 }))
+        .collect::<Vec<_>>();
+    let y = (0..DOT_LEN).map(|i| T::from_f64(0.4 + (i % 11) as f64 * 0.07)).collect::<Vec<_>>();
+    median_ns_per_call(|| {
+        std::hint::black_box(lpa_dense::blas::dot(&x, &y));
+    }) / DOT_LEN as f64
+}
+
+fn spmv_ns<T: Real>(a64: &CsrMatrix<f64>) -> f64 {
+    let a: CsrMatrix<T> = a64.convert();
+    let x: Vec<T> = (0..a.ncols()).map(|i| T::from_f64(0.3 + (i % 5) as f64 * 0.14)).collect();
+    let mut y = vec![T::zero(); a.nrows()];
+    let nnz = a.nnz() as f64;
+    median_ns_per_call(move || {
+        a.spmv(std::hint::black_box(&x), &mut y);
+        std::hint::black_box(&y);
+    }) / nnz
+}
+
+fn format_entry<T: Real>(a64: &CsrMatrix<f64>) -> (String, Value) {
+    let map = vec![
+        ("add".to_string(), Value::Num(scalar_add_ns::<T>())),
+        ("mul".to_string(), Value::Num(scalar_mul_ns::<T>())),
+        ("dot".to_string(), Value::Num(dot_ns::<T>())),
+        ("spmv".to_string(), Value::Num(spmv_ns::<T>(a64))),
+    ];
+    (json_name(T::NAME), Value::Map(map))
+}
+
+/// JSON-friendly format keys ("OFP8 E4M3" → "ofp8_e4m3").
+fn json_name(name: &str) -> String {
+    name.to_lowercase().replace([' ', '(', ')', '='], "_").replace("__", "_")
+}
+
+/// Soft-float baseline for a LUT-served 8-bit format (same chains as
+/// `scalar_add_ns`/`scalar_mul_ns` but through the reference path).
+macro_rules! softfloat_baseline {
+    ($t:ty, $a64:expr, $out:expr) => {{
+        let xs = operands::<$t>();
+        let add = median_ns_per_call(|| {
+            let mut acc = <$t>::zero();
+            for &x in &xs {
+                acc = acc.softfloat_add(x);
+            }
+            std::hint::black_box(acc);
+        }) / SCALAR_LEN as f64;
+        let mul = median_ns_per_call(|| {
+            let mut acc = <$t>::one();
+            for &x in &xs {
+                acc = acc.softfloat_mul(x);
+            }
+            std::hint::black_box(acc);
+        }) / SCALAR_LEN as f64;
+        $out.push((
+            format!("{}_softfloat", json_name(<$t>::NAME)),
+            Value::Map(vec![
+                ("add".to_string(), Value::Num(add)),
+                ("mul".to_string(), Value::Num(mul)),
+            ]),
+        ));
+    }};
+}
+
+fn main() {
+    let a64 = general::laplacian_2d(24, 24, 1.0);
+
+    println!("collecting per-format micro-benchmarks (median ns/op)...");
+    let mut formats: Vec<(String, Value)> = vec![
+        format_entry::<E4M3>(&a64),
+        format_entry::<E5M2>(&a64),
+        format_entry::<Posit8>(&a64),
+        format_entry::<Takum8>(&a64),
+        format_entry::<F16>(&a64),
+        format_entry::<Bf16>(&a64),
+        format_entry::<Posit16>(&a64),
+        format_entry::<Takum16>(&a64),
+        format_entry::<f32>(&a64),
+        format_entry::<Posit32>(&a64),
+        format_entry::<Takum32>(&a64),
+        format_entry::<f64>(&a64),
+        format_entry::<Posit64>(&a64),
+        format_entry::<Takum64>(&a64),
+        format_entry::<Dd>(&a64),
+    ];
+    softfloat_baseline!(E4M3, &a64, formats);
+    softfloat_baseline!(E5M2, &a64, formats);
+    softfloat_baseline!(Posit8, &a64, formats);
+    softfloat_baseline!(Takum8, &a64, formats);
+
+    for (name, entry) in &formats {
+        if let Value::Map(ops) = entry {
+            let line: Vec<String> = ops
+                .iter()
+                .map(|(op, v)| match v {
+                    Value::Num(x) => format!("{op} {x:8.2}"),
+                    _ => String::new(),
+                })
+                .collect();
+            println!("  {name:<22} {}", line.join("  "));
+        }
+    }
+
+    println!("running figure-1 style end-to-end experiment...");
+    let corpus = lpa_bench::general_bench_corpus();
+    let cfg = lpa_bench::bench_experiment_config();
+    let start = Instant::now();
+    let results = run_experiment(&corpus, &FormatTag::all(), &cfg);
+    let figure1_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  {} matrices x {} formats in {:.0} ms ({} skipped)",
+        results.matrices.len(),
+        results.formats.len(),
+        figure1_wall_ms,
+        results.skipped.len()
+    );
+
+    let summary = Value::Map(vec![
+        ("schema".to_string(), Value::Str("lpa-bench-micro/v1".to_string())),
+        (
+            "config".to_string(),
+            Value::Map(vec![
+                ("scalar_chain_len".to_string(), Value::Num(SCALAR_LEN as f64)),
+                ("dot_len".to_string(), Value::Num(DOT_LEN as f64)),
+                ("spmv_matrix".to_string(), Value::Str("laplacian_2d 24x24".to_string())),
+                ("units".to_string(), Value::Str("ns per scalar op / element / nnz".to_string())),
+                ("threads".to_string(), Value::Num(rayon::current_num_threads() as f64)),
+                (
+                    "figure1_matrices".to_string(),
+                    Value::Num((results.matrices.len() + results.skipped.len()) as f64),
+                ),
+            ]),
+        ),
+        ("ns_per_op".to_string(), Value::Map(formats)),
+        ("figure1_wall_ms".to_string(), Value::Num(figure1_wall_ms)),
+    ]);
+
+    let path = lpa_bench::out_dir().join("BENCH_micro.json");
+    let json = serde_json::to_string_pretty(&summary).expect("serialize benchmark summary");
+    std::fs::write(&path, json + "\n").expect("write BENCH_micro.json");
+    println!("wrote {}", path.display());
+}

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use lpa_arith::types::{Posit16, Posit64, Takum16, Takum64, Bf16, F16, E4M3};
+use lpa_arith::types::{Posit16, Posit64, Posit8, Takum16, Takum64, Takum8, Bf16, E5M2, F16, E4M3};
 use lpa_arith::{Dd, Real};
 use lpa_arnoldi::{partial_schur, ArnoldiOptions};
 use lpa_datagen::general;
@@ -45,6 +45,45 @@ fn bench_scalars(c: &mut Criterion) {
     scalar_ops::<Posit64>(c, "posit64");
     scalar_ops::<Takum64>(c, "takum64");
     scalar_ops::<Dd>(c, "float128_dd");
+}
+
+/// The 8-bit formats' LUT backend against their own soft-float reference
+/// path, on the same mul-add chain (the acceptance gate for the LUT backend
+/// is a >= 3x speedup here, with bit-identical results).
+fn bench_lut_vs_softfloat(c: &mut Criterion) {
+    macro_rules! backend_pair {
+        ($t:ty, $label:expr) => {{
+            // Operands near one with mixed signs: the chain stays inside
+            // even E4M3's [-448, 448] range, so the soft-float baseline does
+            // real normalize-and-round work instead of NaN early-outs.
+            let xs: Vec<$t> = (1..200)
+                .map(|i| <$t>::from_f64((0.55 + (i % 13) as f64 * 0.075) * if i % 2 == 0 { 1.0 } else { -1.0 }))
+                .collect();
+            let half = <$t>::from_f64(0.5);
+            c.bench_function(&format!("scalar/{}/lut/mul_add_chain", $label), |b| {
+                b.iter(|| {
+                    let mut acc = <$t>::one();
+                    for &x in &xs {
+                        acc = acc * x + half;
+                    }
+                    black_box(acc)
+                })
+            });
+            c.bench_function(&format!("scalar/{}/softfloat/mul_add_chain", $label), |b| {
+                b.iter(|| {
+                    let mut acc = <$t>::one();
+                    for &x in &xs {
+                        acc = acc.softfloat_mul(x).softfloat_add(half);
+                    }
+                    black_box(acc)
+                })
+            });
+        }};
+    }
+    backend_pair!(E4M3, "ofp8_e4m3");
+    backend_pair!(E5M2, "ofp8_e5m2");
+    backend_pair!(Posit8, "posit8");
+    backend_pair!(Takum8, "takum8");
 }
 
 fn bench_spmv(c: &mut Criterion) {
@@ -102,6 +141,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_scalars, bench_spmv, bench_arnoldi, bench_hungarian
+    targets = bench_scalars, bench_lut_vs_softfloat, bench_spmv, bench_arnoldi, bench_hungarian
 }
 criterion_main!(benches);

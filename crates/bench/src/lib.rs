@@ -85,12 +85,17 @@ fn subsample(mut corpus: Vec<TestMatrix>, budget: usize) -> Vec<TestMatrix> {
     if corpus.len() <= budget {
         return corpus;
     }
+    // Evenly spaced picks; `step > 1`, so the pick indices are strictly
+    // increasing and a single merge-style walk replaces the former
+    // O(n · budget) `picks.contains` scan.
     let step = corpus.len() as f64 / budget as f64;
     let picks: Vec<usize> = (0..budget).map(|i| (i as f64 * step) as usize).collect();
+    let mut next_pick = picks.iter().peekable();
     let mut out = Vec::with_capacity(budget);
     for (i, t) in corpus.drain(..).enumerate() {
-        if picks.contains(&i) {
+        if next_pick.peek() == Some(&&i) {
             out.push(t);
+            next_pick.next();
         }
     }
     out
@@ -119,6 +124,26 @@ pub fn class_corpus(class: GraphClass) -> Vec<TestMatrix> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn subsample_is_even_order_preserving_and_exact() {
+        let corpus = lpa_datagen::general_corpus(&CorpusConfig::tiny());
+        assert!(corpus.len() > 4);
+        let names: Vec<String> = corpus.iter().map(|t| t.name.clone()).collect();
+        for budget in [1, 2, 3, corpus.len() - 1, corpus.len(), corpus.len() + 5] {
+            let picked = subsample(corpus.clone(), budget);
+            assert_eq!(picked.len(), budget.min(names.len()), "budget {budget}");
+            // The picked names must be a subsequence of the original order.
+            let mut cursor = names.iter();
+            for t in &picked {
+                assert!(
+                    cursor.any(|n| n == &t.name),
+                    "subsample reordered or duplicated {} at budget {budget}",
+                    t.name
+                );
+            }
+        }
+    }
 
     #[test]
     fn configs_resolve() {

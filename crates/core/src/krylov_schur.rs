@@ -67,25 +67,31 @@ pub fn partial_schur<T: Real, Op: LinearOperator<T> + ?Sized>(
     let mut matvecs = 0usize;
     let mut last_converged = 0usize;
 
+    // Work buffers reused across every Arnoldi step: the candidate basis
+    // vector `w` and the Gram-Schmidt coefficients `h`.  Allocating them
+    // once (instead of per step) matters because a step's own arithmetic is
+    // only O(n·j) scalar operations.
+    let mut w = vec![T::zero(); n];
+    let mut h_buf = vec![T::zero(); m];
+
     for restart in 0..opts.max_restarts {
         // --- Expansion from k to m ------------------------------------
         for j in k..m {
-            let w = {
-                let mut w = vec![T::zero(); n];
-                op.apply(v.col(j), &mut w);
-                w
-            };
+            // `apply` fully overwrites `w` (it computes y = A x), so no
+            // clearing is needed between steps.
+            op.apply(v.col(j), &mut w);
             matvecs += 1;
-            let mut w = w;
             // Classical Gram-Schmidt with one full re-orthogonalization
             // pass (DGKS-style), which is what keeps the basis usable in
-            // the very low precision formats.
-            let mut h = vec![T::zero(); j + 1];
+            // the very low precision formats; both passes accumulate into
+            // the same coefficient slice.
+            let h = &mut h_buf[..j + 1];
+            h.fill(T::zero());
             for _pass in 0..2 {
-                for (i, hi) in h.iter_mut().enumerate().take(j + 1) {
+                for (i, hi) in h.iter_mut().enumerate() {
                     let c = dot(v.col(i), &w);
                     axpy(-c, v.col(i), &mut w);
-                    *hi = *hi + c;
+                    *hi += c;
                 }
             }
             let beta = nrm2(&w);
@@ -105,19 +111,20 @@ pub fn partial_schur<T: Real, Op: LinearOperator<T> + ?Sized>(
             let breakdown = beta <= T::epsilon() * h[j.min(h.len() - 1)].abs().max(T::one());
             if breakdown {
                 // Invariant subspace found: continue with a fresh random
-                // direction orthogonal to the current basis.
+                // direction orthogonal to the current basis (built in the
+                // step buffer `w`, whose residual content is obsolete).
                 spike[j] = T::zero();
-                let col: Vec<T> =
-                    (0..n).map(|_| T::from_f64(rng.gen_range(-1.0..1.0))).collect();
-                let mut col = col;
-                for i in 0..=j {
-                    let c = dot(v.col(i), &col);
-                    axpy(-c, v.col(i), &mut col);
+                for x in w.iter_mut() {
+                    *x = T::from_f64(rng.gen_range(-1.0..1.0));
                 }
-                if normalize(&mut col).is_zero() {
+                for i in 0..=j {
+                    let c = dot(v.col(i), &w);
+                    axpy(-c, v.col(i), &mut w);
+                }
+                if normalize(&mut w).is_zero() {
                     return Err(ArnoldiError::NonFinite);
                 }
-                v.col_mut(j + 1).copy_from_slice(&col);
+                v.col_mut(j + 1).copy_from_slice(&w);
             } else {
                 spike[j] = beta;
                 let inv = beta.recip();
@@ -139,7 +146,7 @@ pub fn partial_schur<T: Real, Op: LinearOperator<T> + ?Sized>(
                 .map(|i| {
                     let mut s = T::zero();
                     for j in 0..m {
-                        s = s + spike[j] * z[(j, i)];
+                        s += spike[j] * z[(j, i)];
                     }
                     s
                 })

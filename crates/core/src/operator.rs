@@ -12,6 +12,11 @@ pub trait LinearOperator<T: Real> {
     /// Dimension of the (square) operator.
     fn dim(&self) -> usize;
     /// Compute `y = A x`.
+    ///
+    /// Implementations must **fully overwrite** `y`: the solver reuses one
+    /// work buffer across Arnoldi steps, so `y` arrives holding arbitrary
+    /// stale data.  Accumulating into `y`, or skipping rows whose result is
+    /// structurally zero, silently corrupts the Krylov basis.
     fn apply(&self, x: &[T], y: &mut [T]);
 }
 

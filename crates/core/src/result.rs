@@ -62,7 +62,7 @@ impl<T: Real> PartialSchur<T> {
                 op.apply(self.q.col(i), &mut y);
                 let lambda = self.eigenvalues[i].re;
                 for (yk, qk) in y.iter_mut().zip(self.q.col(i)) {
-                    *yk = *yk - lambda * *qk;
+                    *yk -= lambda * *qk;
                 }
                 lpa_dense::blas::nrm2(&y)
             })

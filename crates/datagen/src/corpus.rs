@@ -157,9 +157,13 @@ pub fn graph_laplacian_corpus(cfg: &CorpusConfig) -> Vec<TestMatrix> {
         .collect()
 }
 
+/// One generator family: label, `(size, seed) -> matrix` builder, and the
+/// number of size variants drawn from it per scale unit.
+type MatrixFamily = (&'static str, fn(usize, u64) -> CsrMatrix<f64>, usize);
+
 /// Synthetic general-matrix corpus (SuiteSparse substitute).
 pub fn general_corpus(cfg: &CorpusConfig) -> Vec<TestMatrix> {
-    let families: &[(&str, fn(usize, u64) -> CsrMatrix<f64>, usize)] = &[
+    let families: &[MatrixFamily] = &[
         ("lap1d", |n, _s| general::laplacian_1d(n, 1.0), 2),
         ("lap1d-scaled", |n, _s| general::laplacian_1d(n, 1.0e4), 1),
         ("lap2d", |n, _s| general::laplacian_2d(n / 8 + 2, 8, 1.0), 2),

@@ -12,7 +12,7 @@ pub fn dot<T: Real>(x: &[T], y: &[T]) -> T {
     debug_assert_eq!(x.len(), y.len());
     let mut acc = T::zero();
     for (a, b) in x.iter().zip(y) {
-        acc = acc + *a * *b;
+        acc += *a * *b;
     }
     acc
 }
@@ -24,14 +24,14 @@ pub fn axpy<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
         return;
     }
     for (yi, xi) in y.iter_mut().zip(x) {
-        *yi = *yi + alpha * *xi;
+        *yi += alpha * *xi;
     }
 }
 
 /// `x *= alpha`.
 pub fn scal<T: Real>(alpha: T, x: &mut [T]) {
     for xi in x.iter_mut() {
-        *xi = *xi * alpha;
+        *xi *= alpha;
     }
 }
 
@@ -50,7 +50,7 @@ pub fn nrm2<T: Real>(x: &[T]) -> T {
             scale = a;
         } else {
             let r = a / scale;
-            ssq = ssq + r * r;
+            ssq += r * r;
         }
     }
     if scale.is_zero() {
@@ -89,7 +89,7 @@ pub fn normalize<T: Real>(x: &mut [T]) -> T {
 /// matrix type has its own `matvec`.
 pub fn gemv_cols<T: Real>(cols: &[&[T]], alpha: T, x: &[T], beta: T, y: &mut [T]) {
     for yi in y.iter_mut() {
-        *yi = *yi * beta;
+        *yi *= beta;
     }
     for (j, col) in cols.iter().enumerate() {
         let s = alpha * x[j];

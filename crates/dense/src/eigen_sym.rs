@@ -95,7 +95,7 @@ pub fn tridiagonal_ql<T: Real>(
                 r = hypot(f, g);
                 e[i + 1] = r;
                 if r.is_zero() {
-                    d[i + 1] = d[i + 1] - p;
+                    d[i + 1] -= p;
                     e[m] = T::zero();
                     break;
                 }
@@ -116,7 +116,7 @@ pub fn tridiagonal_ql<T: Real>(
             if r.is_zero() && m > l + 1 {
                 continue;
             }
-            d[l] = d[l] - p;
+            d[l] -= p;
             e[l] = g;
             e[m] = T::zero();
         }

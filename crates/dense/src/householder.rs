@@ -55,7 +55,7 @@ impl<T: Real> Householder<T> {
         }
         let s = self.tau * dot(&self.v, x);
         for (xi, vi) in x.iter_mut().zip(&self.v) {
-            *xi = *xi - s * *vi;
+            *xi -= s * *vi;
         }
     }
 
@@ -68,11 +68,11 @@ impl<T: Real> Householder<T> {
         for j in 0..m.ncols() {
             let mut s = T::zero();
             for k in 0..len {
-                s = s + self.v[k] * m[(r0 + k, j)];
+                s += self.v[k] * m[(r0 + k, j)];
             }
-            s = s * self.tau;
+            s *= self.tau;
             for k in 0..len {
-                m[(r0 + k, j)] = m[(r0 + k, j)] - s * self.v[k];
+                m[(r0 + k, j)] -= s * self.v[k];
             }
         }
     }
@@ -86,11 +86,11 @@ impl<T: Real> Householder<T> {
         for i in 0..m.nrows() {
             let mut s = T::zero();
             for k in 0..len {
-                s = s + m[(i, c0 + k)] * self.v[k];
+                s += m[(i, c0 + k)] * self.v[k];
             }
-            s = s * self.tau;
+            s *= self.tau;
             for k in 0..len {
-                m[(i, c0 + k)] = m[(i, c0 + k)] - s * self.v[k];
+                m[(i, c0 + k)] -= s * self.v[k];
             }
         }
     }

@@ -120,19 +120,28 @@ impl<T: Real> DMatrix<T> {
     }
 
     /// Matrix product `self * other`.
+    ///
+    /// Column-axpy ordering (the column-major analogue of the cache-friendly
+    /// row-major ikj loop): the innermost loop streams one column of `self`
+    /// into one column of the output, both contiguous, with the `other`
+    /// column and the output column borrowed once per `j` instead of once
+    /// per scalar.  This is the shape of the `V_m · Z_k` restart product in
+    /// the Krylov–Schur iteration (tall × skinny), where streaming `V`'s
+    /// columns is what keeps the product memory-bound instead of
+    /// latency-bound.  Accumulation order over `k` is unchanged, so results
+    /// are bit-identical to the naive triple loop.
     pub fn matmul(&self, other: &Self) -> Self {
         assert_eq!(self.ncols, other.nrows, "dimension mismatch in matmul");
         let mut out = Self::zeros(self.nrows, other.ncols);
         for j in 0..other.ncols {
-            for k in 0..self.ncols {
-                let b = other[(k, j)];
+            let bcol = other.col(j);
+            let ocol = out.col_mut(j);
+            for (k, &b) in bcol.iter().enumerate() {
                 if b.is_zero() {
                     continue;
                 }
-                let acol = self.col(k);
-                let ocol = out.col_mut(j);
-                for i in 0..self.nrows {
-                    ocol[i] = ocol[i] + acol[i] * b;
+                for (o, &a) in ocol.iter_mut().zip(self.col(k)) {
+                    *o += a * b;
                 }
             }
         }
@@ -156,7 +165,7 @@ impl<T: Real> DMatrix<T> {
                 continue;
             }
             for (yi, &aij) in y.iter_mut().zip(self.col(j)) {
-                *yi = *yi + aij * xj;
+                *yi += aij * xj;
             }
         }
         y
@@ -192,7 +201,7 @@ impl<T: Real> DMatrix<T> {
         let mut acc = T::zero();
         for (a, b) in self.data.iter().zip(&other.data) {
             let d = *a - *b;
-            acc = acc + d * d;
+            acc += d * d;
         }
         acc.sqrt()
     }

@@ -90,10 +90,10 @@ fn solve_sylvester<T: Real>(
             let row = j * p + i;
             rhs[row] = b[(i, j)];
             for k in 0..p {
-                m[(row, j * p + k)] = m[(row, j * p + k)] + a[(i, k)];
+                m[(row, j * p + k)] += a[(i, k)];
             }
             for k in 0..q {
-                m[(row, k * p + i)] = m[(row, k * p + i)] - c[(k, j)];
+                m[(row, k * p + i)] -= c[(k, j)];
             }
         }
     }
@@ -131,14 +131,14 @@ fn solve_linear<T: Real>(m: &mut DMatrix<T>, rhs: &mut [T]) -> Result<Vec<T>, De
             for j in k..n {
                 m[(i, j)] = m[(i, j)] - f * m[(k, j)];
             }
-            rhs[i] = rhs[i] - f * rhs[k];
+            rhs[i] -= f * rhs[k];
         }
     }
     let mut x = vec![T::zero(); n];
     for k in (0..n).rev() {
         let mut s = rhs[k];
         for j in k + 1..n {
-            s = s - m[(k, j)] * x[j];
+            s -= m[(k, j)] * x[j];
         }
         x[k] = s / m[(k, k)];
     }
@@ -162,7 +162,7 @@ fn apply_block_orthogonal<T: Real>(
         for i in 0..k {
             let mut s = T::zero();
             for l in 0..k {
-                s = s + q[(l, i)] * old[l];
+                s += q[(l, i)] * old[l];
             }
             t[(j + i, col)] = s;
         }
@@ -173,7 +173,7 @@ fn apply_block_orthogonal<T: Real>(
         for i in 0..k {
             let mut s = T::zero();
             for l in 0..k {
-                s = s + old[l] * q[(l, i)];
+                s += old[l] * q[(l, i)];
             }
             t[(row, j + i)] = s;
         }
@@ -184,7 +184,7 @@ fn apply_block_orthogonal<T: Real>(
         for i in 0..k {
             let mut s = T::zero();
             for l in 0..k {
-                s = s + old[l] * q[(l, i)];
+                s += old[l] * q[(l, i)];
             }
             z[(row, j + i)] = s;
         }
@@ -204,7 +204,7 @@ pub fn reorder_schur<T: Real>(
     assert_eq!(blocks.len(), selected.len(), "selection length must match block count");
 
     // Bubble the selected blocks upwards, preserving order.
-    let mut order: Vec<(usize, bool)> = blocks.iter().map(|&(_, sz)| sz).zip(selected.iter().copied()).map(|(sz, sel)| (sz, sel)).collect();
+    let mut order: Vec<(usize, bool)> = blocks.iter().map(|&(_, sz)| sz).zip(selected.iter().copied()).collect();
     let mut target = 0usize; // number of blocks already placed at the top
     let mut selected_rows = 0usize;
 

@@ -114,7 +114,7 @@ pub fn hessenberg_schur_in_place<T: Real>(
 
         // Double-shift from the trailing 2x2 block (sum / product of its
         // eigenvalues); every tenth iteration use an exceptional shift.
-        let (s, t) = if iters_since_deflation % 10 == 0 {
+        let (s, t) = if iters_since_deflation.is_multiple_of(10) {
             // Exceptional (ad-hoc) shift to break limit cycles.
             let x = h[(hi, hi - 1)].abs() + h[(hi - 1, hi - 2)].abs();
             let base = h[(hi, hi)] + T::from_f64(0.75) * x;

@@ -8,7 +8,7 @@ use lpa_datagen::TestMatrix;
 
 use crate::formats::FormatTag;
 use crate::outcome::Outcome;
-use crate::pipeline::{compute_reference, run_format, ExperimentConfig};
+use crate::pipeline::{compute_reference, run_format, ExperimentConfig, Reference};
 
 /// All results for one matrix.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -46,41 +46,65 @@ impl ExperimentResults {
 
 /// Run the experiment over a corpus for the given formats.
 ///
-/// Matrices are processed in parallel with rayon; each matrix is solved once
-/// in the double-double reference arithmetic and then once per format.
+/// The whole (matrix × format) grid is embarrassingly parallel, so the
+/// driver fans out twice:
+///
+/// 1. one double-double reference solve per matrix (by far the most
+///    expensive single run — Dd arithmetic at tolerance 1e-20), computed
+///    **once** and shared by every format run of that matrix, and
+/// 2. the flattened grid of per-format runs over all matrices whose
+///    reference converged, which load-balances far better than one task
+///    per matrix (a takum8 LUT run and a posit64 soft-float run differ by
+///    orders of magnitude in cost).
+///
+/// Every run is deterministic (the Arnoldi starting vector comes from a
+/// per-run seeded RNG) and results are reassembled in corpus order, so the
+/// output — including its serialization — is identical for any thread
+/// count; `RAYON_NUM_THREADS=1` reproduces the serial driver exactly.
 pub fn run_experiment(
     corpus: &[TestMatrix],
     formats: &[FormatTag],
     cfg: &ExperimentConfig,
 ) -> ExperimentResults {
-    let per_matrix: Vec<Result<MatrixResult, String>> = corpus
+    let references: Vec<Option<Reference>> =
+        corpus.par_iter().map(|tm| compute_reference(&tm.matrix, cfg).ok()).collect();
+
+    let jobs: Vec<(usize, FormatTag)> = corpus
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| references[*i].is_some())
+        .flat_map(|(i, _)| formats.iter().map(move |&f| (i, f)))
+        .collect();
+    let outcomes: Vec<Outcome> = jobs
         .par_iter()
-        .map(|tm| {
-            let reference = match compute_reference(&tm.matrix, cfg) {
-                Ok(r) => r,
-                Err(_) => return Err(tm.name.clone()),
-            };
-            let outcomes = formats
-                .iter()
-                .map(|&f| (f, run_format(&tm.matrix, &reference, f, cfg).outcome))
-                .collect();
-            Ok(MatrixResult {
-                name: tm.name.clone(),
-                category: tm.category.clone(),
-                n: tm.n(),
-                nnz: tm.nnz(),
-                outcomes,
-            })
+        .map(|&(i, f)| {
+            let reference = references[i].as_ref().expect("only solved matrices are in the grid");
+            run_format(&corpus[i].matrix, reference, f, cfg).outcome
         })
         .collect();
 
+    // Reassemble in corpus order: jobs were generated matrix-major, so the
+    // outcomes of each kept matrix form one contiguous chunk.
     let mut matrices = Vec::new();
     let mut skipped = Vec::new();
-    for r in per_matrix {
-        match r {
-            Ok(m) => matrices.push(m),
-            Err(name) => skipped.push(name),
+    let mut chunks = outcomes.chunks_exact(formats.len().max(1));
+    for (tm, reference) in corpus.iter().zip(&references) {
+        if reference.is_none() {
+            skipped.push(tm.name.clone());
+            continue;
         }
+        let chunk = if formats.is_empty() {
+            &[][..]
+        } else {
+            chunks.next().expect("one outcome chunk per kept matrix")
+        };
+        matrices.push(MatrixResult {
+            name: tm.name.clone(),
+            category: tm.category.clone(),
+            n: tm.n(),
+            nnz: tm.nnz(),
+            outcomes: formats.iter().copied().zip(chunk.iter().copied()).collect(),
+        });
     }
     ExperimentResults { formats: formats.to_vec(), matrices, skipped }
 }

@@ -6,7 +6,7 @@
 //! 3. run the same untailored Krylov–Schur Arnoldi in the target format
 //!    (failure → `∞ω`),
 //! 4. match computed to reference eigenvectors by absolute cosine similarity
-//!    + Hungarian assignment, fix the signs using the largest reference
+//!    and Hungarian assignment, fix the signs using the largest reference
 //!    entry, and
 //! 5. report the relative L2 errors of the first `nev` eigenvalues and
 //!    eigenvectors.
@@ -232,9 +232,9 @@ pub fn compare_to_reference(
     // permutation and sign correction.
     let mut vnum = Dd::ZERO;
     let mut vden = Dd::ZERO;
-    for i in 0..nev {
+    for (i, &p) in perm.iter().enumerate().take(nev) {
         let r = reference.eigenvectors.col(i);
-        let c = vectors.col(perm[i]);
+        let c = vectors.col(p);
         let anchor = reference.sign_anchor[i];
         let flip = (r[anchor].to_f64() >= 0.0) != (c[anchor].to_f64() >= 0.0);
         for row in 0..n {

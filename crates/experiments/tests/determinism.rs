@@ -1,0 +1,58 @@
+//! The parallel driver must be bit-deterministic: the same corpus, formats
+//! and config must produce an identical `ExperimentResults` — including its
+//! serialization — whether the (matrix × format) grid runs on one thread or
+//! many.
+//!
+//! Kept as a single test in its own integration binary because it toggles
+//! the process-global `RAYON_NUM_THREADS` variable.
+
+use lpa_datagen::{general_corpus, CorpusConfig, TestMatrix};
+use lpa_experiments::{run_experiment, ExperimentConfig, FormatTag};
+
+#[test]
+fn parallel_results_identical_to_serial() {
+    let corpus: Vec<TestMatrix> = general_corpus(&CorpusConfig {
+        scale: 1,
+        size_range: (24, 36),
+        ..CorpusConfig::tiny()
+    })
+    .into_iter()
+    .take(5)
+    .collect();
+    assert!(corpus.len() >= 3, "corpus too small to exercise the fan-out");
+    // A mix of all three emulated backends plus native.
+    let formats = [
+        FormatTag::Ofp8E4M3,
+        FormatTag::Takum8,
+        FormatTag::Float16,
+        FormatTag::Posit16,
+        FormatTag::Float64,
+    ];
+    let cfg = ExperimentConfig {
+        eigenvalue_count: 3,
+        eigenvalue_buffer_count: 2,
+        max_restarts: 40,
+        ..Default::default()
+    };
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run_experiment(&corpus, &formats, &cfg);
+    // Pin an explicit thread count > 1 so the threaded path runs even on a
+    // single-core machine (the shim would otherwise fall back to inline).
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+    let parallel = run_experiment(&corpus, &formats, &cfg);
+    // Run the grid a second time in parallel: OnceLock LUT initialization
+    // raced on first use must not change anything either.
+    let parallel_again = run_experiment(&corpus, &formats, &cfg);
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    let s = serde_json::to_string(&serial).expect("serialize serial results");
+    let p = serde_json::to_string(&parallel).expect("serialize parallel results");
+    let p2 = serde_json::to_string(&parallel_again).expect("serialize repeat results");
+    assert_eq!(s, p, "serial and parallel drivers diverged");
+    assert_eq!(p, p2, "repeated parallel runs diverged");
+    assert_eq!(serial.matrices.len() + serial.skipped.len(), corpus.len());
+    for m in &serial.matrices {
+        assert_eq!(m.outcomes.len(), formats.len());
+    }
+}

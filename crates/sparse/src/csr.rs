@@ -25,7 +25,7 @@ impl<T: Real> CsrMatrix<T> {
             assert!(i < nrows && j < ncols, "triplet out of bounds");
             if prev == Some((i, j)) {
                 let last = values.last_mut().expect("duplicate implies a previous entry");
-                *last = *last + v;
+                *last += v;
             } else {
                 col_idx.push(j);
                 values.push(v);
@@ -97,16 +97,24 @@ impl<T: Real> CsrMatrix<T> {
     }
 
     /// Sparse matrix-vector product `y = A x`.
+    ///
+    /// The hot loop of every Arnoldi expansion step: one flat pass over
+    /// `col_idx`/`values` walking the row boundaries from `row_ptr` as a
+    /// running offset, with the output row written through the same zipped
+    /// iteration — no per-row `row()` call or `row_ptr` double-indexing.
+    /// The accumulation order per row is unchanged, so results are
+    /// bit-identical to the naive form.
     pub fn spmv(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
-        for i in 0..self.nrows {
-            let (cols, vals) = self.row(i);
+        let mut start = self.row_ptr[0];
+        for (yi, &end) in y.iter_mut().zip(&self.row_ptr[1..]) {
             let mut acc = T::zero();
-            for (&j, &v) in cols.iter().zip(vals) {
-                acc = acc + v * x[j];
+            for (&j, &v) in self.col_idx[start..end].iter().zip(&self.values[start..end]) {
+                acc += v * x[j];
             }
-            y[i] = acc;
+            *yi = acc;
+            start = end;
         }
     }
 
@@ -161,7 +169,7 @@ impl<T: Real> CsrMatrix<T> {
                 let (_, vals) = self.row(i);
                 let mut acc = T::zero();
                 for &v in vals {
-                    acc = acc + v;
+                    acc += v;
                 }
                 acc
             })
@@ -209,7 +217,7 @@ impl<T: Real> CsrMatrix<T> {
     pub fn to_dense(&self) -> lpa_dense::DMatrix<T> {
         let mut m = lpa_dense::DMatrix::zeros(self.nrows, self.ncols);
         for (i, j, v) in self.iter() {
-            m[(i, j)] = m[(i, j)] + v;
+            m[(i, j)] += v;
         }
         m
     }

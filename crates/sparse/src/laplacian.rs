@@ -38,8 +38,8 @@ pub fn normalized_laplacian<T: Real>(adjacency: &CsrMatrix<T>) -> CsrMatrix<T> {
     let deg = degrees(adjacency);
 
     let mut triplets = Vec::with_capacity(adjacency.nnz() + n);
-    for i in 0..n {
-        if deg[i] > T::zero() {
+    for (i, d) in deg.iter().enumerate() {
+        if *d > T::zero() {
             triplets.push((i, i, T::one()));
         }
     }

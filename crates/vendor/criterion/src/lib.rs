@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the micro-benchmarks use:
+//! [`Criterion`] with `sample_size` / `measurement_time` / `warm_up_time` /
+//! `bench_function`, a [`Bencher`] with `iter`, the
+//! [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`].
+//!
+//! Measurement model: after a warm-up phase that also calibrates the
+//! per-sample iteration count, each sample times a fixed batch of
+//! iterations; the reported figure is the median ns/iteration across
+//! samples (robust to scheduler noise, like criterion's own estimate).
+//! Results are printed and also recorded in a process-global registry that
+//! [`take_results`] drains, which the benchmark summary step uses to emit
+//! machine-readable JSON.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub name: String,
+    pub median_ns_per_iter: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drain every result recorded so far (used by summary/reporting steps).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results registry poisoned"))
+}
+
+/// Benchmark harness configuration + runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            calibrated_iters: 0,
+            sample_ns: Vec::new(),
+            phase: Phase::Calibrate,
+            samples_wanted: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        // Warm-up + calibration pass, then the measurement pass.
+        f(&mut b);
+        b.phase = Phase::Measure;
+        f(&mut b);
+        let mut ns = b.sample_ns.clone();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = if ns.is_empty() { f64::NAN } else { ns[ns.len() / 2] };
+        println!(
+            "bench {name:<44} median {median:>12.1} ns/iter ({} samples x {} iters)",
+            ns.len(),
+            b.calibrated_iters.max(1)
+        );
+        RESULTS.lock().expect("results registry poisoned").push(BenchResult {
+            name: name.to_string(),
+            median_ns_per_iter: median,
+            samples: ns.len(),
+            iters_per_sample: b.calibrated_iters.max(1),
+        });
+        self
+    }
+}
+
+#[derive(PartialEq)]
+enum Phase {
+    Calibrate,
+    Measure,
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    warm_up: Duration,
+    calibrated_iters: u64,
+    sample_ns: Vec<f64>,
+    phase: Phase,
+    samples_wanted: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.phase {
+            Phase::Calibrate => {
+                let start = Instant::now();
+                let mut iters: u64 = 0;
+                while start.elapsed() < self.warm_up {
+                    black_box(f());
+                    iters += 1;
+                }
+                self.calibrated_iters =
+                    (iters.max(1) * self.measurement_time.as_nanos().max(1) as u64
+                        / self.warm_up.as_nanos().max(1) as u64
+                        / self.samples_wanted.max(1) as u64)
+                        .max(1);
+            }
+            Phase::Measure => {
+                self.sample_ns.clear();
+                for _ in 0..self.samples_wanted {
+                    let start = Instant::now();
+                    for _ in 0..self.calibrated_iters {
+                        black_box(f());
+                    }
+                    let elapsed = start.elapsed().as_nanos() as f64;
+                    self.sample_ns.push(elapsed / self.calibrated_iters as f64);
+                }
+            }
+        }
+    }
+}
+
+/// `criterion_group!` — both the struct-ish form with `name`/`config`/
+/// `targets` and the plain list form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!` — a `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_plausible() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        let results = take_results();
+        let r = results.iter().find(|r| r.name == "noop_sum").expect("result recorded");
+        assert!(r.median_ns_per_iter > 0.0);
+        assert_eq!(r.samples, 5);
+    }
+}

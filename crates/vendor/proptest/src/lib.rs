@@ -1,0 +1,357 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest surface this workspace's property
+//! tests use: the `proptest!` macro (with an optional
+//! `#![proptest_config(...)]` header), `prop_assert!` / `prop_assert_eq!`,
+//! range and `any::<T>()` strategies, and the `prop::num::f64` class
+//! strategies combined with `|`.
+//!
+//! Unlike upstream proptest there is no shrinking: failures report the
+//! generated inputs (via the macro's Debug formatting) and the fixed seed
+//! makes every run reproducible.
+
+/// Deterministic xoshiro256** generator used for case generation.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod test_runner {
+    /// A test-case failure that aborts the current case (after `?` or a
+    /// `prop_assert!`).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+
+        /// Upstream-compatible constructor name.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Runner configuration; only the case count is meaningful here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    type Value: core::fmt::Debug;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized + core::fmt::Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<fn() -> T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: core::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod prop {
+    pub mod num {
+        pub mod f64 {
+            //! Float-class strategies combinable with `|`, mirroring
+            //! `proptest::num::f64`'s bit-flag strategies.
+
+            use crate::{Strategy, TestRng};
+
+            #[derive(Clone, Copy, Debug)]
+            pub struct FloatClasses(pub u32);
+
+            pub const ZERO: FloatClasses = FloatClasses(1);
+            pub const SUBNORMAL: FloatClasses = FloatClasses(2);
+            pub const NORMAL: FloatClasses = FloatClasses(4);
+            pub const INFINITE: FloatClasses = FloatClasses(8);
+            pub const QUIET_NAN: FloatClasses = FloatClasses(16);
+
+            impl core::ops::BitOr for FloatClasses {
+                type Output = FloatClasses;
+                fn bitor(self, rhs: FloatClasses) -> FloatClasses {
+                    FloatClasses(self.0 | rhs.0)
+                }
+            }
+
+            impl Strategy for FloatClasses {
+                type Value = f64;
+                fn generate(&self, rng: &mut TestRng) -> f64 {
+                    let classes: Vec<u32> = (0..5).filter(|b| self.0 & (1 << b) != 0).collect();
+                    assert!(!classes.is_empty(), "empty float class set");
+                    let pick = classes[(rng.next_u64() % classes.len() as u64) as usize];
+                    let sign = rng.next_u64() & 1 == 1;
+                    let sign_bit = (sign as u64) << 63;
+                    match 1u32 << pick {
+                        x if x == ZERO.0 => f64::from_bits(sign_bit),
+                        x if x == SUBNORMAL.0 => {
+                            let mantissa = rng.next_u64() % ((1 << 52) - 1) + 1;
+                            f64::from_bits(sign_bit | mantissa)
+                        }
+                        x if x == NORMAL.0 => {
+                            let exp = rng.next_u64() % 2046 + 1; // biased exponent 1..=2046
+                            let mantissa = rng.next_u64() & ((1 << 52) - 1);
+                            f64::from_bits(sign_bit | (exp << 52) | mantissa)
+                        }
+                        x if x == INFINITE.0 => {
+                            if sign {
+                                f64::NEG_INFINITY
+                            } else {
+                                f64::INFINITY
+                            }
+                        }
+                        _ => f64::NAN,
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                $($fmt)+
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` block macro: expands each `fn name(arg in strategy, ...)`
+/// into a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Per-test deterministic seed derived from the test name.
+            let seed = {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                h
+            };
+            let mut rng = $crate::TestRng::seed_from_u64(seed);
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),+].join(", "),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_range(x in -5.0f64..5.0, y in 0.0f64..1.0) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y), "y out of range: {y}");
+        }
+
+        #[test]
+        fn any_generates_all_bits(a in any::<u16>(), b in any::<u32>()) {
+            let widened = a as u64 + b as u64;
+            prop_assert_eq!(widened, a as u64 + b as u64);
+        }
+
+        #[test]
+        fn float_classes_generate_members(
+            x in prop::num::f64::NORMAL | prop::num::f64::ZERO,
+        ) {
+            prop_assert!(x == 0.0 || x.is_normal());
+        }
+    }
+
+    fn helper(ok: bool) -> Result<(), crate::test_runner::TestCaseError> {
+        prop_assert!(ok, "helper told to fail");
+        Ok(())
+    }
+
+    proptest! {
+        #[test]
+        fn question_mark_propagates(x in 0.0f64..1.0) {
+            helper(x >= 0.0)?;
+        }
+    }
+}

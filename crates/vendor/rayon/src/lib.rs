@@ -1,0 +1,149 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! this vendored crate provides the slice of the rayon API the experiment
+//! driver uses: `slice.par_iter().map(f).collect::<Vec<_>>()` with result
+//! order matching input order.
+//!
+//! Execution model: `std::thread::scope` workers pull item indices from a
+//! shared atomic counter (dynamic scheduling, since per-item cost varies by
+//! orders of magnitude between an 8-bit LUT run and a double-double
+//! reference solve) and stash `(index, result)` pairs locally; the caller
+//! merges them back into input order, so results are deterministic
+//! regardless of thread count.  `RAYON_NUM_THREADS` is honoured on every
+//! call; `RAYON_NUM_THREADS=1` (or a single-item input) runs inline with no
+//! threads at all, which the driver's determinism test exercises.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|s| s.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// `.par_iter()` — entry point mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, R, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f, _result: core::marker::PhantomData }
+    }
+}
+
+/// A mapped parallel iterator, consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, R, F> {
+    items: &'a [T],
+    f: F,
+    _result: core::marker::PhantomData<fn() -> R>,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, R, F> {
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered_results(run_ordered(self.items, &self.f))
+    }
+}
+
+/// Collection from an ordered result vector (mirrors
+/// `rayon::iter::FromParallelIterator` for the shapes this workspace uses).
+pub trait FromParallelIterator<R> {
+    fn from_ordered_results(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_results(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+fn run_ordered<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(items: &'a [T], f: &F) -> Vec<R> {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return local;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            buckets.push(h.join().expect("rayon stub worker panicked"));
+        }
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("every index processed exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_and_complete() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::new();
+        let out: Vec<usize> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn matches_serial_with_env_thread_cap() {
+        let input: Vec<u64> = (0..257).collect();
+        let parallel: Vec<u64> = input.par_iter().map(|&x| x.wrapping_mul(0x9E3779B9)).collect();
+        let serial: Vec<u64> = input.iter().map(|&x| x.wrapping_mul(0x9E3779B9)).collect();
+        assert_eq!(parallel, serial);
+    }
+}

@@ -1,0 +1,332 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde` crate's
+//! [`Value`] tree to JSON text and parses it back.
+//!
+//! Output is deterministic (object keys keep insertion order) and numbers
+//! round-trip exactly: floats are printed with Rust's shortest-round-trip
+//! `{:?}` formatting, integers without a fractional part.  Non-finite floats
+//! serialize as `null`, as upstream serde_json does.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serialize a value to a JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize a value to an indented JSON string (2-space indents).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_value(&v)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == 0.0 && x.is_sign_negative() {
+        // The integer branch would erase the sign of -0.0 (upstream
+        // serde_json emits it, and exact round-trips are promised here).
+        out.push_str("-0.0");
+    } else if x == x.trunc() && x.abs() < 9.0e15 {
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        out.push_str(&format!("{x:?}"));
+    }
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(x) => write_num(*x, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_pretty(v: &Value, out: &mut String, depth: usize) {
+    let pad = |out: &mut String, d: usize| {
+        for _ in 0..d {
+            out.push_str("  ");
+        }
+    };
+    match v {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(out, depth + 1);
+                write_value_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            pad(out, depth);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(out, depth + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_value_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            pad(out, depth);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'n') if self.eat_word("null") => Ok(Value::Null),
+            Some(b't') if self.eat_word("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_word("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if !self.eat(b']') {
+                    loop {
+                        items.push(self.parse_value()?);
+                        if !self.eat(b',') {
+                            self.expect(b']')?;
+                            break;
+                        }
+                    }
+                }
+                Ok(Value::Seq(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if !self.eat(b'}') {
+                    loop {
+                        self.skip_ws();
+                        let key = self.parse_string()?;
+                        self.expect(b':')?;
+                        entries.push((key, self.parse_value()?));
+                        if !self.eat(b',') {
+                            self.expect(b'}')?;
+                            break;
+                        }
+                    }
+                }
+                Ok(Value::Map(entries))
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.parse_number(),
+            other => Err(Error::msg(format!("unexpected input {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(Error::msg(format!("expected string at byte {}", self.pos)));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            // Strings were produced from valid UTF-8; scan bytewise and
+            // re-validate multi-byte runs in one chunk.
+            let start = self.pos;
+            while !matches!(self.bytes.get(self.pos), Some(b'"') | Some(b'\\') | None) {
+                self.pos += 1;
+            }
+            out.push_str(
+                core::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::msg("invalid utf-8 in string"))?,
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| core::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::msg("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(Error::msg(format!("bad escape {other:?}"))),
+                    }
+                }
+                None => return Err(Error::msg("unterminated string")),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let v = vec![(1usize, "a\"b\\c\n".to_string()), (2, "π".to_string())];
+        let s = to_string(&v).unwrap();
+        let back: Vec<(usize, String)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+
+        let x = vec![1.5f64, -0.125, 1e300, 1.0 / 3.0, f64::NAN];
+        let s = to_string(&x).unwrap();
+        let back: Vec<f64> = from_str(&s).unwrap();
+        assert_eq!(back[..4], x[..4]);
+        assert!(back[4].is_nan());
+
+        let s = to_string_pretty(&x).unwrap();
+        assert!(s.contains('\n'));
+        let back: Vec<f64> = from_str(&s).unwrap();
+        assert_eq!(back[..4], x[..4]);
+    }
+
+    #[test]
+    fn negative_zero_round_trips() {
+        let s = to_string(&-0.0f64).unwrap();
+        assert_eq!(s, "-0.0");
+        let back: f64 = from_str(&s).unwrap();
+        assert!(back == 0.0 && back.is_sign_negative());
+        assert_eq!(to_string(&0.0f64).unwrap(), "0");
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v: Vec<Vec<u32>> = from_str(" [ [1, 2] , [ ] , [3] ] ").unwrap();
+        assert_eq!(v, vec![vec![1, 2], vec![], vec![3]]);
+        assert!(from_str::<u32>("1 2").is_err());
+        assert!(from_str::<u32>("[").is_err());
+    }
+}
