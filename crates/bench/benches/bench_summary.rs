@@ -1,11 +1,13 @@
 //! Machine-readable micro-benchmark summary: `cargo bench -p lpa-bench
 //! --bench bench_summary` writes `out/BENCH_micro.json` with median ns/op
 //! per format for scalar add/mul, per-element dot and per-nonzero SpMV,
-//! the soft-float baselines for the LUT-served 8-bit formats, and the
-//! end-to-end wall time of a Figure-1 style experiment run.
+//! the soft-float baselines for the LUT-served 8-bit formats, the
+//! end-to-end wall time of a Figure-1 style experiment run, and the
+//! cold-vs-warm cost of the same run through the persistent `lpa-store`
+//! (the `store` block: hit/miss counters and wall times).
 //!
 //! The file gives future PRs a perf trajectory to compare against; keep the
-//! schema (`lpa-bench-micro/v1`) stable or bump the version.
+//! schema (`lpa-bench-micro/v2`) stable or bump the version.
 
 use std::time::Instant;
 
@@ -14,8 +16,9 @@ use lpa_arith::types::{
 };
 use lpa_arith::{Dd, Real};
 use lpa_datagen::general;
-use lpa_experiments::{run_experiment, FormatTag};
+use lpa_experiments::{run_experiment, run_experiment_with_store, FormatTag};
 use lpa_sparse::CsrMatrix;
+use lpa_store::{ArtifactKind, CountersSnapshot, Store};
 use serde::Value;
 
 const DOT_LEN: usize = 1024;
@@ -206,8 +209,48 @@ fn main() {
         results.skipped.len()
     );
 
+    // Persistent-store trajectory: the same experiment through a scratch
+    // store, cold (populating) and warm (a fresh handle, so every hit is a
+    // disk read like a second harness process would see).
+    println!("running the same experiment through a scratch lpa-store (cold, then warm)...");
+    let store_dir = std::env::temp_dir().join(format!("lpa-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let run_with = |store: &Store| {
+        let start = Instant::now();
+        let r = run_experiment_with_store(&corpus, &FormatTag::all(), &cfg, Some(store));
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&r);
+        (
+            wall_ms,
+            store.stats().snapshot(ArtifactKind::Reference),
+            store.stats().snapshot(ArtifactKind::Outcome),
+        )
+    };
+    let cold_store = Store::open(&store_dir).expect("open scratch store");
+    let (cold_ms, cold_ref, cold_out) = run_with(&cold_store);
+    let warm_store = Store::open(&store_dir).expect("reopen scratch store");
+    let (warm_ms, warm_ref, warm_out) = run_with(&warm_store);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    println!(
+        "  cold {cold_ms:.0} ms ({} reference misses), warm {warm_ms:.0} ms ({} reference hits, {} misses)",
+        cold_ref.misses,
+        warm_ref.hits(),
+        warm_ref.misses
+    );
+    let store_run_entry = |wall_ms: f64, r: &CountersSnapshot, o: &CountersSnapshot| {
+        Value::Map(vec![
+            ("wall_ms".to_string(), Value::Num(wall_ms)),
+            ("reference_hits".to_string(), Value::Num(r.hits() as f64)),
+            ("reference_misses".to_string(), Value::Num(r.misses as f64)),
+            ("outcome_hits".to_string(), Value::Num(o.hits() as f64)),
+            ("outcome_misses".to_string(), Value::Num(o.misses as f64)),
+            ("bytes_written".to_string(), Value::Num((r.bytes_written + o.bytes_written) as f64)),
+            ("bytes_read".to_string(), Value::Num((r.bytes_read + o.bytes_read) as f64)),
+        ])
+    };
+
     let summary = Value::Map(vec![
-        ("schema".to_string(), Value::Str("lpa-bench-micro/v1".to_string())),
+        ("schema".to_string(), Value::Str("lpa-bench-micro/v2".to_string())),
         (
             "config".to_string(),
             Value::Map(vec![
@@ -224,6 +267,13 @@ fn main() {
         ),
         ("ns_per_op".to_string(), Value::Map(formats)),
         ("figure1_wall_ms".to_string(), Value::Num(figure1_wall_ms)),
+        (
+            "store".to_string(),
+            Value::Map(vec![
+                ("cold".to_string(), store_run_entry(cold_ms, &cold_ref, &cold_out)),
+                ("warm".to_string(), store_run_entry(warm_ms, &warm_ref, &warm_out)),
+            ]),
+        ),
     ]);
 
     let path = lpa_bench::out_dir().join("BENCH_micro.json");

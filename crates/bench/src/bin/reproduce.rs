@@ -1,11 +1,24 @@
 //! Reproduce every table and figure of the paper in one run.
 //!
 //! ```text
-//! cargo run --release -p lpa-bench --bin reproduce -- [--experiment figureN|table1|all] [--scale K] [--matrices M]
+//! cargo run --release -p lpa-bench --bin reproduce -- \
+//!     [--experiment figureN|table1|all] [--scale K] [--matrices M] [--store DIR]
 //! ```
 //!
-//! CSV artifacts are written to `out/`.
+//! CSV artifacts are written to `out/`. `--store DIR` (equivalent to
+//! `LPA_STORE=DIR`) backs the run with the persistent experiment store, so
+//! repeating a run reuses every double-double reference solve.
 use lpa_datagen::GraphClass;
+
+/// The value of a `--flag VALUE` pair; a missing value is a hard error —
+/// silently proceeding without (say) `--store` would recompute a whole
+/// sweep and persist nothing.
+fn flag_value(args: &[String], i: usize) -> String {
+    args.get(i + 1).cloned().unwrap_or_else(|| {
+        eprintln!("{} needs a value", args[i]);
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -14,19 +27,19 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--experiment" => {
-                experiment = args.get(i + 1).cloned().unwrap_or_else(|| "all".into());
+                experiment = flag_value(&args, i);
                 i += 2;
             }
             "--scale" => {
-                if let Some(v) = args.get(i + 1) {
-                    std::env::set_var("LPA_BENCH_SCALE", v);
-                }
+                std::env::set_var("LPA_BENCH_SCALE", flag_value(&args, i));
                 i += 2;
             }
             "--matrices" => {
-                if let Some(v) = args.get(i + 1) {
-                    std::env::set_var("LPA_BENCH_MATRICES", v);
-                }
+                std::env::set_var("LPA_BENCH_MATRICES", flag_value(&args, i));
+                i += 2;
+            }
+            "--store" => {
+                std::env::set_var("LPA_STORE", flag_value(&args, i));
                 i += 2;
             }
             other => {

@@ -6,15 +6,21 @@
 //! small enough for a laptop run by default; set `LPA_BENCH_SCALE` (an
 //! integer ≥ 1) to enlarge the corpora, and `LPA_BENCH_SIZE_MAX` to raise the
 //! matrix dimensions.
+//!
+//! Set `LPA_STORE=<dir>` (or pass `--store <dir>` to the `reproduce`
+//! binary) to back every harness run with the persistent `lpa-store`
+//! artifact store: the first run populates it, every later run reuses the
+//! double-double reference solves and outcomes, byte-identically.
 
 use std::fs;
 use std::path::PathBuf;
 
 use lpa_datagen::{CorpusConfig, GraphClass, TestMatrix};
 use lpa_experiments::{
-    format_summary_table, run_experiment, write_figure_csv, ExperimentConfig, ExperimentResults,
-    FormatTag, Metric,
+    format_summary_table, run_experiment_with_store, write_figure_csv, ExperimentConfig,
+    ExperimentResults, FormatTag, Metric,
 };
+use lpa_store::{ArtifactKind, Store};
 
 /// Corpus configuration used by the figure harnesses, honouring the
 /// `LPA_BENCH_SCALE` / `LPA_BENCH_SIZE_MAX` environment variables.
@@ -39,6 +45,37 @@ pub fn out_dir() -> PathBuf {
     dir
 }
 
+/// Open the persistent experiment store named by `LPA_STORE`, if any.
+///
+/// An empty value disables the store, same as unset.
+pub fn bench_store() -> Option<Store> {
+    let dir = std::env::var_os("LPA_STORE")?;
+    if dir.is_empty() {
+        return None;
+    }
+    Some(Store::open(&dir).unwrap_or_else(|e| panic!("LPA_STORE {}: {e}", dir.to_string_lossy())))
+}
+
+/// Print a store's per-kind counters after a harness run; the warm-start
+/// line is what CI greps to assert a second run recomputed nothing.
+pub fn print_store_counters(store: &Store) {
+    let r = store.stats().snapshot(ArtifactKind::Reference);
+    let o = store.stats().snapshot(ArtifactKind::Outcome);
+    println!(
+        "store[reference]: {} hits / {} misses; store[outcome]: {} hits / {} misses ({} written, {} read bytes, dir {})",
+        r.hits(),
+        r.misses,
+        o.hits(),
+        o.misses,
+        r.bytes_written + o.bytes_written,
+        r.bytes_read + o.bytes_read,
+        store.root().display(),
+    );
+    if r.misses == 0 && r.hits() > 0 {
+        println!("warm-start: all references served from store");
+    }
+}
+
 /// Run one figure: the corpus slice, all 14 formats, grouped by bit width,
 /// printing the same kind of series the paper plots and writing CSVs.
 pub fn run_figure(figure: &str, title: &str, corpus: &[TestMatrix]) -> ExperimentResults {
@@ -52,9 +89,13 @@ pub fn run_figure(figure: &str, title: &str, corpus: &[TestMatrix]) -> Experimen
         corpus.iter().map(|t| t.n()).max().unwrap_or(0),
         corpus.iter().map(|t| t.nnz()).max().unwrap_or(0),
     );
-    let results = run_experiment(corpus, &formats, &cfg);
+    let store = bench_store();
+    let results = run_experiment_with_store(corpus, &formats, &cfg, store.as_ref());
     if !results.skipped.is_empty() {
         println!("skipped (reference failed): {}", results.skipped.len());
+    }
+    if let Some(store) = &store {
+        print_store_counters(store);
     }
 
     for bits in [8u32, 16, 32, 64] {

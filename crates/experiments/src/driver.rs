@@ -5,9 +5,11 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use lpa_datagen::TestMatrix;
+use lpa_store::{ArtifactKind, Store};
 
 use crate::formats::FormatTag;
 use crate::outcome::Outcome;
+use crate::persist;
 use crate::pipeline::{compute_reference, run_format, ExperimentConfig, Reference};
 
 /// All results for one matrix.
@@ -34,11 +36,20 @@ pub struct ExperimentResults {
 
 impl ExperimentResults {
     /// All outcomes of one format across the corpus.
+    ///
+    /// The driver stores each matrix's outcomes in the experiment's format
+    /// order, so the format's position in `self.formats` indexes every row
+    /// directly — no per-matrix linear scan over the format list. Rows that
+    /// don't follow that order (hand-assembled results) fall back to a scan.
     pub fn outcomes_for(&self, format: FormatTag) -> Vec<Outcome> {
+        let Some(idx) = self.formats.iter().position(|&f| f == format) else {
+            return Vec::new();
+        };
         self.matrices
             .iter()
-            .filter_map(|m| {
-                m.outcomes.iter().find(|(f, _)| *f == format).map(|(_, o)| *o)
+            .filter_map(|m| match m.outcomes.get(idx) {
+                Some(&(f, o)) if f == format => Some(o),
+                _ => m.outcomes.iter().find(|(f, _)| *f == format).map(|&(_, o)| o),
             })
             .collect()
     }
@@ -66,8 +77,53 @@ pub fn run_experiment(
     formats: &[FormatTag],
     cfg: &ExperimentConfig,
 ) -> ExperimentResults {
-    let references: Vec<Option<Reference>> =
-        corpus.par_iter().map(|tm| compute_reference(&tm.matrix, cfg).ok()).collect();
+    run_experiment_with_store(corpus, formats, cfg, None)
+}
+
+/// [`run_experiment`] backed by a persistent artifact store.
+///
+/// Every reference solve and every (matrix, format) outcome is looked up in
+/// `store` before being computed, and computed results are persisted with
+/// atomic writes — so a warm rerun performs zero double-double solves, an
+/// interrupted run resumes from whatever it already persisted, and
+/// concurrent harness processes share one store directory safely. The
+/// codec is bit-lossless, which keeps warm results byte-identical to cold
+/// ones. Per-kind hit/miss counters accumulate on `store.stats()`.
+///
+/// A failed reference is persisted too (as an explicit sentinel): warm runs
+/// skip the doomed, expensive Dd solve instead of retrying it.
+pub fn run_experiment_with_store(
+    corpus: &[TestMatrix],
+    formats: &[FormatTag],
+    cfg: &ExperimentConfig,
+    store: Option<&Store>,
+) -> ExperimentResults {
+    let references: Vec<Option<Reference>> = corpus
+        .par_iter()
+        .map(|tm| match store {
+            None => compute_reference(&tm.matrix, cfg).ok(),
+            Some(s) => {
+                let key = persist::reference_key(&tm.matrix, cfg);
+                let bytes = s
+                    .get_or_compute(ArtifactKind::Reference, key, || {
+                        persist::encode_reference(&compute_reference(&tm.matrix, cfg).ok())
+                    })
+                    .expect("store I/O failed while persisting a reference");
+                match persist::decode_reference(&bytes) {
+                    Ok(r) => r,
+                    // Checksum-valid but undecodable: payload schema drift
+                    // without a salt bump. Recompute and heal in place
+                    // rather than poisoning every future run.
+                    Err(_) => {
+                        let r = compute_reference(&tm.matrix, cfg).ok();
+                        s.put(ArtifactKind::Reference, key, persist::encode_reference(&r))
+                            .expect("store I/O failed while healing a reference");
+                        r
+                    }
+                }
+            }
+        })
+        .collect();
 
     let jobs: Vec<(usize, FormatTag)> = corpus
         .iter()
@@ -79,7 +135,30 @@ pub fn run_experiment(
         .par_iter()
         .map(|&(i, f)| {
             let reference = references[i].as_ref().expect("only solved matrices are in the grid");
-            run_format(&corpus[i].matrix, reference, f, cfg).outcome
+            match store {
+                None => run_format(&corpus[i].matrix, reference, f, cfg).outcome,
+                Some(s) => {
+                    let key = persist::outcome_key(&corpus[i].matrix, f, cfg);
+                    let bytes = s
+                        .get_or_compute(ArtifactKind::Outcome, key, || {
+                            persist::encode_outcome(
+                                &run_format(&corpus[i].matrix, reference, f, cfg).outcome,
+                            )
+                        })
+                        .expect("store I/O failed while persisting an outcome");
+                    match persist::decode_outcome(&bytes) {
+                        Ok(o) => o,
+                        // Same healing path as references: recompute and
+                        // overwrite the undecodable artifact.
+                        Err(_) => {
+                            let o = run_format(&corpus[i].matrix, reference, f, cfg).outcome;
+                            s.put(ArtifactKind::Outcome, key, persist::encode_outcome(&o))
+                                .expect("store I/O failed while healing an outcome");
+                            o
+                        }
+                    }
+                }
+            }
         })
         .collect();
 

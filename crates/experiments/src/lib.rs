@@ -15,15 +15,19 @@
 //! 5. aggregates relative errors into the cumulative error distributions the
 //!    paper plots (Figures 1–5), with CSV output and text summaries.
 //!
-//! Matrices are processed in parallel with rayon.
+//! Matrices are processed in parallel with rayon. With a persistent
+//! `lpa-store` attached ([`run_experiment_with_store`]), every reference
+//! solve and outcome is content-addressed and reused across harness runs —
+//! see [`persist`] for the key-derivation and salt-bumping policy.
 
 pub mod driver;
 pub mod formats;
 pub mod outcome;
+pub mod persist;
 pub mod pipeline;
 pub mod report;
 
-pub use driver::{run_experiment, ExperimentResults, MatrixResult};
+pub use driver::{run_experiment, run_experiment_with_store, ExperimentResults, MatrixResult};
 pub use formats::FormatTag;
 pub use outcome::{EigenErrors, Outcome};
 pub use pipeline::{

@@ -1,0 +1,298 @@
+//! Persistence glue between the experiment pipeline and `lpa-store`: key
+//! derivation and payload codecs for [`Reference`] and [`Outcome`]
+//! artifacts.
+//!
+//! ## What a key commits to
+//!
+//! A content address must change whenever *anything* that could change the
+//! computed bytes changes, and nothing else. Reference keys hash, in order:
+//!
+//! 1. a domain tag (`"lpa/ref"` vs `"lpa/outcome"`, so the two artifact
+//!    families can never collide),
+//! 2. [`CODE_VERSION_SALT`],
+//! 3. every solver option of [`ExperimentConfig`] that reaches the solve
+//!    (pair counts, spectrum target, tolerance bits, restart budget, seed),
+//! 4. the matrix's exact CSR identity: dimensions, `row_ptr`, `col_idx`,
+//!    and every value's `f64` bit pattern.
+//!
+//! Outcome keys additionally hash the format tag (and its per-width
+//! tolerance is derived from the tag, so it is covered).
+//!
+//! ## Salt policy
+//!
+//! [`CODE_VERSION_SALT`] **must be bumped in the same commit as any change
+//! that alters computed numerics** — arithmetic kernels, the Arnoldi
+//! iteration, eigenvector matching, the reference tolerance default, RNG
+//! streams, the codec schemas. Stale artifacts then simply miss and are
+//! recomputed; nothing ever needs manual invalidation. Changes that cannot
+//! affect results (reporting, CLI, docs) must *not* bump it, or every CI
+//! cache and local store warms from scratch for no reason.
+
+use lpa_arnoldi::Which;
+use lpa_sparse::CsrMatrix;
+use lpa_store::{CodecError, Decoder, Encoder, Hasher128, Key};
+
+use crate::formats::FormatTag;
+use crate::outcome::{EigenErrors, Outcome};
+use crate::pipeline::{ExperimentConfig, Reference};
+
+/// Version salt folded into every key. Bump whenever computed numerics
+/// change (see the module docs for the policy).
+pub const CODE_VERSION_SALT: u64 = 0x6c70_6131_0000_0001;
+
+/// Stable wire id of a format tag. **Append-only**: these ids live inside
+/// persisted keys, so renumbering existing entries orphans every store.
+pub fn format_id(format: FormatTag) -> u8 {
+    match format {
+        FormatTag::Ofp8E4M3 => 0,
+        FormatTag::Ofp8E5M2 => 1,
+        FormatTag::Posit8 => 2,
+        FormatTag::Takum8 => 3,
+        FormatTag::Float16 => 4,
+        FormatTag::Bfloat16 => 5,
+        FormatTag::Posit16 => 6,
+        FormatTag::Takum16 => 7,
+        FormatTag::Float32 => 8,
+        FormatTag::Posit32 => 9,
+        FormatTag::Takum32 => 10,
+        FormatTag::Float64 => 11,
+        FormatTag::Posit64 => 12,
+        FormatTag::Takum64 => 13,
+    }
+}
+
+/// Stable wire id of a spectrum target (same append-only rule).
+fn which_id(which: Which) -> u8 {
+    match which {
+        Which::LargestMagnitude => 0,
+        Which::SmallestMagnitude => 1,
+        Which::LargestReal => 2,
+        Which::SmallestReal => 3,
+    }
+}
+
+/// Hash the solver options that reach a solve.
+fn hash_config(h: &mut Hasher128, cfg: &ExperimentConfig) {
+    h.write_u64(CODE_VERSION_SALT);
+    h.write_usize(cfg.eigenvalue_count);
+    h.write_usize(cfg.eigenvalue_buffer_count);
+    h.write_u8(which_id(cfg.which));
+    h.write_f64_bits(cfg.reference_tol);
+    h.write_usize(cfg.max_restarts);
+    h.write_u64(cfg.seed);
+}
+
+/// Hash the matrix's exact CSR identity.
+fn hash_matrix(h: &mut Hasher128, matrix: &CsrMatrix<f64>) {
+    h.write_usize(matrix.nrows());
+    h.write_usize(matrix.ncols());
+    h.write_usize(matrix.nnz());
+    for &p in matrix.row_ptr() {
+        h.write_usize(p);
+    }
+    for &j in matrix.col_indices() {
+        h.write_usize(j);
+    }
+    for &v in matrix.values() {
+        h.write_f64_bits(v);
+    }
+}
+
+/// Content address of a matrix's double-double reference solution.
+pub fn reference_key(matrix: &CsrMatrix<f64>, cfg: &ExperimentConfig) -> Key {
+    let mut h = Hasher128::new();
+    h.write(b"lpa/ref");
+    hash_config(&mut h, cfg);
+    hash_matrix(&mut h, matrix);
+    h.finish()
+}
+
+/// Content address of one (matrix, format) outcome.
+pub fn outcome_key(matrix: &CsrMatrix<f64>, format: FormatTag, cfg: &ExperimentConfig) -> Key {
+    let mut h = Hasher128::new();
+    h.write(b"lpa/outcome");
+    h.write_u8(format_id(format));
+    hash_config(&mut h, cfg);
+    hash_matrix(&mut h, matrix);
+    h.finish()
+}
+
+// Payload tags. A failed reference is persisted too: warm runs must skip
+// the (very expensive) doomed Dd solve, not retry it.
+const REF_FAILED: u8 = 0;
+const REF_PRESENT: u8 = 1;
+
+const OUTCOME_ERRORS: u8 = 0;
+const OUTCOME_NOT_CONVERGED: u8 = 1;
+const OUTCOME_RANGE_EXCEEDED: u8 = 2;
+
+/// Encode a reference solve result (`None` = the reference itself failed,
+/// i.e. the driver skips this matrix).
+pub fn encode_reference(reference: &Option<Reference>) -> Vec<u8> {
+    match reference {
+        None => {
+            let mut e = Encoder::with_capacity(1);
+            e.put_u8(REF_FAILED);
+            e.into_bytes()
+        }
+        Some(r) => {
+            let elems = r.eigenvectors.nrows() * r.eigenvectors.ncols();
+            let mut e = Encoder::with_capacity(1 + 16 * (r.eigenvalues.len() + elems) + 64);
+            e.put_u8(REF_PRESENT);
+            e.put_dd_slice(&r.eigenvalues);
+            e.put_dd_matrix(&r.eigenvectors);
+            e.put_usize_slice(&r.sign_anchor);
+            e.into_bytes()
+        }
+    }
+}
+
+pub fn decode_reference(bytes: &[u8]) -> Result<Option<Reference>, CodecError> {
+    let mut d = Decoder::new(bytes);
+    let tag = d.get_u8()?;
+    let out = match tag {
+        REF_FAILED => None,
+        REF_PRESENT => {
+            let eigenvalues = d.get_dd_slice()?;
+            let eigenvectors = d.get_dd_matrix()?;
+            let sign_anchor = d.get_usize_slice()?;
+            Some(Reference { eigenvalues, eigenvectors, sign_anchor })
+        }
+        other => return Err(CodecError::BadTag(other)),
+    };
+    d.finish()?;
+    Ok(out)
+}
+
+pub fn encode_outcome(outcome: &Outcome) -> Vec<u8> {
+    let mut e = Encoder::with_capacity(17);
+    match outcome {
+        Outcome::Errors(err) => {
+            e.put_u8(OUTCOME_ERRORS);
+            e.put_f64(err.eigenvalue_rel);
+            e.put_f64(err.eigenvector_rel);
+        }
+        Outcome::NotConverged => e.put_u8(OUTCOME_NOT_CONVERGED),
+        Outcome::RangeExceeded => e.put_u8(OUTCOME_RANGE_EXCEEDED),
+    }
+    e.into_bytes()
+}
+
+pub fn decode_outcome(bytes: &[u8]) -> Result<Outcome, CodecError> {
+    let mut d = Decoder::new(bytes);
+    let out = match d.get_u8()? {
+        OUTCOME_ERRORS => {
+            let eigenvalue_rel = d.get_f64()?;
+            let eigenvector_rel = d.get_f64()?;
+            Outcome::Errors(EigenErrors { eigenvalue_rel, eigenvector_rel })
+        }
+        OUTCOME_NOT_CONVERGED => Outcome::NotConverged,
+        OUTCOME_RANGE_EXCEEDED => Outcome::RangeExceeded,
+        other => return Err(CodecError::BadTag(other)),
+    };
+    d.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpa_arith::Dd;
+    use lpa_dense::DMatrix;
+
+    fn small_matrix(scale: f64) -> CsrMatrix<f64> {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0 * scale), (0, 1, -1.0), (1, 1, 2.0), (2, 2, 2.0)],
+        )
+    }
+
+    #[test]
+    fn keys_are_sensitive_to_every_input() {
+        let cfg = ExperimentConfig::default();
+        let base = reference_key(&small_matrix(1.0), &cfg);
+        // Same inputs → same key.
+        assert_eq!(base, reference_key(&small_matrix(1.0), &cfg));
+        // Any value change → different key.
+        assert_ne!(base, reference_key(&small_matrix(1.0 + 1e-15), &cfg));
+        // Any config change → different key.
+        for changed in [
+            ExperimentConfig { seed: 2, ..ExperimentConfig::default() },
+            ExperimentConfig { max_restarts: 99, ..ExperimentConfig::default() },
+            ExperimentConfig { reference_tol: 1e-19, ..ExperimentConfig::default() },
+            ExperimentConfig { eigenvalue_count: 9, ..ExperimentConfig::default() },
+            ExperimentConfig { eigenvalue_buffer_count: 3, ..ExperimentConfig::default() },
+            ExperimentConfig { which: lpa_arnoldi::Which::SmallestMagnitude, ..ExperimentConfig::default() },
+        ] {
+            assert_ne!(base, reference_key(&small_matrix(1.0), &changed), "{changed:?}");
+        }
+        // Domain separation and format separation.
+        let o_f64 = outcome_key(&small_matrix(1.0), FormatTag::Float64, &cfg);
+        let o_p8 = outcome_key(&small_matrix(1.0), FormatTag::Posit8, &cfg);
+        assert_ne!(base, o_f64);
+        assert_ne!(o_f64, o_p8);
+    }
+
+    #[test]
+    fn structural_changes_change_the_key() {
+        let cfg = ExperimentConfig::default();
+        // Same values, different sparsity pattern.
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert_ne!(reference_key(&a, &cfg), reference_key(&b, &cfg));
+        // Same entries, different dimensions.
+        let c = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        assert_ne!(reference_key(&a, &cfg), reference_key(&c, &cfg));
+    }
+
+    #[test]
+    fn reference_round_trip_is_bit_exact() {
+        let r = Reference {
+            eigenvalues: vec![Dd::new(3.5, -1e-18), Dd::ZERO, Dd { hi: f64::NAN, lo: -0.0 }],
+            eigenvectors: DMatrix::from_fn(4, 3, |i, j| Dd::new(i as f64 - j as f64, 1e-22)),
+            sign_anchor: vec![0, 3, 1],
+        };
+        let bytes = encode_reference(&Some(r.clone()));
+        let back = decode_reference(&bytes).unwrap().expect("present");
+        assert_eq!(back.sign_anchor, r.sign_anchor);
+        assert_eq!(back.eigenvalues.len(), 3);
+        for (a, b) in back.eigenvalues.iter().zip(&r.eigenvalues) {
+            assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+            assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+        }
+        for j in 0..3 {
+            for i in 0..4 {
+                assert_eq!(back.eigenvectors[(i, j)].hi.to_bits(), r.eigenvectors[(i, j)].hi.to_bits());
+            }
+        }
+        // The failed-reference sentinel round-trips too.
+        assert!(decode_reference(&encode_reference(&None)).unwrap().is_none());
+        // Corruption is caught.
+        assert!(decode_reference(&[9]).is_err());
+        assert!(decode_reference(&[]).is_err());
+    }
+
+    #[test]
+    fn outcome_round_trips() {
+        for o in [
+            Outcome::NotConverged,
+            Outcome::RangeExceeded,
+            Outcome::Errors(EigenErrors { eigenvalue_rel: 1e-9, eigenvector_rel: f64::INFINITY }),
+        ] {
+            let back = decode_outcome(&encode_outcome(&o)).unwrap();
+            match (o, back) {
+                (Outcome::Errors(a), Outcome::Errors(b)) => {
+                    assert_eq!(a.eigenvalue_rel.to_bits(), b.eigenvalue_rel.to_bits());
+                    assert_eq!(a.eigenvector_rel.to_bits(), b.eigenvector_rel.to_bits());
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+        assert!(decode_outcome(&[7]).is_err());
+        // Trailing bytes are rejected.
+        let mut bytes = encode_outcome(&Outcome::NotConverged);
+        bytes.push(0);
+        assert!(decode_outcome(&bytes).is_err());
+    }
+}

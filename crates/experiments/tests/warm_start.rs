@@ -1,0 +1,204 @@
+//! The store's end-to-end contract at the experiment level:
+//!
+//! * property coverage of the `Reference`/`Outcome` payload codecs over
+//!   arbitrary inputs (all `Outcome` variants, NaN/inf error values,
+//!   empty and rectangular eigenvector matrices), and
+//! * a cold-vs-warm integration run proving a warm rerun is byte-identical
+//!   (via the serialized results) and performs zero reference solves.
+
+use lpa_arith::Dd;
+use lpa_dense::DMatrix;
+use lpa_experiments::persist::{
+    decode_outcome, decode_reference, encode_outcome, encode_reference,
+};
+use lpa_experiments::{
+    run_experiment, run_experiment_with_store, EigenErrors, ExperimentConfig, FormatTag, Outcome,
+    Reference,
+};
+use lpa_store::{ArtifactKind, Store};
+use proptest::prelude::*;
+
+fn dd_bits_eq(a: Dd, b: Dd) -> bool {
+    a.hi.to_bits() == b.hi.to_bits() && a.lo.to_bits() == b.lo.to_bits()
+}
+
+/// Decode an arbitrary byte pair into one of the three outcome variants
+/// with arbitrary (possibly NaN/inf) error values.
+fn arbitrary_outcome(variant: u8, bits_a: u64, bits_b: u64) -> Outcome {
+    match variant % 3 {
+        0 => Outcome::Errors(EigenErrors {
+            eigenvalue_rel: f64::from_bits(bits_a),
+            eigenvector_rel: f64::from_bits(bits_b),
+        }),
+        1 => Outcome::NotConverged,
+        _ => Outcome::RangeExceeded,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn outcome_codec_round_trips_all_variants(
+        variant in any::<u8>(),
+        bits_a in any::<u64>(),
+        bits_b in any::<u64>(),
+    ) {
+        let outcome = arbitrary_outcome(variant, bits_a, bits_b);
+        let back = decode_outcome(&encode_outcome(&outcome));
+        prop_assert!(back.is_ok(), "{back:?}");
+        match (outcome, back.unwrap()) {
+            (Outcome::Errors(a), Outcome::Errors(b)) => {
+                prop_assert_eq!(a.eigenvalue_rel.to_bits(), b.eigenvalue_rel.to_bits());
+                prop_assert_eq!(a.eigenvector_rel.to_bits(), b.eigenvector_rel.to_bits());
+            }
+            (a, b) => prop_assert_eq!(a, b),
+        }
+    }
+
+    #[test]
+    fn reference_codec_round_trips_any_shape(seed in any::<u64>(), n in any::<u8>(), k in any::<u8>()) {
+        // n×k eigenvector matrices with 0..=5 pairs (k = 0 gives the empty
+        // reference; n ≠ k keeps them rectangular), entries raw bit noise.
+        let n = (n % 8) as usize;
+        let k = (k % 6) as usize;
+        let mut rng = TestRng::seed_from_u64(seed);
+        let reference = Reference {
+            eigenvalues: (0..k)
+                .map(|_| Dd { hi: f64::from_bits(rng.next_u64()), lo: f64::from_bits(rng.next_u64()) })
+                .collect(),
+            eigenvectors: DMatrix::from_fn(n, k, |_, _| Dd {
+                hi: f64::from_bits(rng.next_u64()),
+                lo: f64::from_bits(rng.next_u64()),
+            }),
+            sign_anchor: (0..k).map(|j| j % n.max(1)).collect(),
+        };
+        let bytes = encode_reference(&Some(reference.clone()));
+        let back = decode_reference(&bytes);
+        prop_assert!(back.is_ok(), "{back:?}");
+        let back = back.unwrap().expect("present reference");
+        prop_assert_eq!(&back.sign_anchor, &reference.sign_anchor);
+        prop_assert_eq!(back.eigenvalues.len(), k);
+        for (a, b) in back.eigenvalues.iter().zip(&reference.eigenvalues) {
+            prop_assert!(dd_bits_eq(*a, *b));
+        }
+        prop_assert_eq!(back.eigenvectors.nrows(), n);
+        prop_assert_eq!(back.eigenvectors.ncols(), k);
+        for j in 0..k {
+            for i in 0..n {
+                prop_assert!(dd_bits_eq(back.eigenvectors[(i, j)], reference.eigenvectors[(i, j)]));
+            }
+        }
+    }
+}
+
+#[test]
+fn undecodable_artifacts_are_healed_not_fatal() {
+    // A checksum-valid artifact whose *payload* no longer decodes (schema
+    // drift without a salt bump) must be recomputed and overwritten, not
+    // crash the run.
+    let corpus: Vec<lpa_datagen::TestMatrix> =
+        lpa_datagen::general_corpus(&lpa_datagen::CorpusConfig {
+            scale: 1,
+            size_range: (30, 40),
+            ..lpa_datagen::CorpusConfig::tiny()
+        })
+        .into_iter()
+        .filter(|t| t.category == "lap1d")
+        .take(1)
+        .collect();
+    assert_eq!(corpus.len(), 1);
+    let formats = [FormatTag::Float64];
+    let cfg = ExperimentConfig {
+        eigenvalue_count: 4,
+        eigenvalue_buffer_count: 2,
+        max_restarts: 60,
+        ..Default::default()
+    };
+    let baseline = run_experiment(&corpus, &formats, &cfg);
+
+    let dir = std::env::temp_dir().join(format!("lpa-heal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    let ref_key = lpa_experiments::persist::reference_key(&corpus[0].matrix, &cfg);
+    let out_key =
+        lpa_experiments::persist::outcome_key(&corpus[0].matrix, FormatTag::Float64, &cfg);
+    // Valid containers, garbage payloads (0xEE is no known tag).
+    store.put(ArtifactKind::Reference, ref_key, vec![0xEE, 1, 2, 3]).unwrap();
+    store.put(ArtifactKind::Outcome, out_key, vec![0xEE]).unwrap();
+
+    let healed_run = run_experiment_with_store(&corpus, &formats, &cfg, Some(&store));
+    assert_eq!(
+        serde_json::to_string(&baseline).unwrap(),
+        serde_json::to_string(&healed_run).unwrap()
+    );
+    // Both artifacts were rewritten and now decode cleanly.
+    let fresh = Store::open(&dir).unwrap();
+    let ref_bytes = fresh.get(ArtifactKind::Reference, ref_key).unwrap().expect("present");
+    assert!(decode_reference(&ref_bytes).unwrap().is_some());
+    let out_bytes = fresh.get(ArtifactKind::Outcome, out_key).unwrap().expect("present");
+    decode_outcome(&out_bytes).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn warm_rerun_is_byte_identical_and_solves_no_references() {
+    let corpus: Vec<lpa_datagen::TestMatrix> =
+        lpa_datagen::general_corpus(&lpa_datagen::CorpusConfig {
+            scale: 1,
+            size_range: (30, 40),
+            ..lpa_datagen::CorpusConfig::tiny()
+        })
+        .into_iter()
+        .filter(|t| t.category == "lap1d" || t.category == "diagdom")
+        .collect();
+    assert!(corpus.len() >= 3);
+    let formats = [FormatTag::Float64, FormatTag::Takum16, FormatTag::Ofp8E4M3];
+    let cfg = ExperimentConfig {
+        eigenvalue_count: 4,
+        eigenvalue_buffer_count: 2,
+        max_restarts: 60,
+        ..Default::default()
+    };
+
+    let dir = std::env::temp_dir().join(format!("lpa-warm-start-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Baseline without any store, then a cold populating run, then a warm
+    // run through a fresh handle (second harness process in spirit).
+    let baseline = run_experiment(&corpus, &formats, &cfg);
+    let cold_store = Store::open(&dir).unwrap();
+    let cold = run_experiment_with_store(&corpus, &formats, &cfg, Some(&cold_store));
+    let warm_store = Store::open(&dir).unwrap();
+    let warm = run_experiment_with_store(&corpus, &formats, &cfg, Some(&warm_store));
+
+    // The store must be transparent: all three serializations identical.
+    let baseline_json = serde_json::to_string(&baseline).unwrap();
+    assert_eq!(baseline_json, serde_json::to_string(&cold).unwrap());
+    assert_eq!(baseline_json, serde_json::to_string(&warm).unwrap());
+
+    // Cold run: every reference and outcome was a miss (computed once).
+    let matrices = corpus.len() as u64;
+    let cold_ref = cold_store.stats().snapshot(ArtifactKind::Reference);
+    assert_eq!(cold_ref.misses, matrices);
+    assert_eq!(cold_ref.hits(), 0);
+
+    // Warm run: zero double-double solves, 100% hits, all from disk.
+    let warm_ref = warm_store.stats().snapshot(ArtifactKind::Reference);
+    assert_eq!(warm_ref.misses, 0, "warm run must not solve any reference");
+    assert_eq!(warm_ref.hits(), matrices);
+    let warm_out = warm_store.stats().snapshot(ArtifactKind::Outcome);
+    assert_eq!(warm_out.misses, 0, "warm run must not rerun any format");
+    assert_eq!(
+        warm_out.hits(),
+        (cold.matrices.len() * formats.len()) as u64,
+        "one outcome hit per (kept matrix, format)"
+    );
+
+    // The populated store passes a full verification sweep.
+    let report = lpa_store::admin::verify(&dir).unwrap();
+    assert_eq!(report.ok as u64, cold_ref.misses + cold_store.stats().snapshot(ArtifactKind::Outcome).misses);
+    assert!(report.corrupt.is_empty(), "{:?}", report.corrupt);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -72,6 +72,25 @@ impl<T: Real> CsrMatrix<T> {
         self.nrows == self.ncols
     }
 
+    /// The raw row-pointer array (`nrows + 1` non-decreasing offsets).
+    ///
+    /// Together with [`Self::col_indices`] and [`Self::values`] this is the
+    /// canonical byte-level identity of the matrix, which the experiment
+    /// store hashes into content addresses.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw column-index array (one entry per stored value).
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The raw value array, in row-major CSR order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
     /// Row `i` as parallel slices of column indices and values.
     pub fn row(&self, i: usize) -> (&[usize], &[T]) {
         let start = self.row_ptr[i];

@@ -1,0 +1,121 @@
+//! Store administration CLI.
+//!
+//! ```text
+//! lpa-store stats  <dir>                 per-kind artifact counts and bytes
+//! lpa-store verify <dir>                 re-hash and check every artifact
+//! lpa-store gc     <dir> --max-bytes N   delete oldest artifacts over budget
+//! ```
+//!
+//! `verify` exits non-zero if any artifact fails validation, so CI can use
+//! it as an assertion.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use lpa_store::admin;
+use lpa_store::ArtifactKind;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lpa-store <stats|verify|gc> <dir> [--max-bytes N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(command), Some(dir)) = (args.get(1), args.get(2)) else {
+        return usage();
+    };
+    let root = Path::new(dir);
+    if !root.is_dir() {
+        eprintln!("lpa-store: {dir} is not a directory");
+        return ExitCode::FAILURE;
+    }
+    match command.as_str() {
+        "stats" => stats(root),
+        "verify" => verify(root),
+        "gc" => {
+            let max_bytes = match args.get(3).map(String::as_str) {
+                Some("--max-bytes") => match args.get(4).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("lpa-store gc: --max-bytes needs an integer argument");
+                        return ExitCode::from(2);
+                    }
+                },
+                _ => {
+                    eprintln!("lpa-store gc: missing required --max-bytes N");
+                    return ExitCode::from(2);
+                }
+            };
+            gc(root, max_bytes)
+        }
+        _ => usage(),
+    }
+}
+
+fn stats(root: &Path) -> ExitCode {
+    match admin::stats_report(root) {
+        Ok(report) => {
+            println!("store: {}", root.display());
+            for kind in ArtifactKind::ALL {
+                let (count, bytes) = report.per_kind[kind as usize];
+                println!("  {:<10} {:>8} artifacts  {:>12} bytes", kind.name(), count, bytes);
+            }
+            println!(
+                "  {:<10} {:>8} artifacts  {:>12} bytes",
+                "total",
+                report.total_count(),
+                report.total_bytes()
+            );
+            if report.invalid > 0 {
+                println!("  invalid    {:>8} files (run `lpa-store verify` for details)", report.invalid);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lpa-store stats: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn verify(root: &Path) -> ExitCode {
+    match admin::verify(root) {
+        Ok(report) => {
+            println!(
+                "verified {} artifacts ({} bytes): {} corrupt",
+                report.ok,
+                report.bytes,
+                report.corrupt.len()
+            );
+            for (path, reason) in &report.corrupt {
+                eprintln!("  CORRUPT {}: {reason}", path.display());
+            }
+            if report.corrupt.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lpa-store verify: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn gc(root: &Path, max_bytes: u64) -> ExitCode {
+    match admin::gc(root, max_bytes) {
+        Ok(report) => {
+            println!(
+                "gc: kept {} artifacts ({} bytes), deleted {} ({} bytes), swept {} tmp files",
+                report.kept, report.kept_bytes, report.deleted, report.deleted_bytes, report.tmp_removed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lpa-store gc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Compact versioned binary codec for store payloads.
+//!
+//! Artifacts sit on the harness's hot path (every warm run decodes one
+//! `Reference` per matrix), so the encoding is raw little-endian binary —
+//! no JSON, no field names. Losslessness is the hard requirement: a warm
+//! run must be byte-identical to the cold run it replays, so every `f64`
+//! travels as its exact bit pattern (NaN payloads and signed zeros
+//! included) and `Dd` as its two components.
+//!
+//! Versioning: the artifact container header (see [`crate::store`]) carries
+//! [`CODEC_VERSION`]; readers reject any other version rather than
+//! misinterpreting bytes. Bump it whenever the payload schemas change.
+
+use lpa_arith::Dd;
+use lpa_dense::DMatrix;
+
+/// Version of every payload schema written by this build.
+pub const CODEC_VERSION: u8 = 1;
+
+/// Decoding failure. Encoding is infallible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before a field was complete.
+    Truncated { needed: usize, remaining: usize },
+    /// A length prefix exceeds what the remaining bytes could possibly hold.
+    LengthOverflow { claimed: u64, remaining: usize },
+    /// An enum tag byte had no corresponding variant.
+    BadTag(u8),
+    /// Bytes were left over after the last field of a payload.
+    Trailing(usize),
+    /// A stored length does not fit in `usize` on this platform.
+    UsizeOverflow(u64),
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(f, "payload truncated: needed {needed} bytes, {remaining} remaining")
+            }
+            CodecError::LengthOverflow { claimed, remaining } => {
+                write!(f, "length prefix {claimed} exceeds {remaining} remaining bytes")
+            }
+            CodecError::BadTag(t) => write!(f, "unknown enum tag {t:#04x}"),
+            CodecError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+            CodecError::UsizeOverflow(n) => write!(f, "stored length {n} overflows usize"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only payload writer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    #[inline]
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    #[inline]
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn put_usize(&mut self, x: usize) {
+        self.put_u64(x as u64);
+    }
+
+    /// Exact bit pattern, so NaN payloads and `-0.0` survive round trips.
+    #[inline]
+    pub fn put_f64(&mut self, x: f64) {
+        self.put_u64(x.to_bits());
+    }
+
+    #[inline]
+    pub fn put_dd(&mut self, x: Dd) {
+        self.put_f64(x.hi);
+        self.put_f64(x.lo);
+    }
+
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn put_usize_slice(&mut self, xs: &[usize]) {
+        self.put_usize(xs.len());
+        for &x in xs {
+            self.put_usize(x);
+        }
+    }
+
+    pub fn put_dd_slice(&mut self, xs: &[Dd]) {
+        self.put_usize(xs.len());
+        for &x in xs {
+            self.put_dd(x);
+        }
+    }
+
+    /// Dimensions followed by the column-major element run.
+    pub fn put_dd_matrix(&mut self, m: &DMatrix<Dd>) {
+        self.put_usize(m.nrows());
+        self.put_usize(m.ncols());
+        for &x in m.as_slice() {
+            self.put_dd(x);
+        }
+    }
+}
+
+/// Checked payload reader over a byte slice.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { needed: n, remaining: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("take(8) yields 8 bytes")))
+    }
+
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let x = self.get_u64()?;
+        usize::try_from(x).map_err(|_| CodecError::UsizeOverflow(x))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_dd(&mut self) -> Result<Dd, CodecError> {
+        let hi = self.get_f64()?;
+        let lo = self.get_f64()?;
+        Ok(Dd { hi, lo })
+    }
+
+    /// Read a length prefix for elements of at least `elem_size` bytes,
+    /// bounding it by the remaining payload so corrupt data cannot trigger
+    /// a huge allocation.
+    fn get_len(&mut self, elem_size: usize) -> Result<usize, CodecError> {
+        let claimed = self.get_u64()?;
+        let max = (self.remaining() / elem_size.max(1)) as u64;
+        if claimed > max {
+            return Err(CodecError::LengthOverflow { claimed, remaining: self.remaining() });
+        }
+        Ok(claimed as usize)
+    }
+
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_len(1)?;
+        self.take(len)
+    }
+
+    pub fn get_usize_slice(&mut self) -> Result<Vec<usize>, CodecError> {
+        let len = self.get_len(8)?;
+        (0..len).map(|_| self.get_usize()).collect()
+    }
+
+    pub fn get_dd_slice(&mut self) -> Result<Vec<Dd>, CodecError> {
+        let len = self.get_len(16)?;
+        (0..len).map(|_| self.get_dd()).collect()
+    }
+
+    pub fn get_dd_matrix(&mut self) -> Result<DMatrix<Dd>, CodecError> {
+        let nrows = self.get_usize()?;
+        let ncols = self.get_usize()?;
+        let elems = nrows
+            .checked_mul(ncols)
+            .ok_or(CodecError::UsizeOverflow(u64::MAX))?;
+        if (self.remaining() / 16) < elems {
+            return Err(CodecError::LengthOverflow {
+                claimed: elems as u64,
+                remaining: self.remaining(),
+            });
+        }
+        let mut data = Vec::with_capacity(elems);
+        for _ in 0..elems {
+            data.push(self.get_dd()?);
+        }
+        Ok(DMatrix::from_fn(nrows, ncols, |i, j| data[j * nrows + i]))
+    }
+
+    /// Assert the whole payload was consumed.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::Trailing(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Encoder::new();
+        e.put_u8(0xab);
+        e.put_u64(u64::MAX - 3);
+        e.put_usize(12345);
+        e.put_f64(-0.0);
+        e.put_f64(f64::from_bits(0x7ff8_dead_beef_0001)); // NaN with payload
+        e.put_bytes(b"hello");
+        let bytes = e.into_bytes();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 0xab);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.get_usize().unwrap(), 12345);
+        assert_eq!(d.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.get_f64().unwrap().to_bits(), 0x7ff8_dead_beef_0001);
+        assert_eq!(d.get_bytes().unwrap(), b"hello");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn matrices_round_trip_including_empty_and_rectangular() {
+        for (nrows, ncols) in [(0, 0), (0, 3), (3, 0), (1, 1), (4, 2), (2, 5)] {
+            let m = DMatrix::<Dd>::from_fn(nrows, ncols, |i, j| {
+                Dd::new((i as f64 + 1.0) / (j as f64 + 2.0), 1e-20 * (i + j) as f64)
+            });
+            let mut e = Encoder::new();
+            e.put_dd_matrix(&m);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            let back = d.get_dd_matrix().unwrap();
+            d.finish().unwrap();
+            assert_eq!(back.nrows(), nrows);
+            assert_eq!(back.ncols(), ncols);
+            for j in 0..ncols {
+                for i in 0..nrows {
+                    assert_eq!(back[(i, j)].hi.to_bits(), m[(i, j)].hi.to_bits());
+                    assert_eq!(back[(i, j)].lo.to_bits(), m[(i, j)].lo.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_error_instead_of_allocating() {
+        // Truncation mid-field.
+        let mut e = Encoder::new();
+        e.put_u64(7);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..5]);
+        assert!(matches!(d.get_u64(), Err(CodecError::Truncated { .. })));
+
+        // A length prefix claiming far more elements than remain.
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX / 2);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.get_dd_slice(), Err(CodecError::LengthOverflow { .. })));
+
+        // Matrix dimensions whose product overflows.
+        let mut e = Encoder::new();
+        e.put_usize(usize::MAX);
+        e.put_usize(usize::MAX);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_dd_matrix().is_err());
+
+        // Trailing garbage is rejected.
+        let d = Decoder::new(&[0u8; 3]);
+        assert_eq!(d.finish(), Err(CodecError::Trailing(3)));
+    }
+
+    #[test]
+    fn slices_round_trip() {
+        let xs = vec![0usize, 1, usize::MAX, 42];
+        let ds = vec![Dd::ZERO, Dd::ONE, Dd { hi: f64::INFINITY, lo: f64::NAN }];
+        let mut e = Encoder::new();
+        e.put_usize_slice(&xs);
+        e.put_dd_slice(&ds);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_usize_slice().unwrap(), xs);
+        let back = d.get_dd_slice().unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in back.iter().zip(&ds) {
+            assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+            assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+        }
+    }
+}

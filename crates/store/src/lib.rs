@@ -1,0 +1,38 @@
+//! # lpa-store — persistent content-addressed experiment store
+//!
+//! The paper's harness re-solves every matrix with a double-double
+//! reference (tolerance 1e-20) on every invocation, and that solve
+//! dominates figure wall time. This crate makes each expensive solve a
+//! write-once artifact: a 128-bit content address is derived from *all*
+//! compute inputs (matrix CSR bytes, solver options, format tag, and a
+//! code-version salt), so a warm harness run looks every reference and
+//! outcome up instead of recomputing, and an interrupted run resumes from
+//! whatever the previous run persisted.
+//!
+//! Pieces:
+//!
+//! * [`hash`] — self-contained SipHash-2-4-128; the stable key space.
+//! * [`codec`] — compact versioned binary payload codec (`Dd`
+//!   vectors/matrices and friends; no JSON on the hot path).
+//! * [`store`] — the on-disk layout `<root>/<2-hex>/<hash>.bin` with
+//!   atomic tmp-file + rename writes and [`Store::get_or_compute`].
+//! * [`cache`] — sharded in-process cache with per-key single-flight.
+//! * [`stats`] — per-kind hit/miss/byte counters.
+//! * [`admin`] — `scan` / `verify` / `gc`, backing the `lpa-store` CLI.
+//!
+//! What goes *into* a key (and therefore what invalidates artifacts) is
+//! owned by the layer that computes the artifacts — see
+//! `lpa_experiments::persist`, which also documents the salt-bumping
+//! policy.
+
+pub mod admin;
+pub(crate) mod cache;
+pub mod codec;
+pub mod hash;
+pub mod stats;
+pub mod store;
+
+pub use codec::{CodecError, Decoder, Encoder, CODEC_VERSION};
+pub use hash::{hash128, Hasher128, Key};
+pub use stats::{CountersSnapshot, StoreStats};
+pub use store::{Artifact, ArtifactKind, Store};

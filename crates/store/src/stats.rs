@@ -1,0 +1,123 @@
+//! Hit/miss/byte counters, kept per artifact kind so a harness can prove
+//! statements like "the warm run performed zero double-double reference
+//! solves" directly from the store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::store::ArtifactKind;
+
+/// Counters for one artifact kind. All updates are `Relaxed`: the counters
+/// are monotone tallies read after the parallel section, not synchronization.
+#[derive(Default)]
+pub struct KindCounters {
+    /// Served from the in-process cache.
+    hits_mem: AtomicU64,
+    /// Served from disk (another run — or another process — computed it).
+    hits_disk: AtomicU64,
+    /// The compute closure ran.
+    misses: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl KindCounters {
+    pub(crate) fn record_hit_mem(&self) {
+        self.hits_mem.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hit_disk(&self, bytes: u64) {
+        self.hits_disk.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self, bytes_written: u64) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes_written, Ordering::Relaxed);
+    }
+}
+
+/// All counters of one [`crate::Store`].
+#[derive(Default)]
+pub struct StoreStats {
+    kinds: [KindCounters; ArtifactKind::COUNT],
+    /// Artifacts found on disk but rejected (bad magic/version/checksum);
+    /// each is treated as a miss and rewritten.
+    corrupt: AtomicU64,
+}
+
+impl StoreStats {
+    pub(crate) fn kind(&self, kind: ArtifactKind) -> &KindCounters {
+        &self.kinds[kind as usize]
+    }
+
+    pub(crate) fn record_corrupt(&self) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of one kind's counters.
+    pub fn snapshot(&self, kind: ArtifactKind) -> CountersSnapshot {
+        let k = self.kind(kind);
+        CountersSnapshot {
+            hits_mem: k.hits_mem.load(Ordering::Relaxed),
+            hits_disk: k.hits_disk.load(Ordering::Relaxed),
+            misses: k.misses.load(Ordering::Relaxed),
+            bytes_read: k.bytes_read.load(Ordering::Relaxed),
+            bytes_written: k.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn corrupt(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+}
+
+/// Plain-data view of [`KindCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    pub hits_mem: u64,
+    pub hits_disk: u64,
+    pub misses: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+impl CountersSnapshot {
+    /// Lookups served without running the compute closure.
+    pub fn hits(&self) -> u64 {
+        self.hits_mem + self.hits_disk
+    }
+
+    /// Counter deltas since an earlier snapshot of the same store.
+    pub fn since(&self, earlier: &CountersSnapshot) -> CountersSnapshot {
+        CountersSnapshot {
+            hits_mem: self.hits_mem - earlier.hits_mem,
+            hits_disk: self.hits_disk - earlier.hits_disk,
+            misses: self.misses - earlier.misses,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_and_deltas() {
+        let stats = StoreStats::default();
+        stats.kind(ArtifactKind::Reference).record_miss(100);
+        stats.kind(ArtifactKind::Reference).record_hit_mem();
+        stats.kind(ArtifactKind::Outcome).record_hit_disk(40);
+        let r = stats.snapshot(ArtifactKind::Reference);
+        assert_eq!((r.misses, r.hits(), r.bytes_written), (1, 1, 100));
+        let o = stats.snapshot(ArtifactKind::Outcome);
+        assert_eq!((o.hits_disk, o.bytes_read), (1, 40));
+
+        stats.kind(ArtifactKind::Reference).record_hit_disk(7);
+        let later = stats.snapshot(ArtifactKind::Reference);
+        let delta = later.since(&r);
+        assert_eq!((delta.hits_disk, delta.misses, delta.bytes_read), (1, 0, 7));
+        assert_eq!(stats.corrupt(), 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! The on-disk artifact store.
+//!
+//! Layout (content-addressed, two-level):
+//!
+//! ```text
+//! <root>/
+//!   .tmp/                 in-flight writes (unique names, renamed away)
+//!   <2-hex>/              shard = first byte of the key
+//!     <32-hex>.bin        one artifact: header + checksummed payload
+//! ```
+//!
+//! Writes are tmp-file + `rename`, which is atomic on POSIX filesystems:
+//! concurrent harness *processes* may both compute the same artifact, but a
+//! reader only ever observes either no file or a complete one — never a
+//! torn write. Both writers produce identical bytes (the key commits to all
+//! compute inputs), so the race is benign.
+//!
+//! Artifact container format (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "LPST"
+//!      4     1  container/codec version (see [`crate::codec::CODEC_VERSION`])
+//!      5     1  artifact kind
+//!      6     2  reserved (zero)
+//!      8    16  key (must match the file name)
+//!     24    16  SipHash-2-4-128 checksum of the payload
+//!     40     8  payload length
+//!     48     …  payload
+//! ```
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::cache::ShardedCache;
+use crate::codec::CODEC_VERSION;
+use crate::hash::{hash128, Key};
+use crate::stats::StoreStats;
+
+pub(crate) const MAGIC: [u8; 4] = *b"LPST";
+pub(crate) const HEADER_LEN: usize = 48;
+
+/// What an artifact holds; stored in the header so `lpa-store stats` can
+/// break a store down without decoding payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A matrix's double-double reference solution (or its recorded failure).
+    Reference = 0,
+    /// One (matrix, format) outcome.
+    Outcome = 1,
+}
+
+impl ArtifactKind {
+    pub const COUNT: usize = 2;
+    pub const ALL: [ArtifactKind; 2] = [ArtifactKind::Reference, ArtifactKind::Outcome];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Reference => "reference",
+            ArtifactKind::Outcome => "outcome",
+        }
+    }
+
+    pub fn from_u8(x: u8) -> Option<ArtifactKind> {
+        match x {
+            0 => Some(ArtifactKind::Reference),
+            1 => Some(ArtifactKind::Outcome),
+            _ => None,
+        }
+    }
+}
+
+/// A fully decoded artifact container.
+pub struct Artifact {
+    pub kind: ArtifactKind,
+    pub key: Key,
+    pub payload: Vec<u8>,
+}
+
+/// Serialize an artifact container (header + payload).
+pub(crate) fn encode_artifact(kind: ArtifactKind, key: Key, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(CODEC_VERSION);
+    out.push(kind as u8);
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&key.0);
+    out.extend_from_slice(&hash128(payload).0);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse and validate an artifact container (magic, version, length,
+/// payload checksum). The error string describes the corruption for
+/// `lpa-store verify`.
+pub(crate) fn decode_artifact(bytes: &[u8]) -> Result<Artifact, String> {
+    if bytes.len() < HEADER_LEN {
+        return Err(format!("file shorter than the {HEADER_LEN}-byte header"));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err("bad magic".to_string());
+    }
+    if bytes[4] != CODEC_VERSION {
+        return Err(format!("codec version {} (this build reads {})", bytes[4], CODEC_VERSION));
+    }
+    let kind = ArtifactKind::from_u8(bytes[5])
+        .ok_or_else(|| format!("unknown artifact kind {}", bytes[5]))?;
+    let key = Key(bytes[8..24].try_into().expect("16-byte slice"));
+    let checksum = Key(bytes[24..40].try_into().expect("16-byte slice"));
+    let len = u64::from_le_bytes(bytes[40..48].try_into().expect("8-byte slice"));
+    let payload = &bytes[HEADER_LEN..];
+    if len != payload.len() as u64 {
+        return Err(format!("payload length {} but {} bytes present", len, payload.len()));
+    }
+    if hash128(payload) != checksum {
+        return Err("payload checksum mismatch".to_string());
+    }
+    Ok(Artifact { kind, key, payload: payload.to_vec() })
+}
+
+/// A content-addressed artifact store rooted at one directory.
+///
+/// Safe to share across threads (`&Store` is all the driver's rayon workers
+/// need) and safe to open from several processes at once.
+pub struct Store {
+    root: PathBuf,
+    cache: ShardedCache,
+    stats: StoreStats,
+    tmp_counter: AtomicU64,
+}
+
+impl Store {
+    /// Open (creating if needed) the store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join(".tmp"))?;
+        Ok(Store {
+            root,
+            cache: ShardedCache::new(),
+            stats: StoreStats::default(),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Live counters of this store handle (per artifact kind).
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Final path of an artifact.
+    pub fn path_of(&self, key: Key) -> PathBuf {
+        self.root.join(key.shard()).join(format!("{}.bin", key.to_hex()))
+    }
+
+    fn read_disk(&self, kind: ArtifactKind, key: Key) -> io::Result<Option<Arc<Vec<u8>>>> {
+        let bytes = match std::fs::read(self.path_of(key)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match decode_artifact(&bytes) {
+            Ok(a) if a.kind == kind && a.key == key => Ok(Some(Arc::new(a.payload))),
+            // Corrupt or mislabelled: treat as a miss; the caller recomputes
+            // and the rewrite replaces the bad file.
+            _ => {
+                self.stats.record_corrupt();
+                Ok(None)
+            }
+        }
+    }
+
+    fn write_disk(&self, kind: ArtifactKind, key: Key, payload: &[u8]) -> io::Result<u64> {
+        let bytes = encode_artifact(kind, key, payload);
+        let final_path = self.path_of(key);
+        std::fs::create_dir_all(final_path.parent().expect("artifact path has a shard parent"))?;
+        // Unique tmp name per (process, write) so concurrent writers of the
+        // same key never share a tmp file; the rename is atomic.
+        let tmp = self.root.join(".tmp").join(format!(
+            "{}.{}.{}.tmp",
+            key.to_hex(),
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &final_path)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Look an artifact up (single-flight slot, then disk). `Ok(None)`
+    /// means not present; corrupt on-disk artifacts also read as absent.
+    pub fn get(&self, kind: ArtifactKind, key: Key) -> io::Result<Option<Arc<Vec<u8>>>> {
+        let slot = self.cache.slot(key);
+        let mut filled = slot.lock().expect("store slot mutex poisoned");
+        if let Some(payload) = filled.as_ref() {
+            self.stats.kind(kind).record_hit_mem();
+            return Ok(Some(payload.clone()));
+        }
+        let result = self.read_disk(kind, key)?;
+        if let Some(payload) = &result {
+            self.stats.kind(kind).record_hit_disk(payload.len() as u64);
+            *filled = Some(payload.clone());
+        }
+        self.cache.remove(key);
+        Ok(result)
+    }
+
+    /// Insert an artifact unconditionally (atomic write, counted as a
+    /// miss/recompute).
+    pub fn put(&self, kind: ArtifactKind, key: Key, payload: Vec<u8>) -> io::Result<Arc<Vec<u8>>> {
+        let slot = self.cache.slot(key);
+        let mut filled = slot.lock().expect("store slot mutex poisoned");
+        let written = self.write_disk(kind, key, &payload)?;
+        self.stats.kind(kind).record_miss(written);
+        let payload = Arc::new(payload);
+        *filled = Some(payload.clone());
+        self.cache.remove(key);
+        Ok(payload)
+    }
+
+    /// The store's reason to exist: return the stored payload for `key`, or
+    /// run `compute` exactly once (per process — concurrent threads block on
+    /// the same key's slot and read the filled value), persist its result,
+    /// and return it.
+    ///
+    /// The slot is dropped from the in-process map once resolved (the
+    /// driver touches each key exactly once per run, so holding payloads
+    /// for the store's lifetime would be pure memory overhead); a repeated
+    /// lookup through the same handle is served by the checksummed disk
+    /// copy, never by a recompute.
+    pub fn get_or_compute(
+        &self,
+        kind: ArtifactKind,
+        key: Key,
+        compute: impl FnOnce() -> Vec<u8>,
+    ) -> io::Result<Arc<Vec<u8>>> {
+        let slot = self.cache.slot(key);
+        let mut filled = slot.lock().expect("store slot mutex poisoned");
+        if let Some(payload) = filled.as_ref() {
+            self.stats.kind(kind).record_hit_mem();
+            return Ok(payload.clone());
+        }
+        let result = (|| {
+            if let Some(payload) = self.read_disk(kind, key)? {
+                self.stats.kind(kind).record_hit_disk(payload.len() as u64);
+                return Ok(payload);
+            }
+            let payload = compute();
+            let written = self.write_disk(kind, key, &payload)?;
+            self.stats.kind(kind).record_miss(written);
+            Ok(Arc::new(payload))
+        })();
+        if let Ok(payload) = &result {
+            *filled = Some(payload.clone());
+        }
+        // Resolved (or failed): either way the map entry must not linger —
+        // blocked racers keep their slot Arc, later callers go to disk, and
+        // an I/O failure leaves the key retryable.
+        self.cache.remove(key);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash128;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lpa-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_and_counters() {
+        let dir = scratch_dir("roundtrip");
+        let store = Store::open(&dir).unwrap();
+        let key = hash128(b"round-trip");
+        assert!(store.get(ArtifactKind::Reference, key).unwrap().is_none());
+
+        let got = store
+            .get_or_compute(ArtifactKind::Reference, key, || b"payload".to_vec())
+            .unwrap();
+        assert_eq!(&**got, b"payload");
+        // Second lookup through the same handle: the slot was dropped after
+        // resolution, so this is a (checksummed) disk read, not a recompute.
+        let again = store.get_or_compute(ArtifactKind::Reference, key, || panic!("must not recompute")).unwrap();
+        assert_eq!(&**again, b"payload");
+        let s = store.stats().snapshot(ArtifactKind::Reference);
+        assert_eq!((s.misses, s.hits_mem, s.hits_disk), (1, 0, 1));
+        assert!(s.bytes_written >= b"payload".len() as u64);
+
+        // A fresh handle (second process in spirit) reads it from disk.
+        let store2 = Store::open(&dir).unwrap();
+        let from_disk = store2
+            .get_or_compute(ArtifactKind::Reference, key, || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(&**from_disk, b"payload");
+        let s2 = store2.stats().snapshot(ArtifactKind::Reference);
+        assert_eq!((s2.misses, s2.hits_disk), (0, 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_artifacts_read_as_absent_and_are_healed() {
+        let dir = scratch_dir("corrupt");
+        let store = Store::open(&dir).unwrap();
+        let key = hash128(b"heal-me");
+        store.put(ArtifactKind::Outcome, key, b"good".to_vec()).unwrap();
+
+        // Flip a payload byte on disk, then look up through a fresh handle.
+        let path = store.path_of(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store2 = Store::open(&dir).unwrap();
+        assert!(store2.get(ArtifactKind::Outcome, key).unwrap().is_none());
+        assert_eq!(store2.stats().corrupt(), 1);
+        let healed =
+            store2.get_or_compute(ArtifactKind::Outcome, key, || b"good".to_vec()).unwrap();
+        assert_eq!(&**healed, b"good");
+        // And the disk copy is valid again.
+        let store3 = Store::open(&dir).unwrap();
+        assert_eq!(&**store3.get(ArtifactKind::Outcome, key).unwrap().unwrap(), b"good");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let dir = scratch_dir("kind");
+        let store = Store::open(&dir).unwrap();
+        let key = hash128(b"kinded");
+        store.put(ArtifactKind::Reference, key, b"ref".to_vec()).unwrap();
+        let store2 = Store::open(&dir).unwrap();
+        assert!(store2.get(ArtifactKind::Outcome, key).unwrap().is_none());
+        assert_eq!(store2.stats().corrupt(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn container_encoding_is_self_describing() {
+        let key = hash128(b"container");
+        let bytes = encode_artifact(ArtifactKind::Outcome, key, b"xyz");
+        let a = decode_artifact(&bytes).unwrap();
+        assert_eq!(a.kind, ArtifactKind::Outcome);
+        assert_eq!(a.key, key);
+        assert_eq!(a.payload, b"xyz");
+        assert!(decode_artifact(&bytes[..HEADER_LEN - 1]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(decode_artifact(&bad).is_err());
+        let mut wrong_version = bytes;
+        wrong_version[4] = 99;
+        assert!(decode_artifact(&wrong_version).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property coverage for the binary codec: every `f64`/`Dd` bit pattern —
+//! NaN payloads, infinities, signed zeros, subnormals — must survive a
+//! round trip exactly, for any matrix shape including empty and
+//! rectangular ones.
+
+use lpa_arith::Dd;
+use lpa_dense::DMatrix;
+use lpa_store::{Decoder, Encoder};
+use proptest::prelude::*;
+
+fn dd_bits_eq(a: Dd, b: Dd) -> bool {
+    a.hi.to_bits() == b.hi.to_bits() && a.lo.to_bits() == b.lo.to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn dd_round_trips_any_bit_pattern(hi in any::<u64>(), lo in any::<u64>()) {
+        let x = Dd { hi: f64::from_bits(hi), lo: f64::from_bits(lo) };
+        let mut e = Encoder::new();
+        e.put_dd(x);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = d.get_dd();
+        prop_assert!(back.is_ok(), "{back:?}");
+        prop_assert!(dd_bits_eq(back.unwrap(), x));
+        prop_assert!(d.finish().is_ok());
+    }
+
+    #[test]
+    fn special_float_classes_round_trip(
+        x in prop::num::f64::ZERO
+            | prop::num::f64::SUBNORMAL
+            | prop::num::f64::NORMAL
+            | prop::num::f64::INFINITE
+            | prop::num::f64::QUIET_NAN,
+    ) {
+        let mut e = Encoder::new();
+        e.put_f64(x);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = d.get_f64();
+        prop_assert!(back.is_ok(), "{back:?}");
+        prop_assert_eq!(back.unwrap().to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn dd_matrices_round_trip_any_shape(seed in any::<u64>(), nr in any::<u8>(), nc in any::<u8>()) {
+        // Shapes 0..=6 per side: exercises empty (0×0, 0×k, k×0), square
+        // and rectangular matrices; entries are raw bit noise (lots of
+        // NaNs/infinities by construction).
+        let nrows = (nr % 7) as usize;
+        let ncols = (nc % 7) as usize;
+        let mut rng = TestRng::seed_from_u64(seed);
+        let m = DMatrix::<Dd>::from_fn(nrows, ncols, |_, _| Dd {
+            hi: f64::from_bits(rng.next_u64()),
+            lo: f64::from_bits(rng.next_u64()),
+        });
+
+        let mut e = Encoder::new();
+        e.put_dd_matrix(&m);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = d.get_dd_matrix();
+        prop_assert!(back.is_ok(), "{back:?}");
+        let back = back.unwrap();
+        prop_assert!(d.finish().is_ok());
+        prop_assert_eq!(back.nrows(), nrows);
+        prop_assert_eq!(back.ncols(), ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                prop_assert!(dd_bits_eq(back[(i, j)], m[(i, j)]), "mismatch at ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dd_slices_round_trip(seed in any::<u64>(), len in any::<u8>()) {
+        let len = (len % 33) as usize;
+        let mut rng = TestRng::seed_from_u64(seed);
+        let xs: Vec<Dd> = (0..len)
+            .map(|_| Dd { hi: f64::from_bits(rng.next_u64()), lo: f64::from_bits(rng.next_u64()) })
+            .collect();
+        let mut e = Encoder::new();
+        e.put_dd_slice(&xs);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = d.get_dd_slice();
+        prop_assert!(back.is_ok(), "{back:?}");
+        let back = back.unwrap();
+        prop_assert!(d.finish().is_ok());
+        prop_assert_eq!(back.len(), xs.len());
+        for (a, b) in back.iter().zip(&xs) {
+            prop_assert!(dd_bits_eq(*a, *b));
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_never_panic(seed in any::<u64>(), cut in any::<u8>()) {
+        // Encode a small mixed payload, cut it anywhere, and decode: every
+        // outcome must be a clean CodecError, never a panic or an OOM-sized
+        // allocation.
+        let mut rng = TestRng::seed_from_u64(seed);
+        let mut e = Encoder::new();
+        e.put_u8(1);
+        e.put_dd_slice(&[Dd::from_f64(rng.unit_f64()), Dd::from_f64(rng.unit_f64())]);
+        e.put_usize_slice(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        let cut = (cut as usize) % bytes.len();
+        let mut d = Decoder::new(&bytes[..cut]);
+        // Drive the decoder through the schema; errors are expected, panics
+        // are not.
+        let _ = d.get_u8().and_then(|_| d.get_dd_slice()).and_then(|_| d.get_usize_slice());
+    }
+}

@@ -1,0 +1,107 @@
+//! Concurrency guarantees of the store: racing threads perform one compute
+//! per key, and artifacts written by one handle are visible to a fresh
+//! handle on the same directory (the "second process" case — each `Store`
+//! has its own in-process cache, so a new handle must go to disk).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use lpa_store::{hash128, ArtifactKind, Store};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lpa-store-conc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn racing_threads_compute_once_and_read_identical_bytes() {
+    let dir = scratch_dir("race");
+    let store = Store::open(&dir).unwrap();
+    let key = hash128(b"contended-key");
+    let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+
+    const THREADS: usize = 16;
+    let computes = AtomicUsize::new(0);
+    let barrier = Barrier::new(THREADS);
+    let results: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let bytes = store
+                        .get_or_compute(ArtifactKind::Reference, key, || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window: every other thread must
+                            // block on the slot, not find it filled by luck.
+                            std::thread::sleep(Duration::from_millis(20));
+                            payload.clone()
+                        })
+                        .unwrap();
+                    (*bytes).clone()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(computes.load(Ordering::SeqCst), 1, "compute must run exactly once");
+    assert_eq!(results.len(), THREADS);
+    for r in &results {
+        assert_eq!(r, &payload, "every racer must read identical bytes");
+    }
+    let s = store.stats().snapshot(ArtifactKind::Reference);
+    assert_eq!(s.misses, 1);
+    assert_eq!(s.hits(), THREADS as u64 - 1);
+
+    // A second process-style open of the same directory sees the artifact.
+    let second = Store::open(&dir).unwrap();
+    let got = second.get(ArtifactKind::Reference, key).unwrap().expect("artifact on disk");
+    assert_eq!(&*got, &payload);
+    let s2 = second.stats().snapshot(ArtifactKind::Reference);
+    assert_eq!((s2.hits_disk, s2.hits_mem, s2.misses), (1, 0, 0));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn two_handles_racing_on_one_directory_leave_valid_identical_artifacts() {
+    // Two Store handles on one directory stand in for two concurrent
+    // harness processes: both may compute the same keys (single-flight is
+    // per-process), but the atomic tmp+rename writes must leave exactly one
+    // valid artifact per key and readers must never observe torn bytes.
+    let dir = scratch_dir("two-handles");
+    let a = Store::open(&dir).unwrap();
+    let b = Store::open(&dir).unwrap();
+    const KEYS: usize = 32;
+    let payload_for = |i: usize| vec![i as u8; 512 + i];
+
+    std::thread::scope(|scope| {
+        for handle in [&a, &b] {
+            scope.spawn(move || {
+                for i in 0..KEYS {
+                    let key = hash128(format!("shared-{i}").as_bytes());
+                    let bytes = handle
+                        .get_or_compute(ArtifactKind::Outcome, key, || payload_for(i))
+                        .unwrap();
+                    assert_eq!(&*bytes, &payload_for(i));
+                }
+            });
+        }
+    });
+
+    // Every artifact on disk is complete and checksums clean.
+    let report = lpa_store::admin::verify(&dir).unwrap();
+    assert_eq!(report.ok, KEYS);
+    assert!(report.corrupt.is_empty(), "{:?}", report.corrupt);
+    // And a third handle reads every key back.
+    let c = Store::open(&dir).unwrap();
+    for i in 0..KEYS {
+        let key = hash128(format!("shared-{i}").as_bytes());
+        let got = c.get(ArtifactKind::Outcome, key).unwrap().expect("present");
+        assert_eq!(&*got, &payload_for(i));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

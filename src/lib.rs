@@ -12,7 +12,9 @@
 //! * [`arnoldi`] — the Krylov–Schur implicitly restarted Arnoldi method,
 //! * [`datagen`] — synthetic SuiteSparse / Network Repository substitute
 //!   corpora,
-//! * [`experiments`] — the paper's experiment pipeline and reporting.
+//! * [`experiments`] — the paper's experiment pipeline and reporting,
+//! * [`store`] — the persistent content-addressed experiment store that
+//!   makes harness runs resumable and warm-startable.
 
 pub use lpa_arith as arith;
 pub use lpa_arnoldi as arnoldi;
@@ -21,6 +23,7 @@ pub use lpa_datagen as datagen;
 pub use lpa_dense as dense;
 pub use lpa_experiments as experiments;
 pub use lpa_sparse as sparse;
+pub use lpa_store as store;
 
 pub use lpa_arith::{Dd, Real};
 pub use lpa_arnoldi::{partial_schur, ArnoldiOptions, PartialSchur, Which};
