@@ -11,20 +11,25 @@
 //! `tests/lut_exhaustive.rs` verify exactly that for all 65 536 operand
 //! pairs per operation.
 //!
-//! For the 16-bit formats a full binary table would be 8 GiB, but a 64 Ki ×
-//! `f64` *decode* table (512 KiB) is still cheap and removes the full
-//! unpack from `to_f64`, comparisons and zero/NaN classification — the
-//! operations that dominate outside the arithmetic kernel proper (`nrm2`
-//! scaling tests, convergence checks, `iamax`).
+//! For the 16-bit formats a full binary table would be 8 GiB, but 64 Ki ×
+//! entry tables are still cheap: a `f64` *decode* table (512 KiB,
+//! [`Decode16`]) removes the full unpack from `to_f64`, comparisons and
+//! zero/NaN classification, and the *unpack-once* tables ([`Lut16`]) map
+//! every bit pattern straight to its [`Unpacked`] form plus precomputed
+//! results for the unary ops — so binary ops skip both operand decodes and
+//! only pay the soft-float core for the combine/round/encode step, and
+//! unary ops (`neg`/`abs`/`sqrt`/`recip`) become a single indexed load.
+//! `LPA_ARITH_TIER` (see [`crate::tier`]) can force the 16-bit formats back
+//! onto the reference path.
 //!
 //! Backend tiers after this module (see README):
 //!
-//! | tier          | formats                | binary ops | decode/compare |
-//! |---------------|------------------------|------------|----------------|
-//! | LUT           | all 8-bit              | table      | table          |
-//! | decode-table  | all 16-bit             | soft-float | table          |
-//! | soft-float    | 32/64-bit posit, takum | soft-float | unpack         |
-//! | native        | f32, f64 (+ Dd pairs)  | hardware   | hardware       |
+//! | tier          | formats                | binary ops          | unary ops  | decode/compare |
+//! |---------------|------------------------|---------------------|------------|----------------|
+//! | LUT           | all 8-bit              | table               | table      | table          |
+//! | unpack-once   | all 16-bit             | table + round/encode| table      | table          |
+//! | soft-float    | 32/64-bit posit, takum | soft-float          | soft-float | unpack         |
+//! | native        | f32, f64 (+ Dd pairs)  | hardware            | hardware   | hardware       |
 
 use crate::ieee::pack_f64;
 use crate::softfloat;
@@ -37,6 +42,28 @@ const N8X8: usize = 1 << 16;
 /// Number of bit patterns of a 16-bit format.
 const N16: usize = 1 << 16;
 
+/// One lazily-built static table per expansion site. Rust shares a `static`
+/// inside a *generic* function across all instantiations, so per-format
+/// tables must come from a macro expansion; this helper keeps the
+/// `OnceLock` boilerplate in one place so adding a table tier to a backend
+/// macro is a one-liner.
+macro_rules! format_table {
+    ($table:ty, $build:expr) => {{
+        static TABLE: std::sync::OnceLock<$table> = std::sync::OnceLock::new();
+        TABLE.get_or_init($build)
+    }};
+}
+pub(crate) use format_table;
+
+/// A heap-allocated fixed-size table (the larger tables would overflow the
+/// stack as plain arrays).
+fn boxed<T: Copy, const N: usize>(fill: T) -> Box<[T; N]> {
+    match vec![fill; N].into_boxed_slice().try_into() {
+        Ok(table) => table,
+        Err(_) => unreachable!("the vec was built with length N"),
+    }
+}
+
 /// Complete operation tables for one 8-bit format.
 pub struct Lut8 {
     add: Box<[u8; N8X8]>,
@@ -48,10 +75,6 @@ pub struct Lut8 {
     sqrt: [u8; N8],
     recip: [u8; N8],
     decode: [f64; N8],
-}
-
-fn boxed_table() -> Box<[u8; N8X8]> {
-    vec![0u8; N8X8].into_boxed_slice().try_into().expect("length is N8X8")
 }
 
 impl Lut8 {
@@ -68,10 +91,10 @@ impl Lut8 {
         let one = decode(encode(&crate::ieee::unpack_f64(1.0)));
 
         let mut lut = Lut8 {
-            add: boxed_table(),
-            sub: boxed_table(),
-            mul: boxed_table(),
-            div: boxed_table(),
+            add: boxed(0),
+            sub: boxed(0),
+            mul: boxed(0),
+            div: boxed(0),
             neg: [0; N8],
             abs: [0; N8],
             sqrt: [0; N8],
@@ -174,5 +197,91 @@ impl Decode16 {
     #[inline(always)]
     pub fn decode(&self, a: u16) -> f64 {
         self.to_f64[a as usize]
+    }
+}
+
+/// Unpack-once tables for one 16-bit format: every bit pattern mapped to
+/// its [`Unpacked`] form (so binary ops skip both operand decodes and only
+/// run the soft-float combine/round/encode step) plus full result tables
+/// for the unary operations (a single indexed load each).
+///
+/// ~1.5 MiB for the unpack table plus 4 × 128 KiB for the unary tables per
+/// format, built once on first use.  Like [`Lut8`], the tables are
+/// generated **from the soft-float path itself**, so they cannot disagree
+/// with the reference implementation; `tests/dec16_exhaustive.rs` verifies
+/// the unary tables exhaustively and `tests/proptests.rs` verifies the
+/// binary fast path differentially.
+pub struct Lut16 {
+    unpack: Box<[Unpacked; N16]>,
+    neg: Box<[u16; N16]>,
+    abs: Box<[u16; N16]>,
+    sqrt: Box<[u16; N16]>,
+    recip: Box<[u16; N16]>,
+}
+
+impl Lut16 {
+    /// Generate the tables from a format codec.
+    ///
+    /// The per-entry procedures mirror `types.rs`'s soft-float operator
+    /// implementations step for step (and `recip` mirrors the
+    /// `Real::recip` default `one / x`, `one` included its
+    /// decode(encode(..)) round trip), which is what makes the backend
+    /// bit-identical by construction.
+    pub fn build(decode: impl Fn(u16) -> Unpacked, encode: impl Fn(&Unpacked) -> u16) -> Lut16 {
+        let one = decode(encode(&crate::ieee::unpack_f64(1.0)));
+
+        let mut lut = Lut16 {
+            unpack: boxed(Unpacked::zero(false)),
+            neg: boxed(0),
+            abs: boxed(0),
+            sqrt: boxed(0),
+            recip: boxed(0),
+        };
+        for bits in 0..N16 {
+            let u = decode(bits as u16);
+            lut.unpack[bits] = u;
+            lut.neg[bits] = {
+                let mut n = u;
+                if !n.is_nan() {
+                    n.sign = !n.sign;
+                }
+                encode(&n)
+            };
+            lut.abs[bits] = {
+                let mut a = u;
+                a.sign = false;
+                encode(&a)
+            };
+            lut.sqrt[bits] = encode(&softfloat::sqrt(&u));
+            lut.recip[bits] = encode(&softfloat::div(&one, &u));
+        }
+        lut
+    }
+
+    /// The decoded form of a bit pattern — exactly what the codec's
+    /// `decode` returns for it.
+    #[inline(always)]
+    pub fn unpack(&self, a: u16) -> &Unpacked {
+        &self.unpack[a as usize]
+    }
+
+    #[inline(always)]
+    pub fn neg(&self, a: u16) -> u16 {
+        self.neg[a as usize]
+    }
+
+    #[inline(always)]
+    pub fn abs(&self, a: u16) -> u16 {
+        self.abs[a as usize]
+    }
+
+    #[inline(always)]
+    pub fn sqrt(&self, a: u16) -> u16 {
+        self.sqrt[a as usize]
+    }
+
+    #[inline(always)]
+    pub fn recip(&self, a: u16) -> u16 {
+        self.recip[a as usize]
     }
 }

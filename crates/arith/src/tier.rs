@@ -1,0 +1,106 @@
+//! Runtime selection of the 16-bit arithmetic backend tier.
+//!
+//! The 16-bit formats are served by the unpack-once table path
+//! ([`crate::lut::Lut16`]) by default, with the decode → soft-float kernel →
+//! round reference path always available behind it.  Both produce
+//! bit-identical results (enforced by `tests/dec16_exhaustive.rs` and the
+//! differential suites in `tests/proptests.rs`), so the selector exists for
+//! verification, not semantics: it lets the conformance tests, the
+//! end-to-end experiment guard and ad-hoc debugging force either path and
+//! prove the outputs match.
+//!
+//! Selection, in precedence order:
+//!
+//! 1. [`force_dec16_tier`] — a process-global programmatic override used by
+//!    tests that compare both paths in one process,
+//! 2. the `LPA_ARITH_TIER` environment variable (mirroring the
+//!    `LPA_BENCH_*`/`LPA_STORE` harness knobs): `unpack` (or `table`)
+//!    selects the table path, `softfloat` the reference path,
+//! 3. the default: `unpack`.
+//!
+//! The check on the hot path is a single relaxed atomic load and a
+//! perfectly predicted branch; the environment is read at most once.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The arithmetic backend tier serving the 16-bit formats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dec16Tier {
+    /// Operands are unpacked via a 64 Ki-entry table and unary ops are a
+    /// single indexed load; only rounding/encode still runs the soft-float
+    /// core (the default).
+    Unpack,
+    /// The full decode → kernel → round reference path.
+    Softfloat,
+}
+
+const UNSET: u8 = 0;
+const UNPACK: u8 = 1;
+const SOFTFLOAT: u8 = 2;
+
+static DEC16_TIER: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Whether the 16-bit formats should serve arithmetic from the unpack-once
+/// tables (see the module docs for the selection rules).
+#[inline]
+pub fn dec16_unpack_enabled() -> bool {
+    match DEC16_TIER.load(Ordering::Relaxed) {
+        UNPACK => true,
+        SOFTFLOAT => false,
+        _ => init_from_env(),
+    }
+}
+
+/// The currently active 16-bit tier.
+pub fn dec16_tier() -> Dec16Tier {
+    if dec16_unpack_enabled() {
+        Dec16Tier::Unpack
+    } else {
+        Dec16Tier::Softfloat
+    }
+}
+
+/// Force the 16-bit tier for the rest of the process (overriding the
+/// environment), taking effect on the next operation.
+///
+/// Both tiers are bit-identical, so flipping this mid-run never changes any
+/// computed value — it exists so differential tests can run the same
+/// workload through both paths in one process.
+pub fn force_dec16_tier(tier: Dec16Tier) {
+    let v = match tier {
+        Dec16Tier::Unpack => UNPACK,
+        Dec16Tier::Softfloat => SOFTFLOAT,
+    };
+    DEC16_TIER.store(v, Ordering::Relaxed);
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let v = match std::env::var("LPA_ARITH_TIER").as_deref() {
+        Ok("softfloat") => SOFTFLOAT,
+        Ok("unpack") | Ok("table") | Ok("") | Err(_) => UNPACK,
+        Ok(other) => panic!(
+            "LPA_ARITH_TIER={other:?} is not a known tier (expected \"unpack\" or \"softfloat\")"
+        ),
+    };
+    // A racing `force_dec16_tier` may have stored a value in the meantime;
+    // that call wins. Both tiers compute identical bits, so the race is
+    // benign either way.
+    let _ = DEC16_TIER.compare_exchange(UNSET, v, Ordering::Relaxed, Ordering::Relaxed);
+    DEC16_TIER.load(Ordering::Relaxed) == UNPACK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_overrides_and_flips() {
+        force_dec16_tier(Dec16Tier::Softfloat);
+        assert_eq!(dec16_tier(), Dec16Tier::Softfloat);
+        assert!(!dec16_unpack_enabled());
+        force_dec16_tier(Dec16Tier::Unpack);
+        assert_eq!(dec16_tier(), Dec16Tier::Unpack);
+        assert!(dec16_unpack_enabled());
+    }
+}

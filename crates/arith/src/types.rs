@@ -8,9 +8,13 @@
 //!   tables ([`crate::lut::Lut8`]), generated once per format from the
 //!   soft-float path — bit-identical to it by construction and several
 //!   times faster.
-//! * **16-bit formats** keep soft-float arithmetic but use a 64 Ki-entry
-//!   decode table ([`crate::lut::Decode16`]) for `to_f64`, comparisons and
-//!   zero/NaN classification, skipping the full unpack on those paths.
+//! * **16-bit formats** unpack once through a 64 Ki-entry table
+//!   ([`crate::lut::Lut16`]): binary ops read both operands pre-decoded and
+//!   only pay the soft-float core for rounding/encode, unary ops
+//!   (`neg`/`abs`/`sqrt`/`recip`) are a single indexed load, and a
+//!   64 Ki-entry decode table ([`crate::lut::Decode16`]) serves `to_f64`,
+//!   comparisons and zero/NaN classification.  `LPA_ARITH_TIER` (see
+//!   [`crate::tier`]) can force the reference path.
 //! * **32/64-bit formats** use the soft-float kernel directly; their
 //!   significands do not fit in `f64`, so correctly rounded emulation needs
 //!   the wide integer path.
@@ -343,8 +347,7 @@ macro_rules! lut8_backend {
             /// This format's operation tables (built on first use).
             #[inline]
             fn lut() -> &'static crate::lut::Lut8 {
-                static LUT: std::sync::OnceLock<crate::lut::Lut8> = std::sync::OnceLock::new();
-                LUT.get_or_init(|| {
+                crate::lut::format_table!(crate::lut::Lut8, || {
                     crate::lut::Lut8::build(
                         |bits| $codec::decode(bits as u64, &$spec),
                         |u| $codec::encode(u, &$spec) as u8,
@@ -417,24 +420,76 @@ macro_rules! lut8_backend {
     };
 }
 
-/// Decode-table backend for the 16-bit formats: arithmetic stays on the
-/// soft-float kernel, but `to_f64`, comparisons and classification skip the
-/// unpack via a 64 Ki-entry table (every 16-bit value is exact in `f64`).
+/// One binary operator of the unpack-once 16-bit backend: both operands
+/// come pre-decoded from the [`crate::lut::Lut16`] table (exactly what the
+/// codec's `decode` returns, so the result is bit-identical to the
+/// reference path), and only the kernel combine + round/encode still runs.
+/// `LPA_ARITH_TIER` / [`crate::tier::force_dec16_tier`] fall back to the
+/// full reference path.
+macro_rules! dec16_binop {
+    ($name:ident, $op_trait:ident, $op_fn:ident, $kernel:ident, $reference:ident) => {
+        impl core::ops::$op_trait for $name {
+            type Output = Self;
+            #[inline]
+            fn $op_fn(self, o: Self) -> Self {
+                if crate::tier::dec16_unpack_enabled() {
+                    let lut = Self::lut16();
+                    Self::pack(&softfloat::$kernel(lut.unpack(self.0), lut.unpack(o.0)))
+                } else {
+                    self.$reference(o)
+                }
+            }
+        }
+    };
+}
+
+/// Unpack-once backend for the 16-bit formats: binary ops read both
+/// operands pre-decoded from a 64 Ki-entry table and only pay the
+/// soft-float core for the combine/round/encode step, unary ops are a
+/// single indexed load from full result tables, and `to_f64`, comparisons
+/// and classification skip the unpack via the `f64` decode table (every
+/// 16-bit value is exact in `f64`).  Bit-identical to the soft-float
+/// reference path by construction; [`crate::tier`] can force the reference
+/// path at runtime.
 macro_rules! dec16_backend {
     ($name:ident, $fmtname:expr, $max_pat:expr, $min_pat:expr, $codec:ident, $spec:expr) => {
         impl $name {
             /// This format's `bits → f64` decode table (built on first use).
             #[inline]
             fn decode_table() -> &'static crate::lut::Decode16 {
-                static TABLE: std::sync::OnceLock<crate::lut::Decode16> =
-                    std::sync::OnceLock::new();
-                TABLE.get_or_init(|| {
+                crate::lut::format_table!(crate::lut::Decode16, || {
                     crate::lut::Decode16::build(|bits| $codec::decode(bits as u64, &$spec))
+                })
+            }
+
+            /// This format's unpack-once tables (built on first use).
+            #[inline]
+            fn lut16() -> &'static crate::lut::Lut16 {
+                crate::lut::format_table!(crate::lut::Lut16, || {
+                    crate::lut::Lut16::build(
+                        |bits| $codec::decode(bits as u64, &$spec),
+                        |u| $codec::encode(u, &$spec) as u16,
+                    )
                 })
             }
         }
 
-        softfloat_ops!($name);
+        dec16_binop!($name, Add, add, add, softfloat_add);
+        dec16_binop!($name, Sub, sub, sub, softfloat_sub);
+        dec16_binop!($name, Mul, mul, mul, softfloat_mul);
+        dec16_binop!($name, Div, div, div, softfloat_div);
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                if crate::tier::dec16_unpack_enabled() {
+                    $name(Self::lut16().neg(self.0))
+                } else {
+                    self.softfloat_neg()
+                }
+            }
+        }
+
         decoded_cmp_backend!($name);
 
         impl Real for $name {
@@ -447,11 +502,29 @@ macro_rules! dec16_backend {
             }
             #[inline]
             fn abs(self) -> Self {
-                self.softfloat_abs()
+                if crate::tier::dec16_unpack_enabled() {
+                    $name(Self::lut16().abs(self.0))
+                } else {
+                    self.softfloat_abs()
+                }
             }
             #[inline]
             fn sqrt(self) -> Self {
-                self.softfloat_sqrt()
+                if crate::tier::dec16_unpack_enabled() {
+                    $name(Self::lut16().sqrt(self.0))
+                } else {
+                    self.softfloat_sqrt()
+                }
+            }
+            #[inline]
+            fn recip(self) -> Self {
+                // Table built as `one / x` through the kernel, matching the
+                // `Real::recip` default exactly (as does the fallback).
+                if crate::tier::dec16_unpack_enabled() {
+                    $name(Self::lut16().recip(self.0))
+                } else {
+                    Self::one() / self
+                }
             }
         }
     };

@@ -9,6 +9,10 @@
 //!   so `f64` serves as an oracle for the soft-float kernel,
 //! * tapered formats are monotone in their (two's complement) bit patterns
 //!   and never round a finite non-zero value to zero or NaR,
+//! * the unpack-once 16-bit fast path must be bit-identical to the
+//!   soft-float reference for the binary ops, over random operand pairs
+//!   *and* a hand-built boundary corpus (the exhaustive unary sweep lives
+//!   in `tests/dec16_exhaustive.rs`),
 //! * the double-double reference type has (much) smaller rounding error than
 //!   `f64`.
 
@@ -18,6 +22,128 @@ use proptest::test_runner::TestCaseError;
 
 fn same(a: f64, b: f64) -> bool {
     (a.is_nan() && b.is_nan()) || a == b
+}
+
+/// Per-format differential check of the unpack-once 16-bit fast path: the
+/// operators (table path by default) must produce the exact bit pattern of
+/// the soft-float reference for every binary operation.
+macro_rules! dec16_differential_fns {
+    ($check:ident, $t:ty) => {
+        fn $check(a: u16, b: u16) {
+            let x = <$t>::from_bits(a);
+            let y = <$t>::from_bits(b);
+            assert_eq!(
+                (x + y).to_bits(),
+                x.softfloat_add(y).to_bits(),
+                "{a:#06x} + {b:#06x} in {}",
+                <$t>::NAME
+            );
+            assert_eq!(
+                (x - y).to_bits(),
+                x.softfloat_sub(y).to_bits(),
+                "{a:#06x} - {b:#06x} in {}",
+                <$t>::NAME
+            );
+            assert_eq!(
+                (x * y).to_bits(),
+                x.softfloat_mul(y).to_bits(),
+                "{a:#06x} * {b:#06x} in {}",
+                <$t>::NAME
+            );
+            assert_eq!(
+                (x / y).to_bits(),
+                x.softfloat_div(y).to_bits(),
+                "{a:#06x} / {b:#06x} in {}",
+                <$t>::NAME
+            );
+        }
+    };
+}
+
+dec16_differential_fns!(dec16_differential_f16, F16);
+dec16_differential_fns!(dec16_differential_bf16, Bf16);
+dec16_differential_fns!(dec16_differential_posit16, Posit16);
+dec16_differential_fns!(dec16_differential_posit16_es1, Posit16Es1);
+dec16_differential_fns!(dec16_differential_takum16, Takum16);
+
+fn dec16_differential_all(a: u16, b: u16) {
+    dec16_differential_f16(a, b);
+    dec16_differential_bf16(a, b);
+    dec16_differential_posit16(a, b);
+    dec16_differential_posit16_es1(a, b);
+    dec16_differential_takum16(a, b);
+}
+
+/// The hand-built boundary corpus for the 16-bit differential tests:
+/// specials (NaR / NaN / ±inf), ±0, every format's max-finite and
+/// min-positive patterns and their neighbours, the F16 subnormal edges,
+/// one-bits, and every power-of-two pattern `1 << k` with its `(1 << k)-1`
+/// regime/exponent-window boundary — in both sign halves.
+///
+/// The pattern space of the five formats overlaps (e.g. `0x7C00` is F16
+/// +inf, a bfloat16 normal, a posit16 regime edge and a takum16 value), so
+/// one shared corpus exercises every format's edge cases at once.
+fn dec16_boundary_corpus() -> Vec<u16> {
+    let mut pats: Vec<u16> = vec![
+        // Zeros / NaR / signed-zero and their immediate neighbours.
+        0x0000, 0x0001, 0x0002, 0x8000, 0x8001, 0x8002, // F16/bfloat16 specials and subnormal edges.
+        0x00ff, 0x0100, 0x0380, 0x03ff, 0x0400, 0x0401, // subnormal/normal boundary
+        0x7bff, 0x7c00, 0x7c01, 0x7e00, 0x7f80, 0x7fc0, // max finite / inf / NaN payloads
+        0x7ffe, 0x7fff, 0xfbff, 0xfc00, 0xfe00, 0xff80, 0xfffe, 0xffff,
+    ];
+    for k in 0..16u32 {
+        let p = 1u16 << k;
+        pats.push(p);
+        pats.push(p.wrapping_sub(1));
+        pats.push(p | 0x8000);
+        pats.push(p.wrapping_sub(1) | 0x8000);
+    }
+    for bits in [
+        F16::max_finite().to_bits(),
+        F16::min_positive().to_bits(),
+        F16::one().to_bits(),
+        Bf16::max_finite().to_bits(),
+        Bf16::min_positive().to_bits(),
+        Bf16::one().to_bits(),
+        Posit16::max_finite().to_bits(),
+        Posit16::min_positive().to_bits(),
+        Posit16::one().to_bits(),
+        Posit16Es1::max_finite().to_bits(),
+        Posit16Es1::min_positive().to_bits(),
+        Takum16::max_finite().to_bits(),
+        Takum16::min_positive().to_bits(),
+        Takum16::one().to_bits(),
+    ] {
+        // The pattern, its bit-neighbours, and their sign-half mirrors
+        // (two's-complement negation for the tapered formats, sign-bit flip
+        // for the IEEE-style ones).
+        for p in [bits.wrapping_sub(1), bits, bits.wrapping_add(1)] {
+            pats.push(p);
+            pats.push(p ^ 0x8000);
+            pats.push(p.wrapping_neg());
+        }
+    }
+    pats.sort_unstable();
+    pats.dedup();
+    pats
+}
+
+/// Every pair of boundary-corpus patterns, all four binary ops, all five
+/// 16-bit formats: fast path == soft-float reference, bit for bit.
+#[test]
+fn dec16_fast_path_matches_softfloat_on_boundary_corpus() {
+    assert_eq!(
+        lpa_arith::dec16_tier(),
+        lpa_arith::Dec16Tier::Unpack,
+        "the differential corpus must exercise the table path"
+    );
+    let pats = dec16_boundary_corpus();
+    assert!(pats.len() >= 100, "corpus unexpectedly small: {}", pats.len());
+    for &a in &pats {
+        for &b in &pats {
+            dec16_differential_all(a, b);
+        }
+    }
 }
 
 /// f64 is an exact oracle for narrow formats (2p + 2 <= 53).
@@ -150,6 +276,11 @@ proptest! {
         check::<Takum8>(a, b)?;
         check::<Takum16>(a, b)?;
         check::<Takum32>(a, b)?;
+    }
+
+    #[test]
+    fn dec16_fast_path_matches_softfloat_on_random_pairs(a in any::<u16>(), b in any::<u16>()) {
+        dec16_differential_all(a, b);
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! Machine-readable micro-benchmark summary: `cargo bench -p lpa-bench
 //! --bench bench_summary` writes `out/BENCH_micro.json` with median ns/op
 //! per format for scalar add/mul, per-element dot and per-nonzero SpMV,
-//! the soft-float baselines for the LUT-served 8-bit formats, the
-//! end-to-end wall time of a Figure-1 style experiment run, and the
-//! cold-vs-warm cost of the same run through the persistent `lpa-store`
-//! (the `store` block: hit/miss counters and wall times).
+//! the soft-float baselines for the table-served formats (the LUT 8-bit
+//! tier *and* the unpack-once 16-bit tier — compare e.g. `f16` against
+//! `f16_softfloat` for the fast path's before/after), the end-to-end wall
+//! time of a Figure-1 style experiment run, and the cold-vs-warm cost of
+//! the same run through the persistent `lpa-store` (the `store` block:
+//! hit/miss counters and wall times).
 //!
 //! The file gives future PRs a perf trajectory to compare against; keep the
-//! schema (`lpa-bench-micro/v2`) stable or bump the version.
+//! schema (`lpa-bench-micro/v3`) stable or bump the version.
 
 use std::time::Instant;
 
@@ -127,8 +129,9 @@ fn json_name(name: &str) -> String {
     name.to_lowercase().replace([' ', '(', ')', '='], "_").replace("__", "_")
 }
 
-/// Soft-float baseline for a LUT-served 8-bit format (same chains as
-/// `scalar_add_ns`/`scalar_mul_ns` but through the reference path).
+/// Soft-float baseline for a table-served format (same chains as
+/// `scalar_add_ns`/`scalar_mul_ns` but through the reference path, which
+/// pays the full bitfield decode on every operand).
 macro_rules! softfloat_baseline {
     ($t:ty, $a64:expr, $out:expr) => {{
         let xs = operands::<$t>();
@@ -181,6 +184,10 @@ fn main() {
     softfloat_baseline!(E5M2, &a64, formats);
     softfloat_baseline!(Posit8, &a64, formats);
     softfloat_baseline!(Takum8, &a64, formats);
+    softfloat_baseline!(F16, &a64, formats);
+    softfloat_baseline!(Bf16, &a64, formats);
+    softfloat_baseline!(Posit16, &a64, formats);
+    softfloat_baseline!(Takum16, &a64, formats);
 
     for (name, entry) in &formats {
         if let Value::Map(ops) = entry {
@@ -250,7 +257,7 @@ fn main() {
     };
 
     let summary = Value::Map(vec![
-        ("schema".to_string(), Value::Str("lpa-bench-micro/v2".to_string())),
+        ("schema".to_string(), Value::Str("lpa-bench-micro/v3".to_string())),
         (
             "config".to_string(),
             Value::Map(vec![
@@ -259,6 +266,10 @@ fn main() {
                 ("spmv_matrix".to_string(), Value::Str("laplacian_2d 24x24".to_string())),
                 ("units".to_string(), Value::Str("ns per scalar op / element / nnz".to_string())),
                 ("threads".to_string(), Value::Num(rayon::current_num_threads() as f64)),
+                (
+                    "dec16_tier".to_string(),
+                    Value::Str(format!("{:?}", lpa_arith::dec16_tier()).to_lowercase()),
+                ),
                 (
                     "figure1_matrices".to_string(),
                     Value::Num((results.matrices.len() + results.skipped.len()) as f64),

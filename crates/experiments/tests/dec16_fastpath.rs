@@ -1,0 +1,65 @@
+//! End-to-end guard for the unpack-once 16-bit arithmetic fast path: a
+//! small (matrix × 16-bit-format) experiment grid run with the fast path
+//! forced **off** and forced **on** must produce byte-identical serialized
+//! results — both the JSON serialization of the whole `ExperimentResults`
+//! and the `lpa-store` payload encoding of every outcome.
+//!
+//! This is the proof that the fast path needs no
+//! [`lpa_experiments::persist::CODE_VERSION_SALT`] bump: the persisted
+//! store artifacts of a warm-started run keyed on the current salt stay
+//! valid, and the warm-start CI assertion (zero reference misses,
+//! byte-identical CSVs) keeps holding.
+//!
+//! Kept as a single test in its own integration binary because it toggles
+//! the process-global 16-bit tier.
+
+use lpa_arith::{force_dec16_tier, Dec16Tier};
+use lpa_datagen::{general_corpus, CorpusConfig, TestMatrix};
+use lpa_experiments::{persist, run_experiment, ExperimentConfig, FormatTag};
+
+#[test]
+fn fast_path_grid_serializes_identically_to_softfloat() {
+    let corpus: Vec<TestMatrix> = general_corpus(&CorpusConfig {
+        scale: 1,
+        size_range: (24, 36),
+        ..CorpusConfig::tiny()
+    })
+    .into_iter()
+    .take(4)
+    .collect();
+    assert!(corpus.len() >= 3, "corpus too small to exercise the grid");
+    let formats = FormatTag::with_bits(16);
+    assert_eq!(formats.len(), 4, "all four 16-bit formats must be under test");
+    let cfg = ExperimentConfig {
+        eigenvalue_count: 3,
+        eigenvalue_buffer_count: 2,
+        max_restarts: 40,
+        ..Default::default()
+    };
+
+    force_dec16_tier(Dec16Tier::Softfloat);
+    let soft = run_experiment(&corpus, &formats, &cfg);
+    force_dec16_tier(Dec16Tier::Unpack);
+    let fast = run_experiment(&corpus, &formats, &cfg);
+
+    // The whole result object, serialization included, must not change.
+    let soft_json = serde_json::to_string(&soft).expect("serialize soft-float results");
+    let fast_json = serde_json::to_string(&fast).expect("serialize fast-path results");
+    assert_eq!(soft_json, fast_json, "16-bit fast path changed experiment results");
+
+    // And neither must the store payload bytes of any outcome: this is the
+    // exact encoding persisted under CODE_VERSION_SALT-derived keys.
+    assert!(!soft.matrices.is_empty(), "every reference solve failed");
+    for (ms, mf) in soft.matrices.iter().zip(&fast.matrices) {
+        for ((fs, os), (ff, of)) in ms.outcomes.iter().zip(&mf.outcomes) {
+            assert_eq!(fs, ff);
+            assert_eq!(
+                persist::encode_outcome(os),
+                persist::encode_outcome(of),
+                "persisted outcome bytes diverged for {} / {:?}",
+                ms.name,
+                fs
+            );
+        }
+    }
+}
