@@ -49,7 +49,7 @@ pub mod unpacked;
 pub use dd::Dd;
 pub use info::FormatInfo;
 pub use real::Real;
-pub use tier::{dec16_tier, force_dec16_tier, Dec16Tier};
+pub use tier::{dec16_tier, env_dec16_tier, force_dec16_tier, Dec16Tier};
 pub use types::{
     Bf16, E4M3, E5M2, F16, Posit16, Posit16Es1, Posit32, Posit64, Posit8, Posit8Es0, Takum16,
     Takum32, Takum64, Takum8,

@@ -34,6 +34,39 @@ pub enum Dec16Tier {
     Softfloat,
 }
 
+impl std::str::FromStr for Dec16Tier {
+    type Err = String;
+
+    /// Accepts the `LPA_ARITH_TIER` vocabulary: `unpack` (or its historical
+    /// alias `table`) and `softfloat`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "unpack" | "table" => Ok(Dec16Tier::Unpack),
+            "softfloat" => Ok(Dec16Tier::Softfloat),
+            other => {
+                Err(format!("{other:?} is not a known tier (expected \"unpack\" or \"softfloat\")"))
+            }
+        }
+    }
+}
+
+/// The tier requested by the `LPA_ARITH_TIER` environment variable, if any
+/// (`None` when the variable is unset or empty). Panics on an unknown
+/// value, exactly like lazy initialization does — a typo must not silently
+/// select a default.
+///
+/// All environment reads of `LPA_ARITH_TIER` live in this module; harness
+/// layers (`lpa_experiments::harness`) call this instead of reading the
+/// variable themselves.
+pub fn env_dec16_tier() -> Option<Dec16Tier> {
+    match std::env::var("LPA_ARITH_TIER").as_deref() {
+        Ok("") | Err(_) => None,
+        Ok(v) => {
+            Some(v.parse().unwrap_or_else(|e: String| panic!("LPA_ARITH_TIER={e}")))
+        }
+    }
+}
+
 const UNSET: u8 = 0;
 const UNPACK: u8 = 1;
 const SOFTFLOAT: u8 = 2;
@@ -76,12 +109,9 @@ pub fn force_dec16_tier(tier: Dec16Tier) {
 
 #[cold]
 fn init_from_env() -> bool {
-    let v = match std::env::var("LPA_ARITH_TIER").as_deref() {
-        Ok("softfloat") => SOFTFLOAT,
-        Ok("unpack") | Ok("table") | Ok("") | Err(_) => UNPACK,
-        Ok(other) => panic!(
-            "LPA_ARITH_TIER={other:?} is not a known tier (expected \"unpack\" or \"softfloat\")"
-        ),
+    let v = match env_dec16_tier() {
+        Some(Dec16Tier::Softfloat) => SOFTFLOAT,
+        Some(Dec16Tier::Unpack) | None => UNPACK,
     };
     // A racing `force_dec16_tier` may have stored a value in the meantime;
     // that call wins. Both tiers compute identical bits, so the race is

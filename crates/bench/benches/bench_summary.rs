@@ -18,7 +18,7 @@ use lpa_arith::types::{
 };
 use lpa_arith::{Dd, Real};
 use lpa_datagen::general;
-use lpa_experiments::{run_experiment, run_experiment_with_store, FormatTag};
+use lpa_experiments::ExperimentPlan;
 use lpa_sparse::CsrMatrix;
 use lpa_store::{ArtifactKind, CountersSnapshot, Store};
 use serde::Value;
@@ -203,10 +203,11 @@ fn main() {
     }
 
     println!("running figure-1 style end-to-end experiment...");
-    let corpus = lpa_bench::general_bench_corpus();
+    let settings = lpa_bench::HarnessSettings::from_env();
+    let corpus = lpa_bench::general_bench_corpus(&settings);
     let cfg = lpa_bench::bench_experiment_config();
     let start = Instant::now();
-    let results = run_experiment(&corpus, &FormatTag::all(), &cfg);
+    let results = ExperimentPlan::over(&corpus).config(cfg.clone()).run();
     let figure1_wall_ms = start.elapsed().as_secs_f64() * 1e3;
     println!(
         "  {} matrices x {} formats in {:.0} ms ({} skipped)",
@@ -224,7 +225,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&store_dir);
     let run_with = |store: &Store| {
         let start = Instant::now();
-        let r = run_experiment_with_store(&corpus, &FormatTag::all(), &cfg, Some(store));
+        let r = ExperimentPlan::over(&corpus).config(cfg.clone()).store(store).run();
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         std::hint::black_box(&r);
         (

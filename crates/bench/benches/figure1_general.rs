@@ -2,6 +2,7 @@
 //! eigenpairs on the general-matrix corpus (SuiteSparse substitute), for all
 //! formats grouped by bit width.
 fn main() {
-    let corpus = lpa_bench::general_bench_corpus();
-    lpa_bench::run_figure("figure1", "general matrices", &corpus);
+    let settings = lpa_bench::HarnessSettings::from_env();
+    let corpus = lpa_bench::general_bench_corpus(&settings);
+    lpa_bench::run_figure("figure1", "general matrices", &corpus, &settings);
 }

@@ -1,5 +1,6 @@
 //! Figure 2: biological graph Laplacians.
 fn main() {
-    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Biological);
-    lpa_bench::run_figure("figure2", "biological graph Laplacians", &corpus);
+    let settings = lpa_bench::HarnessSettings::from_env();
+    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Biological, &settings);
+    lpa_bench::run_figure("figure2", "biological graph Laplacians", &corpus, &settings);
 }

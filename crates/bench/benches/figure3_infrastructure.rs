@@ -1,5 +1,6 @@
 //! Figure 3: infrastructure graph Laplacians.
 fn main() {
-    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Infrastructure);
-    lpa_bench::run_figure("figure3", "infrastructure graph Laplacians", &corpus);
+    let settings = lpa_bench::HarnessSettings::from_env();
+    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Infrastructure, &settings);
+    lpa_bench::run_figure("figure3", "infrastructure graph Laplacians", &corpus, &settings);
 }

@@ -1,5 +1,6 @@
 //! Figure 4: social graph Laplacians.
 fn main() {
-    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Social);
-    lpa_bench::run_figure("figure4", "social graph Laplacians", &corpus);
+    let settings = lpa_bench::HarnessSettings::from_env();
+    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Social, &settings);
+    lpa_bench::run_figure("figure4", "social graph Laplacians", &corpus, &settings);
 }

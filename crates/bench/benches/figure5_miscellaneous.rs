@@ -1,5 +1,6 @@
 //! Figure 5: miscellaneous graph Laplacians.
 fn main() {
-    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Miscellaneous);
-    lpa_bench::run_figure("figure5", "miscellaneous graph Laplacians", &corpus);
+    let settings = lpa_bench::HarnessSettings::from_env();
+    let corpus = lpa_bench::class_bench_corpus(lpa_datagen::GraphClass::Miscellaneous, &settings);
+    lpa_bench::run_figure("figure5", "miscellaneous graph Laplacians", &corpus, &settings);
 }

@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks of the substrates: per-format scalar
-//! arithmetic, sparse matrix-vector products, a full partial Schur solve and
-//! the Hungarian matching step.
+//! arithmetic, sparse matrix-vector products, a full partial Schur solve,
+//! the Hungarian matching step, and an end-to-end experiment grid through
+//! the `ExperimentPlan` front door.
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -9,6 +10,7 @@ use lpa_arith::types::{Posit16, Posit64, Posit8, Takum16, Takum64, Takum8, Bf16,
 use lpa_arith::{Dd, Real};
 use lpa_arnoldi::{partial_schur, ArnoldiOptions};
 use lpa_datagen::general;
+use lpa_experiments::{ExperimentConfig, ExperimentPlan, FormatTag};
 use lpa_sparse::CsrMatrix;
 
 fn scalar_ops<T: Real>(c: &mut Criterion, label: &str) {
@@ -126,6 +128,43 @@ fn bench_arnoldi(c: &mut Criterion) {
     run::<Takum16>(c, &a64, "takum16", 1e-4);
 }
 
+/// End-to-end: a miniature (matrix × format) grid through the harness's
+/// typed front door — reference solve, conversion, low-precision solve and
+/// matching included. Tracks the overhead of the whole session layer, not
+/// just the kernels.
+fn bench_experiment_grid(c: &mut Criterion) {
+    let corpus = vec![
+        lpa_datagen::TestMatrix::new(
+            "micro/lap1d-28",
+            "lap1d",
+            lpa_datagen::Source::General,
+            general::laplacian_1d(28, 1.0),
+        ),
+        lpa_datagen::TestMatrix::new(
+            "micro/lap2d-6x6",
+            "lap2d",
+            lpa_datagen::Source::General,
+            general::laplacian_2d(6, 6, 1.0),
+        ),
+    ];
+    let formats = [FormatTag::Ofp8E4M3, FormatTag::Takum16];
+    let cfg = ExperimentConfig {
+        eigenvalue_count: 3,
+        eigenvalue_buffer_count: 2,
+        max_restarts: 40,
+        ..Default::default()
+    };
+    c.bench_function("experiment/plan_session_grid/2x2", |b| {
+        b.iter(|| {
+            let results = ExperimentPlan::over(black_box(&corpus))
+                .formats(&formats)
+                .config(cfg.clone())
+                .run();
+            black_box(results)
+        })
+    });
+}
+
 fn bench_hungarian(c: &mut Criterion) {
     let n = 12; // eigenvalue_count + buffer of the paper
     let sim: Vec<Vec<f64>> = (0..n)
@@ -146,6 +185,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_scalars, bench_lut_vs_softfloat, bench_spmv, bench_arnoldi, bench_hungarian
+    targets = bench_scalars, bench_lut_vs_softfloat, bench_spmv, bench_arnoldi, bench_experiment_grid, bench_hungarian
 }
 criterion_main!(benches);

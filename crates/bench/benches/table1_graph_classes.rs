@@ -3,7 +3,8 @@
 use std::collections::BTreeMap;
 
 fn main() {
-    let cfg = lpa_bench::bench_corpus_config();
+    let settings = lpa_bench::HarnessSettings::from_env();
+    let cfg = lpa_bench::bench_corpus_config(&settings);
     let corpus = lpa_datagen::graph_corpus(&cfg);
     let counts = lpa_datagen::category_counts(&corpus);
     let mut class_totals: BTreeMap<&'static str, usize> = BTreeMap::new();

@@ -2,58 +2,81 @@
 //!
 //! ```text
 //! cargo run --release -p lpa-bench --bin reproduce -- \
-//!     [--experiment figureN|table1|all] [--scale K] [--matrices M] [--store DIR]
+//!     [--experiment figureN|table1|all] [--scale K] [--size-max N] [--matrices M] \
+//!     [--store DIR] [--threads T] [--arith-tier unpack|softfloat]
 //! ```
 //!
-//! CSV artifacts are written to `out/`. `--store DIR` (equivalent to
-//! `LPA_STORE=DIR`) backs the run with the persistent experiment store, so
-//! repeating a run reuses every double-double reference solve.
+//! CSV artifacts are written to `out/`. Every flag builds a
+//! [`PlanOverrides`] entry that outranks the matching environment variable
+//! (`--store` beats `LPA_STORE`, `--scale` beats `LPA_BENCH_SCALE`, …) —
+//! the process environment is never mutated. `--store DIR` backs the run
+//! with the persistent experiment store, so repeating a run reuses every
+//! double-double reference solve.
+
+use lpa_bench::{HarnessEnv, PlanOverrides};
 use lpa_datagen::GraphClass;
+
+const USAGE: &str = "usage: reproduce [--experiment figureN|table1|all] [--scale K] \
+[--size-max N] [--matrices M] [--store DIR] [--threads T] [--arith-tier unpack|softfloat]";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("reproduce: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
 
 /// The value of a `--flag VALUE` pair; a missing value is a hard error —
 /// silently proceeding without (say) `--store` would recompute a whole
 /// sweep and persist nothing.
 fn flag_value(args: &[String], i: usize) -> String {
-    args.get(i + 1).cloned().unwrap_or_else(|| {
-        eprintln!("{} needs a value", args[i]);
-        std::process::exit(2);
-    })
+    args.get(i + 1).cloned().unwrap_or_else(|| usage_error(&format!("{} needs a value", args[i])))
+}
+
+/// Same, parsed; a garbled CLI value is a hard error, unlike environment
+/// variables (which fall through to the next precedence level).
+fn parsed_flag<T: std::str::FromStr>(args: &[String], i: usize) -> T {
+    let raw = flag_value(args, i);
+    raw.parse().unwrap_or_else(|_| usage_error(&format!("{} got invalid value {raw:?}", args[i])))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut experiment = "all".to_string();
+    let mut overrides = PlanOverrides::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--experiment" => {
-                experiment = flag_value(&args, i);
-                i += 2;
+            "--experiment" => experiment = flag_value(&args, i),
+            "--scale" => overrides.scale = Some(parsed_flag(&args, i)),
+            "--size-max" => overrides.size_max = Some(parsed_flag(&args, i)),
+            "--matrices" => overrides.matrices = Some(parsed_flag(&args, i)),
+            "--store" => overrides.store_dir = Some(flag_value(&args, i).into()),
+            "--threads" => overrides.threads = Some(parsed_flag(&args, i)),
+            "--arith-tier" => overrides.arith_tier = Some(parsed_flag(&args, i)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
             }
-            "--scale" => {
-                std::env::set_var("LPA_BENCH_SCALE", flag_value(&args, i));
-                i += 2;
-            }
-            "--matrices" => {
-                std::env::set_var("LPA_BENCH_MATRICES", flag_value(&args, i));
-                i += 2;
-            }
-            "--store" => {
-                std::env::set_var("LPA_STORE", flag_value(&args, i));
-                i += 2;
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
-            }
+            other => usage_error(&format!("unknown argument: {other}")),
         }
+        i += 2;
     }
+    let settings = overrides.resolve(&HarnessEnv::capture());
+
     let want = |name: &str| experiment == "all" || experiment == name;
+    let mut matched = false;
     if want("table1") {
-        print_table1();
+        matched = true;
+        print_table1(&settings);
     }
     if want("figure1") {
-        lpa_bench::run_figure("figure1", "general matrices", &lpa_bench::general_bench_corpus());
+        matched = true;
+        lpa_bench::run_figure(
+            "figure1",
+            "general matrices",
+            &lpa_bench::general_bench_corpus(&settings),
+            &settings,
+        );
     }
     for (name, class, title) in [
         ("figure2", GraphClass::Biological, "biological graph Laplacians"),
@@ -62,13 +85,22 @@ fn main() {
         ("figure5", GraphClass::Miscellaneous, "miscellaneous graph Laplacians"),
     ] {
         if want(name) {
-            lpa_bench::run_figure(name, title, &lpa_bench::class_bench_corpus(class));
+            matched = true;
+            lpa_bench::run_figure(
+                name,
+                title,
+                &lpa_bench::class_bench_corpus(class, &settings),
+                &settings,
+            );
         }
+    }
+    if !matched {
+        usage_error(&format!("unknown experiment {experiment:?}"));
     }
 }
 
-fn print_table1() {
-    let cfg = lpa_bench::bench_corpus_config();
+fn print_table1(settings: &lpa_bench::HarnessSettings) {
+    let cfg = lpa_bench::bench_corpus_config(settings);
     let corpus = lpa_datagen::graph_corpus(&cfg);
     println!("=== table1: graph classification ===");
     for (cat, class, count) in lpa_datagen::category_counts(&corpus) {

@@ -2,33 +2,40 @@
 //!
 //! One harness per table/figure of the paper (run via `cargo bench -p
 //! lpa-bench --bench <name>` or all at once with `cargo bench`), plus
-//! criterion micro-benchmarks of the substrates.  Harness sizes are kept
-//! small enough for a laptop run by default; set `LPA_BENCH_SCALE` (an
-//! integer ≥ 1) to enlarge the corpora, and `LPA_BENCH_SIZE_MAX` to raise the
-//! matrix dimensions.
+//! criterion micro-benchmarks of the substrates.
 //!
-//! Set `LPA_STORE=<dir>` (or pass `--store <dir>` to the `reproduce`
-//! binary) to back every harness run with the persistent `lpa-store`
-//! artifact store: the first run populates it, every later run reuses the
-//! double-double reference solves and outcomes, byte-identically.
+//! Every harness builds its run through the workspace's one front door —
+//! [`lpa_experiments::ExperimentPlan`] — configured by resolved
+//! [`HarnessSettings`]: the benches resolve from the environment alone
+//! (`LPA_BENCH_SCALE`, `LPA_BENCH_SIZE_MAX`, `LPA_BENCH_MATRICES`,
+//! `LPA_STORE`, `LPA_ARITH_TIER`), while the `reproduce` binary layers its
+//! CLI flags on top via [`PlanOverrides`] (flag > env > default, see
+//! `lpa_experiments::harness`). Harness sizes are kept small enough for a
+//! laptop run by default.
 
 use std::fs;
 use std::path::PathBuf;
 
 use lpa_datagen::{CorpusConfig, GraphClass, TestMatrix};
 use lpa_experiments::{
-    format_summary_table, run_experiment_with_store, write_figure_csv, ExperimentConfig,
-    ExperimentResults, FormatTag, Metric,
+    format_summary_table, write_figure_csv, ExperimentConfig, ExperimentPlan, ExperimentResults,
+    FormatTag, Metric, StderrProgress,
 };
 use lpa_store::{ArtifactKind, Store};
 
-/// Corpus configuration used by the figure harnesses, honouring the
-/// `LPA_BENCH_SCALE` / `LPA_BENCH_SIZE_MAX` environment variables.
-pub fn bench_corpus_config() -> CorpusConfig {
-    let scale = std::env::var("LPA_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
-    let size_max =
-        std::env::var("LPA_BENCH_SIZE_MAX").ok().and_then(|s| s.parse().ok()).unwrap_or(72);
-    CorpusConfig { seed: 0x5EED, scale, size_range: (40, size_max), max_nnz: 20_000 }
+pub use lpa_experiments::harness::{HarnessEnv, HarnessSettings, PlanOverrides};
+
+/// Corpus configuration used by the figure harnesses for the given
+/// resolved settings (the bench policy: the paper's nnz cap, dimensions
+/// from 40 up, a fixed seed). A `size_max` below the 40 floor is clamped
+/// to it — the generators require `size_range.0 <= size_range.1`.
+pub fn bench_corpus_config(settings: &HarnessSettings) -> CorpusConfig {
+    CorpusConfig {
+        seed: 0x5EED,
+        scale: settings.scale,
+        size_range: (40, settings.size_max.max(40)),
+        max_nnz: 20_000,
+    }
 }
 
 /// Experiment configuration used by the figure harnesses: the paper's
@@ -43,17 +50,6 @@ pub fn out_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../out");
     fs::create_dir_all(&dir).expect("create out dir");
     dir
-}
-
-/// Open the persistent experiment store named by `LPA_STORE`, if any.
-///
-/// An empty value disables the store, same as unset.
-pub fn bench_store() -> Option<Store> {
-    let dir = std::env::var_os("LPA_STORE")?;
-    if dir.is_empty() {
-        return None;
-    }
-    Some(Store::open(&dir).unwrap_or_else(|e| panic!("LPA_STORE {}: {e}", dir.to_string_lossy())))
 }
 
 /// Print a store's per-kind counters after a harness run; the warm-start
@@ -78,8 +74,14 @@ pub fn print_store_counters(store: &Store) {
 
 /// Run one figure: the corpus slice, all 14 formats, grouped by bit width,
 /// printing the same kind of series the paper plots and writing CSVs.
-pub fn run_figure(figure: &str, title: &str, corpus: &[TestMatrix]) -> ExperimentResults {
-    let cfg = bench_experiment_config();
+/// Progress streams to stderr while the grid runs; stdout carries the
+/// machine-greppable summary only.
+pub fn run_figure(
+    figure: &str,
+    title: &str,
+    corpus: &[TestMatrix],
+    settings: &HarnessSettings,
+) -> ExperimentResults {
     let formats = FormatTag::all();
     println!("=== {figure}: {title} ===");
     println!(
@@ -89,8 +91,16 @@ pub fn run_figure(figure: &str, title: &str, corpus: &[TestMatrix]) -> Experimen
         corpus.iter().map(|t| t.n()).max().unwrap_or(0),
         corpus.iter().map(|t| t.nnz()).max().unwrap_or(0),
     );
-    let store = bench_store();
-    let results = run_experiment_with_store(corpus, &formats, &cfg, store.as_ref());
+    let store = settings.open_store();
+    let progress = StderrProgress::new(figure);
+    let results = ExperimentPlan::over(corpus)
+        .formats(&formats)
+        .config(bench_experiment_config())
+        .maybe_store(store.as_ref())
+        .apply(settings)
+        .observer(&progress)
+        .session()
+        .run();
     if !results.skipped.is_empty() {
         println!("skipped (reference failed): {}", results.skipped.len());
     }
@@ -115,13 +125,6 @@ pub fn run_figure(figure: &str, title: &str, corpus: &[TestMatrix]) -> Experimen
     results
 }
 
-/// How many matrices a default figure run uses (kept small because the whole
-/// pipeline runs in software-emulated arithmetic); `LPA_BENCH_MATRICES`
-/// overrides it.
-pub fn bench_matrix_budget() -> usize {
-    std::env::var("LPA_BENCH_MATRICES").ok().and_then(|s| s.parse().ok()).unwrap_or(6)
-}
-
 fn subsample(mut corpus: Vec<TestMatrix>, budget: usize) -> Vec<TestMatrix> {
     if corpus.len() <= budget {
         return corpus;
@@ -143,28 +146,31 @@ fn subsample(mut corpus: Vec<TestMatrix>, budget: usize) -> Vec<TestMatrix> {
 }
 
 /// The general-matrix corpus slice used by the Figure 1 harness.
-pub fn general_bench_corpus() -> Vec<TestMatrix> {
-    subsample(lpa_datagen::general_corpus(&bench_corpus_config()), bench_matrix_budget())
+pub fn general_bench_corpus(settings: &HarnessSettings) -> Vec<TestMatrix> {
+    subsample(
+        lpa_datagen::general_corpus(&bench_corpus_config(settings)),
+        settings.matrix_budget,
+    )
 }
 
 /// The graph-Laplacian corpus restricted to one of the paper's four classes
 /// (used by the Figure 2-5 harnesses).
-pub fn class_bench_corpus(class: GraphClass) -> Vec<TestMatrix> {
-    let corpus: Vec<TestMatrix> = lpa_datagen::graph_laplacian_corpus(&bench_corpus_config())
-        .into_iter()
-        .filter(|t| t.class() == Some(class))
-        .collect();
-    subsample(corpus, bench_matrix_budget())
-}
-
-/// Alias kept for the integration tests.
-pub fn class_corpus(class: GraphClass) -> Vec<TestMatrix> {
-    class_bench_corpus(class)
+pub fn class_bench_corpus(class: GraphClass, settings: &HarnessSettings) -> Vec<TestMatrix> {
+    let corpus: Vec<TestMatrix> =
+        lpa_datagen::graph_laplacian_corpus(&bench_corpus_config(settings))
+            .into_iter()
+            .filter(|t| t.class() == Some(class))
+            .collect();
+    subsample(corpus, settings.matrix_budget)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn default_settings() -> HarnessSettings {
+        PlanOverrides::default().resolve(&HarnessEnv::default())
+    }
 
     #[test]
     fn subsample_is_even_order_preserving_and_exact() {
@@ -188,12 +194,27 @@ mod tests {
 
     #[test]
     fn configs_resolve() {
-        let c = bench_corpus_config();
+        let settings = default_settings();
+        let c = bench_corpus_config(&settings);
         assert!(c.size_range.0 >= 40);
         let e = bench_experiment_config();
         assert_eq!(e.eigenvalue_count, 10);
         assert_eq!(e.eigenvalue_buffer_count, 2);
-        let biological = class_corpus(GraphClass::Biological);
+        let biological = class_bench_corpus(GraphClass::Biological, &settings);
         assert!(!biological.is_empty());
+    }
+
+    #[test]
+    fn overrides_reach_the_corpus_shape() {
+        let settings = PlanOverrides {
+            scale: Some(1),
+            size_max: Some(48),
+            matrices: Some(2),
+            ..Default::default()
+        }
+        .resolve(&HarnessEnv::default());
+        let corpus = general_bench_corpus(&settings);
+        assert_eq!(corpus.len(), 2, "matrix budget applies");
+        assert!(corpus.iter().all(|t| t.n() <= 48), "size cap applies");
     }
 }

@@ -1,230 +1,45 @@
-//! The experiment driver: run every format on every matrix of a corpus, in
-//! parallel over matrices (MuFoLAB's `Experiments.jl` role).
-
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+//! Deprecated free-function entry points, kept for one release as thin
+//! shims over the typed [`ExperimentPlan`]/[`Session`] front door in
+//! [`crate::session`] (MuFoLAB's `Experiments.jl` role).
+//!
+//! Both shims build the exact plan their arguments describe, so results —
+//! including serialization — are byte-identical to the builder API
+//! (test-enforced by `tests/session_api.rs`), and
+//! [`crate::persist::CODE_VERSION_SALT`] is unchanged: stores populated
+//! through the old functions stay warm under the new one.
 
 use lpa_datagen::TestMatrix;
-use lpa_store::{ArtifactKind, Store};
+use lpa_store::Store;
 
 use crate::formats::FormatTag;
-use crate::outcome::Outcome;
-use crate::persist;
-use crate::pipeline::{compute_reference, run_format, ExperimentConfig, Reference};
+use crate::pipeline::ExperimentConfig;
+use crate::session::ExperimentPlan;
 
-/// All results for one matrix.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct MatrixResult {
-    pub name: String,
-    pub category: String,
-    pub n: usize,
-    pub nnz: usize,
-    /// One outcome per requested format, in the same order as the `formats`
-    /// argument of [`run_experiment`].
-    pub outcomes: Vec<(FormatTag, Outcome)>,
-}
-
-/// Results of a whole experiment.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ExperimentResults {
-    pub formats: Vec<FormatTag>,
-    pub matrices: Vec<MatrixResult>,
-    /// Matrices skipped because even the double-double reference failed to
-    /// converge (mirrors the paper's preparation step discarding such cases).
-    pub skipped: Vec<String>,
-}
-
-impl ExperimentResults {
-    /// All outcomes of one format across the corpus.
-    ///
-    /// The driver stores each matrix's outcomes in the experiment's format
-    /// order, so the format's position in `self.formats` indexes every row
-    /// directly — no per-matrix linear scan over the format list. Rows that
-    /// don't follow that order (hand-assembled results) fall back to a scan.
-    pub fn outcomes_for(&self, format: FormatTag) -> Vec<Outcome> {
-        let Some(idx) = self.formats.iter().position(|&f| f == format) else {
-            return Vec::new();
-        };
-        self.matrices
-            .iter()
-            .filter_map(|m| match m.outcomes.get(idx) {
-                Some(&(f, o)) if f == format => Some(o),
-                _ => m.outcomes.iter().find(|(f, _)| *f == format).map(|&(_, o)| o),
-            })
-            .collect()
-    }
-}
+pub use crate::session::{ExperimentResults, MatrixResult};
 
 /// Run the experiment over a corpus for the given formats.
-///
-/// The whole (matrix × format) grid is embarrassingly parallel, so the
-/// driver fans out twice:
-///
-/// 1. one double-double reference solve per matrix (by far the most
-///    expensive single run — Dd arithmetic at tolerance 1e-20), computed
-///    **once** and shared by every format run of that matrix, and
-/// 2. the flattened grid of per-format runs over all matrices whose
-///    reference converged, which load-balances far better than one task
-///    per matrix (a takum8 LUT run and a posit64 soft-float run differ by
-///    orders of magnitude in cost).
-///
-/// Every run is deterministic (the Arnoldi starting vector comes from a
-/// per-run seeded RNG) and results are reassembled in corpus order, so the
-/// output — including its serialization — is identical for any thread
-/// count; `RAYON_NUM_THREADS=1` reproduces the serial driver exactly.
+#[deprecated(
+    since = "0.1.0",
+    note = "build the run through `ExperimentPlan::over(corpus)` instead"
+)]
 pub fn run_experiment(
     corpus: &[TestMatrix],
     formats: &[FormatTag],
     cfg: &ExperimentConfig,
 ) -> ExperimentResults {
-    run_experiment_with_store(corpus, formats, cfg, None)
+    ExperimentPlan::over(corpus).formats(formats).config(cfg.clone()).run()
 }
 
 /// [`run_experiment`] backed by a persistent artifact store.
-///
-/// Every reference solve and every (matrix, format) outcome is looked up in
-/// `store` before being computed, and computed results are persisted with
-/// atomic writes — so a warm rerun performs zero double-double solves, an
-/// interrupted run resumes from whatever it already persisted, and
-/// concurrent harness processes share one store directory safely. The
-/// codec is bit-lossless, which keeps warm results byte-identical to cold
-/// ones. Per-kind hit/miss counters accumulate on `store.stats()`.
-///
-/// A failed reference is persisted too (as an explicit sentinel): warm runs
-/// skip the doomed, expensive Dd solve instead of retrying it.
+#[deprecated(
+    since = "0.1.0",
+    note = "build the run through `ExperimentPlan::over(corpus).maybe_store(store)` instead"
+)]
 pub fn run_experiment_with_store(
     corpus: &[TestMatrix],
     formats: &[FormatTag],
     cfg: &ExperimentConfig,
     store: Option<&Store>,
 ) -> ExperimentResults {
-    let references: Vec<Option<Reference>> = corpus
-        .par_iter()
-        .map(|tm| match store {
-            None => compute_reference(&tm.matrix, cfg).ok(),
-            Some(s) => {
-                let key = persist::reference_key(&tm.matrix, cfg);
-                let bytes = s
-                    .get_or_compute(ArtifactKind::Reference, key, || {
-                        persist::encode_reference(&compute_reference(&tm.matrix, cfg).ok())
-                    })
-                    .expect("store I/O failed while persisting a reference");
-                match persist::decode_reference(&bytes) {
-                    Ok(r) => r,
-                    // Checksum-valid but undecodable: payload schema drift
-                    // without a salt bump. Recompute and heal in place
-                    // rather than poisoning every future run.
-                    Err(_) => {
-                        let r = compute_reference(&tm.matrix, cfg).ok();
-                        s.put(ArtifactKind::Reference, key, persist::encode_reference(&r))
-                            .expect("store I/O failed while healing a reference");
-                        r
-                    }
-                }
-            }
-        })
-        .collect();
-
-    let jobs: Vec<(usize, FormatTag)> = corpus
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| references[*i].is_some())
-        .flat_map(|(i, _)| formats.iter().map(move |&f| (i, f)))
-        .collect();
-    let outcomes: Vec<Outcome> = jobs
-        .par_iter()
-        .map(|&(i, f)| {
-            let reference = references[i].as_ref().expect("only solved matrices are in the grid");
-            match store {
-                None => run_format(&corpus[i].matrix, reference, f, cfg).outcome,
-                Some(s) => {
-                    let key = persist::outcome_key(&corpus[i].matrix, f, cfg);
-                    let bytes = s
-                        .get_or_compute(ArtifactKind::Outcome, key, || {
-                            persist::encode_outcome(
-                                &run_format(&corpus[i].matrix, reference, f, cfg).outcome,
-                            )
-                        })
-                        .expect("store I/O failed while persisting an outcome");
-                    match persist::decode_outcome(&bytes) {
-                        Ok(o) => o,
-                        // Same healing path as references: recompute and
-                        // overwrite the undecodable artifact.
-                        Err(_) => {
-                            let o = run_format(&corpus[i].matrix, reference, f, cfg).outcome;
-                            s.put(ArtifactKind::Outcome, key, persist::encode_outcome(&o))
-                                .expect("store I/O failed while healing an outcome");
-                            o
-                        }
-                    }
-                }
-            }
-        })
-        .collect();
-
-    // Reassemble in corpus order: jobs were generated matrix-major, so the
-    // outcomes of each kept matrix form one contiguous chunk.
-    let mut matrices = Vec::new();
-    let mut skipped = Vec::new();
-    let mut chunks = outcomes.chunks_exact(formats.len().max(1));
-    for (tm, reference) in corpus.iter().zip(&references) {
-        if reference.is_none() {
-            skipped.push(tm.name.clone());
-            continue;
-        }
-        let chunk = if formats.is_empty() {
-            &[][..]
-        } else {
-            chunks.next().expect("one outcome chunk per kept matrix")
-        };
-        matrices.push(MatrixResult {
-            name: tm.name.clone(),
-            category: tm.category.clone(),
-            n: tm.n(),
-            nnz: tm.nnz(),
-            outcomes: formats.iter().copied().zip(chunk.iter().copied()).collect(),
-        });
-    }
-    ExperimentResults { formats: formats.to_vec(), matrices, skipped }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use lpa_datagen::{general_corpus, CorpusConfig};
-
-    #[test]
-    fn tiny_experiment_end_to_end() {
-        // A handful of small matrices, a couple of formats: the full pipeline
-        // must produce an outcome for every (matrix, format) pair.
-        let corpus: Vec<TestMatrix> = general_corpus(&CorpusConfig {
-            scale: 1,
-            size_range: (30, 40),
-            ..CorpusConfig::tiny()
-        })
-        .into_iter()
-        .filter(|t| t.category == "lap1d" || t.category == "diagdom")
-        .collect();
-        assert!(corpus.len() >= 3);
-        let formats = [FormatTag::Float64, FormatTag::Takum16, FormatTag::Ofp8E4M3];
-        let cfg = ExperimentConfig {
-            eigenvalue_count: 4,
-            eigenvalue_buffer_count: 2,
-            max_restarts: 60,
-            ..Default::default()
-        };
-        let res = run_experiment(&corpus, &formats, &cfg);
-        assert_eq!(res.matrices.len() + res.skipped.len(), corpus.len());
-        for m in &res.matrices {
-            assert_eq!(m.outcomes.len(), 3);
-        }
-        // float64 should essentially always produce small errors here.
-        let f64_outcomes = res.outcomes_for(FormatTag::Float64);
-        assert!(!f64_outcomes.is_empty());
-        for o in f64_outcomes {
-            if let Some(e) = o.errors() {
-                assert!(e.eigenvalue_rel < 1e-8);
-            }
-        }
-    }
+    ExperimentPlan::over(corpus).formats(formats).config(cfg.clone()).maybe_store(store).run()
 }

@@ -1,0 +1,226 @@
+//! Centralized environment handling for the harness: `LPA_*` variables are
+//! parsed in exactly one place ([`HarnessEnv::capture`]) and merged with
+//! CLI-provided [`PlanOverrides`] into resolved [`HarnessSettings`].
+//!
+//! ## Precedence
+//!
+//! For every knob: **CLI flag > environment variable > default.**
+//!
+//! | knob           | CLI (`reproduce`) | environment          | default |
+//! |----------------|-------------------|----------------------|---------|
+//! | corpus scale   | `--scale`         | `LPA_BENCH_SCALE`    | 1       |
+//! | max dimension  | `--size-max`      | `LPA_BENCH_SIZE_MAX` | 72      |
+//! | matrix budget  | `--matrices`      | `LPA_BENCH_MATRICES` | 6       |
+//! | store dir      | `--store`         | `LPA_STORE`          | none    |
+//! | 16-bit tier    | `--arith-tier`    | `LPA_ARITH_TIER`     | ambient |
+//! | thread budget  | `--threads`       | `RAYON_NUM_THREADS`  | cores   |
+//!
+//! Two variables are owned by lower layers and only *flow through* here so
+//! the precedence stays uniform: `LPA_ARITH_TIER` is read by
+//! [`lpa_arith::env_dec16_tier`] (the tier module keeps the only
+//! `std::env` read) and `RAYON_NUM_THREADS` by the rayon shim — a CLI
+//! thread budget simply outranks it by being pinned on the plan, and no
+//! process-environment mutation (`std::env::set_var`) is needed anywhere.
+//!
+//! Unset or unparsable environment values fall through to the next level,
+//! except `LPA_ARITH_TIER`, where a typo panics rather than silently
+//! selecting a tier.
+
+use std::path::PathBuf;
+
+use lpa_arith::Dec16Tier;
+use lpa_store::Store;
+
+/// Default corpus scale factor.
+pub const DEFAULT_SCALE: usize = 1;
+/// Default maximum generated matrix dimension.
+pub const DEFAULT_SIZE_MAX: usize = 72;
+/// Default per-figure matrix budget after subsampling (kept small because
+/// the whole pipeline runs in software-emulated arithmetic).
+pub const DEFAULT_MATRIX_BUDGET: usize = 6;
+
+/// A snapshot of every `LPA_*` harness variable.
+///
+/// [`HarnessEnv::capture`] reads the real process environment; tests build
+/// the struct directly (or via [`HarnessEnv::from_lookup`] with a closure
+/// over a map), so no test ever needs `std::env::set_var`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HarnessEnv {
+    /// `LPA_BENCH_SCALE`
+    pub scale: Option<usize>,
+    /// `LPA_BENCH_SIZE_MAX`
+    pub size_max: Option<usize>,
+    /// `LPA_BENCH_MATRICES`
+    pub matrices: Option<usize>,
+    /// `LPA_STORE` (empty value = unset)
+    pub store_dir: Option<PathBuf>,
+    /// `LPA_ARITH_TIER`, via [`lpa_arith::env_dec16_tier`]
+    pub arith_tier: Option<Dec16Tier>,
+}
+
+impl HarnessEnv {
+    /// Snapshot the process environment.
+    pub fn capture() -> HarnessEnv {
+        HarnessEnv {
+            arith_tier: lpa_arith::env_dec16_tier(),
+            ..Self::from_lookup(|name| std::env::var(name).ok())
+        }
+    }
+
+    /// Parse the `LPA_BENCH_*` / `LPA_STORE` variables through `lookup`
+    /// (injectable for tests; `arith_tier` stays `None` because its
+    /// environment read belongs to `lpa_arith::tier`).
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> HarnessEnv {
+        let parsed = |name: &str| lookup(name).and_then(|v| v.parse().ok());
+        let store_dir = lookup("LPA_STORE").filter(|v| !v.is_empty()).map(PathBuf::from);
+        HarnessEnv {
+            scale: parsed("LPA_BENCH_SCALE"),
+            size_max: parsed("LPA_BENCH_SIZE_MAX"),
+            matrices: parsed("LPA_BENCH_MATRICES"),
+            store_dir,
+            arith_tier: None,
+        }
+    }
+}
+
+/// Knobs provided explicitly (CLI flags, test fixtures); every field
+/// outranks its environment counterpart when resolving.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlanOverrides {
+    pub scale: Option<usize>,
+    pub size_max: Option<usize>,
+    pub matrices: Option<usize>,
+    pub store_dir: Option<PathBuf>,
+    pub arith_tier: Option<Dec16Tier>,
+    pub threads: Option<usize>,
+}
+
+impl PlanOverrides {
+    /// Merge these overrides with an environment snapshot into resolved
+    /// settings (CLI flag > env var > default).
+    pub fn resolve(&self, env: &HarnessEnv) -> HarnessSettings {
+        HarnessSettings {
+            scale: self.scale.or(env.scale).unwrap_or(DEFAULT_SCALE).max(1),
+            size_max: self.size_max.or(env.size_max).unwrap_or(DEFAULT_SIZE_MAX),
+            matrix_budget: self.matrices.or(env.matrices).unwrap_or(DEFAULT_MATRIX_BUDGET),
+            store_dir: self.store_dir.clone().or_else(|| env.store_dir.clone()),
+            arith_tier: self.arith_tier.or(env.arith_tier),
+            // No env fallback here: when None, the rayon shim applies
+            // RAYON_NUM_THREADS itself, keeping that read in one module.
+            threads: self.threads,
+        }
+    }
+}
+
+/// Fully resolved harness settings: what a run will actually use.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HarnessSettings {
+    /// Corpus scale factor (matrices per category).
+    pub scale: usize,
+    /// Maximum generated matrix dimension.
+    pub size_max: usize,
+    /// Matrix budget per figure after subsampling.
+    pub matrix_budget: usize,
+    /// Directory of the persistent experiment store, if any.
+    pub store_dir: Option<PathBuf>,
+    /// Forced 16-bit arithmetic tier (`None` = ambient).
+    pub arith_tier: Option<Dec16Tier>,
+    /// Worker-thread budget (`None` = `RAYON_NUM_THREADS`, else all cores).
+    pub threads: Option<usize>,
+}
+
+impl HarnessSettings {
+    /// Environment-only resolution: what every figure/table bench uses
+    /// (they take no CLI flags).
+    pub fn from_env() -> HarnessSettings {
+        PlanOverrides::default().resolve(&HarnessEnv::capture())
+    }
+
+    /// Open the persistent store these settings name, if any. Panics with
+    /// the offending path on I/O failure — silently running cold would
+    /// recompute a whole sweep and persist nothing.
+    pub fn open_store(&self) -> Option<Store> {
+        let dir = self.store_dir.as_ref()?;
+        Some(Store::open(dir).unwrap_or_else(|e| panic!("store {}: {e}", dir.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env_of(pairs: &[(&str, &str)]) -> HarnessEnv {
+        let map: HashMap<String, String> =
+            pairs.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        HarnessEnv::from_lookup(|name| map.get(name).cloned())
+    }
+
+    #[test]
+    fn defaults_resolve_when_nothing_is_set() {
+        let settings = PlanOverrides::default().resolve(&HarnessEnv::default());
+        assert_eq!(settings.scale, DEFAULT_SCALE);
+        assert_eq!(settings.size_max, DEFAULT_SIZE_MAX);
+        assert_eq!(settings.matrix_budget, DEFAULT_MATRIX_BUDGET);
+        assert_eq!(settings.store_dir, None);
+        assert_eq!(settings.arith_tier, None);
+        assert_eq!(settings.threads, None);
+    }
+
+    #[test]
+    fn env_lookup_parses_and_ignores_garbage() {
+        let env = env_of(&[
+            ("LPA_BENCH_SCALE", "3"),
+            ("LPA_BENCH_SIZE_MAX", "not-a-number"),
+            ("LPA_BENCH_MATRICES", "9"),
+            ("LPA_STORE", "/tmp/s"),
+        ]);
+        assert_eq!(env.scale, Some(3));
+        assert_eq!(env.size_max, None, "unparsable values fall through");
+        assert_eq!(env.matrices, Some(9));
+        assert_eq!(env.store_dir, Some(PathBuf::from("/tmp/s")));
+
+        // An empty LPA_STORE disables the store, same as unset.
+        let env = env_of(&[("LPA_STORE", "")]);
+        assert_eq!(env.store_dir, None);
+    }
+
+    #[test]
+    fn precedence_matrix_cli_beats_env_beats_default() {
+        let env = env_of(&[
+            ("LPA_BENCH_SCALE", "2"),
+            ("LPA_BENCH_MATRICES", "12"),
+            ("LPA_STORE", "/tmp/from-env"),
+        ]);
+        let env = HarnessEnv { arith_tier: Some(Dec16Tier::Unpack), ..env };
+        let cli = PlanOverrides {
+            scale: Some(5),
+            store_dir: Some(PathBuf::from("/tmp/from-cli")),
+            arith_tier: Some(Dec16Tier::Softfloat),
+            threads: Some(2),
+            ..Default::default()
+        };
+        let settings = cli.resolve(&env);
+        // CLI wins where both are set.
+        assert_eq!(settings.scale, 5);
+        assert_eq!(settings.store_dir, Some(PathBuf::from("/tmp/from-cli")));
+        assert_eq!(settings.arith_tier, Some(Dec16Tier::Softfloat));
+        assert_eq!(settings.threads, Some(2));
+        // Env wins where only it is set.
+        assert_eq!(settings.matrix_budget, 12);
+        // Default where neither is set.
+        assert_eq!(settings.size_max, DEFAULT_SIZE_MAX);
+
+        // And the pure-env / pure-default rows of the matrix.
+        let settings = PlanOverrides::default().resolve(&env);
+        assert_eq!(settings.scale, 2);
+        assert_eq!(settings.arith_tier, Some(Dec16Tier::Unpack));
+        assert_eq!(settings.threads, None);
+    }
+
+    #[test]
+    fn scale_is_clamped_to_at_least_one() {
+        let env = env_of(&[("LPA_BENCH_SCALE", "0")]);
+        assert_eq!(PlanOverrides::default().resolve(&env).scale, 1);
+    }
+}

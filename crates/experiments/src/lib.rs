@@ -15,19 +15,52 @@
 //! 5. aggregates relative errors into the cumulative error distributions the
 //!    paper plots (Figures 1–5), with CSV output and text summaries.
 //!
-//! Matrices are processed in parallel with rayon. With a persistent
-//! `lpa-store` attached ([`run_experiment_with_store`]), every reference
-//! solve and outcome is content-addressed and reused across harness runs —
-//! see [`persist`] for the key-derivation and salt-bumping policy.
+//! ## One front door
+//!
+//! Every run is built through the [`ExperimentPlan`] builder and executed by
+//! the [`Session`] it resolves into ([`session`] module). A copy-pasteable
+//! run, with streamed progress and a persistent store:
+//!
+//! ```no_run
+//! use lpa_datagen::{general_corpus, CorpusConfig};
+//! use lpa_experiments::harness::HarnessSettings;
+//! use lpa_experiments::{ExperimentConfig, ExperimentPlan, FormatTag, StderrProgress};
+//!
+//! // Resolved LPA_* environment (CLI flags would outrank it, see `harness`).
+//! let settings = HarnessSettings::from_env();
+//! let store = settings.open_store(); // Some(_) iff LPA_STORE is set
+//! let corpus = general_corpus(&CorpusConfig::tiny());
+//! let progress = StderrProgress::new("sweep");
+//!
+//! let results = ExperimentPlan::over(&corpus)
+//!     .formats(&FormatTag::all())
+//!     .config(ExperimentConfig::default())
+//!     .maybe_store(store.as_ref())
+//!     .apply(&settings)      // tier / thread overrides, if any
+//!     .observer(&progress)   // stream per-matrix progress to stderr
+//!     .session()
+//!     .run();
+//! println!("{} matrices, {} skipped", results.matrices.len(), results.skipped.len());
+//! ```
+//!
+//! Results are deterministic and byte-identical for any thread count, store
+//! state, observer, and arithmetic tier. With a persistent `lpa-store`
+//! attached, every reference solve and outcome is content-addressed and
+//! reused across harness runs — see [`persist`] for the key-derivation and
+//! salt-bumping policy, and [`harness`] for the one place `LPA_*`
+//! environment variables are read.
 
 pub mod driver;
 pub mod formats;
+pub mod harness;
 pub mod outcome;
 pub mod persist;
 pub mod pipeline;
 pub mod report;
+pub mod session;
 
-pub use driver::{run_experiment, run_experiment_with_store, ExperimentResults, MatrixResult};
+#[allow(deprecated)]
+pub use driver::{run_experiment, run_experiment_with_store};
 pub use formats::FormatTag;
 pub use outcome::{EigenErrors, Outcome};
 pub use pipeline::{
@@ -37,4 +70,8 @@ pub use pipeline::{
 pub use report::{
     cumulative_distribution, format_summary_table, log10_clamped, write_figure_csv,
     CumulativeDistribution, Metric,
+};
+pub use session::{
+    ExperimentPlan, ExperimentResults, MatrixResult, ProgressEvent, ProgressObserver, Session,
+    StderrProgress,
 };

@@ -1,0 +1,640 @@
+//! The typed front door of the harness: [`ExperimentPlan`] → [`Session`] →
+//! [`ExperimentResults`], with streaming [`ProgressEvent`]s.
+//!
+//! Every consumer of the experiment grid — the figure/table benches, the
+//! `reproduce` binary, the examples, the integration tests — builds its run
+//! through an [`ExperimentPlan`]: a builder that collects the corpus, the
+//! format list, the [`ExperimentConfig`], an optional persistent
+//! [`Store`], an optional 16-bit arithmetic tier override and an optional
+//! thread budget, and resolves into a [`Session`] whose [`Session::run`]
+//! produces exactly the same byte-identical, thread-count-independent
+//! [`ExperimentResults`] the old free functions did.
+//!
+//! ```no_run
+//! use lpa_datagen::{general_corpus, CorpusConfig};
+//! use lpa_experiments::{ExperimentConfig, ExperimentPlan, FormatTag, StderrProgress};
+//!
+//! let corpus = general_corpus(&CorpusConfig::tiny());
+//! let progress = StderrProgress::new("demo");
+//! let results = ExperimentPlan::over(&corpus)
+//!     .formats(&FormatTag::all())
+//!     .config(ExperimentConfig::default())
+//!     .threads(4)
+//!     .observer(&progress)
+//!     .session()
+//!     .run();
+//! println!("{} matrices, {} skipped", results.matrices.len(), results.skipped.len());
+//! ```
+//!
+//! ## Progress events
+//!
+//! A [`ProgressObserver`] registered on the plan receives one event stream
+//! per run: grid start, per-matrix reference solves (with a served-from-store
+//! flag), skipped matrices, per-(matrix, format) outcomes (computed vs store
+//! hit), and a final grid summary. Long runs can stream logs, progress bars
+//! or incremental CSV instead of being silent for the whole sweep.
+//!
+//! Observers never affect the computation: results are byte-identical with
+//! or without one. Event *order* is deterministic too — worker threads hand
+//! their events to a sequencer that releases them in corpus/grid order, so
+//! the stream for a given plan is identical for any thread count
+//! (test-enforced by `tests/session_api.rs`). Callbacks run under the
+//! sequencer lock, so an observer must not call back into the session and
+//! should return quickly.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use lpa_arith::{dec16_tier, force_dec16_tier, Dec16Tier};
+use lpa_datagen::TestMatrix;
+use lpa_store::{ArtifactKind, Store};
+
+use crate::formats::FormatTag;
+use crate::outcome::Outcome;
+use crate::persist;
+use crate::pipeline::{compute_reference, run_format, ExperimentConfig, Reference};
+
+/// All results for one matrix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatrixResult {
+    pub name: String,
+    pub category: String,
+    pub n: usize,
+    pub nnz: usize,
+    /// One outcome per requested format, in the same order as the plan's
+    /// format list.
+    pub outcomes: Vec<(FormatTag, Outcome)>,
+}
+
+/// Results of a whole experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentResults {
+    pub formats: Vec<FormatTag>,
+    pub matrices: Vec<MatrixResult>,
+    /// Matrices skipped because even the double-double reference failed to
+    /// converge (mirrors the paper's preparation step discarding such cases).
+    pub skipped: Vec<String>,
+}
+
+impl ExperimentResults {
+    /// All outcomes of one format across the corpus.
+    ///
+    /// The session stores each matrix's outcomes in the experiment's format
+    /// order, so the format's position in `self.formats` indexes every row
+    /// directly — no per-matrix linear scan over the format list. Rows that
+    /// don't follow that order (hand-assembled results) fall back to a scan.
+    pub fn outcomes_for(&self, format: FormatTag) -> Vec<Outcome> {
+        let Some(idx) = self.formats.iter().position(|&f| f == format) else {
+            return Vec::new();
+        };
+        self.matrices
+            .iter()
+            .filter_map(|m| match m.outcomes.get(idx) {
+                Some(&(f, o)) if f == format => Some(o),
+                _ => m.outcomes.iter().find(|(f, _)| *f == format).map(|&(_, o)| o),
+            })
+            .collect()
+    }
+}
+
+/// One progress event of a running [`Session`] (see the module docs for
+/// ordering guarantees).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProgressEvent {
+    /// The grid is about to run: `matrices × formats` jobs at most.
+    GridStarted { matrices: usize, formats: usize },
+    /// The reference solve of matrix `index` began resolving (lookup or
+    /// double-double solve).
+    ReferenceStarted { index: usize, matrix: String },
+    /// The reference of matrix `index` is available; `from_store` says it
+    /// was served from the persistent store instead of being computed.
+    ReferenceComputed { index: usize, matrix: String, from_store: bool },
+    /// Matrix `index` is skipped: even the double-double reference failed
+    /// to converge (the paper's preparation step discards such cases).
+    MatrixSkipped { index: usize, matrix: String },
+    /// The outcome of (matrix `index`, `format`) is available; `from_store`
+    /// distinguishes a store hit from a fresh solve.
+    OutcomeComputed { index: usize, matrix: String, format: FormatTag, from_store: bool },
+    /// The whole grid finished and results are assembled.
+    GridFinished { matrices: usize, skipped: usize, outcomes: usize },
+}
+
+/// Receives the [`ProgressEvent`] stream of a running [`Session`].
+///
+/// Implementations must be `Sync` — events originate on worker threads —
+/// and cheap: callbacks run under the event sequencer's lock (that is what
+/// makes the stream order deterministic), so a slow observer stalls
+/// delivery, and re-entering the session from a callback deadlocks.
+pub trait ProgressObserver: Sync {
+    fn on_event(&self, event: &ProgressEvent);
+}
+
+/// A ready-made [`ProgressObserver`] that streams compact per-reference
+/// progress lines (and a final summary) to stderr — stdout stays reserved
+/// for the harnesses' machine-readable output.
+pub struct StderrProgress {
+    label: String,
+    total: std::sync::atomic::AtomicUsize,
+    seen: std::sync::atomic::AtomicUsize,
+    outcome_hits: std::sync::atomic::AtomicUsize,
+}
+
+impl StderrProgress {
+    pub fn new(label: impl Into<String>) -> StderrProgress {
+        StderrProgress {
+            label: label.into(),
+            total: Default::default(),
+            seen: Default::default(),
+            outcome_hits: Default::default(),
+        }
+    }
+}
+
+impl ProgressObserver for StderrProgress {
+    fn on_event(&self, event: &ProgressEvent) {
+        use std::sync::atomic::Ordering::Relaxed;
+        match event {
+            ProgressEvent::GridStarted { matrices, formats } => {
+                // A new grid resets the counters: one observer may be
+                // reused across several sessions.
+                self.total.store(*matrices, Relaxed);
+                self.seen.store(0, Relaxed);
+                self.outcome_hits.store(0, Relaxed);
+                eprintln!("[{}] grid started: {matrices} matrices x {formats} formats", self.label);
+            }
+            ProgressEvent::ReferenceComputed { matrix, from_store, .. } => {
+                let seen = self.seen.fetch_add(1, Relaxed) + 1;
+                let total = self.total.load(Relaxed);
+                let how = if *from_store { "store" } else { "solved" };
+                eprintln!("[{}] reference {seen}/{total} {matrix} ({how})", self.label);
+            }
+            ProgressEvent::MatrixSkipped { matrix, .. } => {
+                let seen = self.seen.fetch_add(1, Relaxed) + 1;
+                let total = self.total.load(Relaxed);
+                eprintln!(
+                    "[{}] reference {seen}/{total} {matrix} (skipped: reference failed)",
+                    self.label
+                );
+            }
+            ProgressEvent::OutcomeComputed { from_store: true, .. } => {
+                self.outcome_hits.fetch_add(1, Relaxed);
+            }
+            ProgressEvent::GridFinished { matrices, skipped, outcomes } => {
+                eprintln!(
+                    "[{}] grid finished: {matrices} matrices, {skipped} skipped, {outcomes} outcomes ({} from store)",
+                    self.label,
+                    self.outcome_hits.load(Relaxed)
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Builder for one experiment run: the single front door of the harness.
+///
+/// Knobs, in the order long runs usually set them: corpus → formats →
+/// [`ExperimentConfig`] → persistent store → 16-bit arithmetic tier →
+/// thread budget → progress observer. Every knob except the corpus has a
+/// default (all 14 formats, the paper's config, no store, the ambient tier
+/// and thread count, no observer).
+#[derive(Clone)]
+pub struct ExperimentPlan<'a> {
+    corpus: &'a [TestMatrix],
+    formats: Vec<FormatTag>,
+    config: ExperimentConfig,
+    store: Option<&'a Store>,
+    arith_tier: Option<Dec16Tier>,
+    threads: Option<usize>,
+    observer: Option<&'a dyn ProgressObserver>,
+}
+
+impl<'a> ExperimentPlan<'a> {
+    /// Start a plan over a corpus of test matrices.
+    pub fn over(corpus: &'a [TestMatrix]) -> ExperimentPlan<'a> {
+        ExperimentPlan {
+            corpus,
+            formats: FormatTag::all(),
+            config: ExperimentConfig::default(),
+            store: None,
+            arith_tier: None,
+            threads: None,
+            observer: None,
+        }
+    }
+
+    /// The number formats to run (default: all 14 of the paper).
+    pub fn formats(mut self, formats: &[FormatTag]) -> Self {
+        self.formats = formats.to_vec();
+        self
+    }
+
+    /// The solver/matching parameters (default: [`ExperimentConfig::default`]).
+    pub fn config(mut self, config: ExperimentConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Back the run with a persistent artifact store: every reference and
+    /// outcome is looked up before being computed, and computed results are
+    /// persisted (warm starts, resumable runs, cross-process sharing).
+    pub fn store(self, store: &'a Store) -> Self {
+        self.maybe_store(Some(store))
+    }
+
+    /// [`ExperimentPlan::store`] with an optional handle, for call sites
+    /// whose store is itself configured (`LPA_STORE`, `--store`).
+    pub fn maybe_store(mut self, store: Option<&'a Store>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Force the 16-bit arithmetic tier for the duration of the run
+    /// (default: the ambient tier — `LPA_ARITH_TIER` or unpack). Both tiers
+    /// are bit-identical, so this is a verification/debugging knob, not a
+    /// semantic one.
+    pub fn arith_tier(mut self, tier: Dec16Tier) -> Self {
+        self.arith_tier = Some(tier);
+        self
+    }
+
+    /// Cap the run at `n` worker threads (default: `RAYON_NUM_THREADS`,
+    /// else all cores). Results are byte-identical for any value.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Stream [`ProgressEvent`]s of the run to `observer`.
+    pub fn observer(mut self, observer: &'a dyn ProgressObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Apply resolved harness settings (the CLI > environment > default
+    /// layer, see [`crate::harness`]) to the plan's tier and thread knobs.
+    /// The store is I/O and stays explicit: open it with
+    /// [`crate::harness::HarnessSettings::open_store`] and pass it to
+    /// [`ExperimentPlan::maybe_store`].
+    pub fn apply(mut self, settings: &crate::harness::HarnessSettings) -> Self {
+        if let Some(tier) = settings.arith_tier {
+            self = self.arith_tier(tier);
+        }
+        if let Some(threads) = settings.threads {
+            self = self.threads(threads);
+        }
+        self
+    }
+
+    /// Resolve the plan into a runnable [`Session`].
+    pub fn session(self) -> Session<'a> {
+        Session { plan: self }
+    }
+
+    /// Shorthand for `.session().run()`.
+    pub fn run(self) -> ExperimentResults {
+        self.session().run()
+    }
+}
+
+/// A resolved, runnable experiment: produced by [`ExperimentPlan::session`].
+pub struct Session<'a> {
+    plan: ExperimentPlan<'a>,
+}
+
+impl Session<'_> {
+    /// The formats this session will run.
+    pub fn formats(&self) -> &[FormatTag] {
+        &self.plan.formats
+    }
+
+    /// The solver/matching configuration this session will run with.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.plan.config
+    }
+
+    /// The worker-thread budget the grid will use.
+    pub fn threads(&self) -> usize {
+        self.plan.threads.unwrap_or_else(rayon::current_num_threads)
+    }
+
+    /// Run the whole (matrix × format) grid.
+    ///
+    /// The fan-out is the two-stage one the free functions used: one
+    /// double-double reference solve per matrix (computed once and shared
+    /// by every format run of that matrix), then the flattened grid of
+    /// per-format runs over all matrices whose reference converged. Every
+    /// run is deterministic (the Arnoldi starting vector comes from a
+    /// per-run seeded RNG) and results are reassembled in corpus order, so
+    /// the output — including its serialization — is identical for any
+    /// thread count, store state and observer.
+    pub fn run(&self) -> ExperimentResults {
+        let _tier = self.plan.arith_tier.map(TierGuard::force);
+        match self.plan.threads {
+            Some(n) => rayon::with_num_threads(n, || self.run_grid()),
+            None => self.run_grid(),
+        }
+    }
+
+    fn run_grid(&self) -> ExperimentResults {
+        let corpus = self.plan.corpus;
+        let formats = self.formats();
+        let cfg = self.config();
+        let store = self.plan.store;
+        let observer = self.plan.observer;
+
+        emit(
+            observer,
+            || ProgressEvent::GridStarted { matrices: corpus.len(), formats: formats.len() },
+        );
+
+        // Stage 1: one reference per matrix, fanned out over the corpus.
+        let slots: Vec<usize> = (0..corpus.len()).collect();
+        let sequencer = Sequencer::new(observer);
+        let references: Vec<Option<Reference>> = slots
+            .par_iter()
+            .map(|&i| {
+                let tm = &corpus[i];
+                let (reference, from_store) = resolve_reference(tm, cfg, store);
+                sequencer.submit(i, |events| {
+                    events.push(ProgressEvent::ReferenceStarted { index: i, matrix: tm.name.clone() });
+                    events.push(match &reference {
+                        Some(_) => ProgressEvent::ReferenceComputed {
+                            index: i,
+                            matrix: tm.name.clone(),
+                            from_store,
+                        },
+                        None => ProgressEvent::MatrixSkipped { index: i, matrix: tm.name.clone() },
+                    });
+                });
+                reference
+            })
+            .collect();
+
+        // Stage 2: the flattened (kept matrix × format) grid, which
+        // load-balances far better than one task per matrix (a takum8 LUT
+        // run and a posit64 soft-float run differ by orders of magnitude).
+        let jobs: Vec<(usize, FormatTag)> = corpus
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| references[*i].is_some())
+            .flat_map(|(i, _)| formats.iter().map(move |&f| (i, f)))
+            .collect();
+        let slots: Vec<usize> = (0..jobs.len()).collect();
+        let sequencer = Sequencer::new(observer);
+        let outcomes: Vec<Outcome> = slots
+            .par_iter()
+            .map(|&slot| {
+                let (i, f) = jobs[slot];
+                let reference =
+                    references[i].as_ref().expect("only solved matrices are in the grid");
+                let (outcome, from_store) =
+                    resolve_outcome(&corpus[i], reference, f, cfg, store);
+                sequencer.submit(slot, |events| {
+                    events.push(ProgressEvent::OutcomeComputed {
+                        index: i,
+                        matrix: corpus[i].name.clone(),
+                        format: f,
+                        from_store,
+                    });
+                });
+                outcome
+            })
+            .collect();
+
+        // Reassemble in corpus order: jobs were generated matrix-major, so
+        // the outcomes of each kept matrix form one contiguous chunk.
+        let mut matrices = Vec::new();
+        let mut skipped = Vec::new();
+        let mut chunks = outcomes.chunks_exact(formats.len().max(1));
+        for (tm, reference) in corpus.iter().zip(&references) {
+            if reference.is_none() {
+                skipped.push(tm.name.clone());
+                continue;
+            }
+            let chunk = if formats.is_empty() {
+                &[][..]
+            } else {
+                chunks.next().expect("one outcome chunk per kept matrix")
+            };
+            matrices.push(MatrixResult {
+                name: tm.name.clone(),
+                category: tm.category.clone(),
+                n: tm.n(),
+                nnz: tm.nnz(),
+                outcomes: formats.iter().copied().zip(chunk.iter().copied()).collect(),
+            });
+        }
+        emit(
+            observer,
+            || ProgressEvent::GridFinished {
+                matrices: matrices.len(),
+                skipped: skipped.len(),
+                outcomes: outcomes.len(),
+            },
+        );
+        ExperimentResults { formats: formats.to_vec(), matrices, skipped }
+    }
+}
+
+/// Resolve one matrix's reference: store lookup (with in-place healing of
+/// undecodable artifacts) or a fresh double-double solve. Returns the
+/// reference (`None` = failed/skip) and whether it was served from the
+/// store.
+fn resolve_reference(
+    tm: &TestMatrix,
+    cfg: &ExperimentConfig,
+    store: Option<&Store>,
+) -> (Option<Reference>, bool) {
+    let Some(s) = store else {
+        return (compute_reference(&tm.matrix, cfg).ok(), false);
+    };
+    let computed = Cell::new(false);
+    let key = persist::reference_key(&tm.matrix, cfg);
+    let bytes = s
+        .get_or_compute(ArtifactKind::Reference, key, || {
+            computed.set(true);
+            persist::encode_reference(&compute_reference(&tm.matrix, cfg).ok())
+        })
+        .expect("store I/O failed while persisting a reference");
+    let reference = match persist::decode_reference(&bytes) {
+        Ok(r) => r,
+        // Checksum-valid but undecodable: payload schema drift without a
+        // salt bump. Recompute and heal in place rather than poisoning
+        // every future run.
+        Err(_) => {
+            computed.set(true);
+            let r = compute_reference(&tm.matrix, cfg).ok();
+            s.put(ArtifactKind::Reference, key, persist::encode_reference(&r))
+                .expect("store I/O failed while healing a reference");
+            r
+        }
+    };
+    (reference, !computed.get())
+}
+
+/// Resolve one (matrix, format) outcome, mirroring [`resolve_reference`].
+fn resolve_outcome(
+    tm: &TestMatrix,
+    reference: &Reference,
+    format: FormatTag,
+    cfg: &ExperimentConfig,
+    store: Option<&Store>,
+) -> (Outcome, bool) {
+    let Some(s) = store else {
+        return (run_format(&tm.matrix, reference, format, cfg).outcome, false);
+    };
+    let computed = Cell::new(false);
+    let key = persist::outcome_key(&tm.matrix, format, cfg);
+    let bytes = s
+        .get_or_compute(ArtifactKind::Outcome, key, || {
+            computed.set(true);
+            persist::encode_outcome(&run_format(&tm.matrix, reference, format, cfg).outcome)
+        })
+        .expect("store I/O failed while persisting an outcome");
+    let outcome = match persist::decode_outcome(&bytes) {
+        Ok(o) => o,
+        // Same healing path as references: recompute and overwrite the
+        // undecodable artifact.
+        Err(_) => {
+            computed.set(true);
+            let o = run_format(&tm.matrix, reference, format, cfg).outcome;
+            s.put(ArtifactKind::Outcome, key, persist::encode_outcome(&o))
+                .expect("store I/O failed while healing an outcome");
+            o
+        }
+    };
+    (outcome, !computed.get())
+}
+
+fn emit(observer: Option<&dyn ProgressObserver>, event: impl FnOnce() -> ProgressEvent) {
+    if let Some(o) = observer {
+        o.on_event(&event());
+    }
+}
+
+/// Forces the 16-bit tier for a scope and restores the previous tier on
+/// drop. Both tiers compute identical bits, so overlapping guards from
+/// concurrent sessions are benign (the knob is process-global).
+struct TierGuard(Dec16Tier);
+
+impl TierGuard {
+    fn force(tier: Dec16Tier) -> TierGuard {
+        let previous = dec16_tier();
+        force_dec16_tier(tier);
+        TierGuard(previous)
+    }
+}
+
+impl Drop for TierGuard {
+    fn drop(&mut self) {
+        force_dec16_tier(self.0);
+    }
+}
+
+/// Releases worker-thread events in slot order: slot `i`'s events are
+/// delivered only after every slot `< i` has submitted and delivered, which
+/// makes the observer stream identical for any thread count. Delivery
+/// happens under the lock, so the total order is strict.
+struct Sequencer<'a> {
+    observer: Option<&'a dyn ProgressObserver>,
+    state: Mutex<SequencerState>,
+}
+
+struct SequencerState {
+    next: usize,
+    pending: BTreeMap<usize, Vec<ProgressEvent>>,
+}
+
+impl<'a> Sequencer<'a> {
+    fn new(observer: Option<&'a dyn ProgressObserver>) -> Sequencer<'a> {
+        Sequencer {
+            observer,
+            state: Mutex::new(SequencerState { next: 0, pending: BTreeMap::new() }),
+        }
+    }
+
+    /// Submit slot `slot`'s events; `fill` only runs when an observer is
+    /// attached, so unobserved runs pay nothing for event construction.
+    fn submit(&self, slot: usize, fill: impl FnOnce(&mut Vec<ProgressEvent>)) {
+        let Some(observer) = self.observer else { return };
+        let mut events = Vec::with_capacity(2);
+        fill(&mut events);
+        let mut state = self.state.lock().expect("event sequencer poisoned");
+        state.pending.insert(slot, events);
+        while let Some(ready) = { let next = state.next; state.pending.remove(&next) } {
+            for event in &ready {
+                observer.on_event(event);
+            }
+            state.next += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpa_datagen::{general_corpus, CorpusConfig};
+
+    #[test]
+    fn tiny_experiment_end_to_end() {
+        // A handful of small matrices, a couple of formats: the full pipeline
+        // must produce an outcome for every (matrix, format) pair.
+        let corpus: Vec<TestMatrix> = general_corpus(&CorpusConfig {
+            scale: 1,
+            size_range: (30, 40),
+            ..CorpusConfig::tiny()
+        })
+        .into_iter()
+        .filter(|t| t.category == "lap1d" || t.category == "diagdom")
+        .collect();
+        assert!(corpus.len() >= 3);
+        let formats = [FormatTag::Float64, FormatTag::Takum16, FormatTag::Ofp8E4M3];
+        let cfg = ExperimentConfig {
+            eigenvalue_count: 4,
+            eigenvalue_buffer_count: 2,
+            max_restarts: 60,
+            ..Default::default()
+        };
+        let res = ExperimentPlan::over(&corpus).formats(&formats).config(cfg).run();
+        assert_eq!(res.matrices.len() + res.skipped.len(), corpus.len());
+        for m in &res.matrices {
+            assert_eq!(m.outcomes.len(), 3);
+        }
+        // float64 should essentially always produce small errors here.
+        let f64_outcomes = res.outcomes_for(FormatTag::Float64);
+        assert!(!f64_outcomes.is_empty());
+        for o in f64_outcomes {
+            if let Some(e) = o.errors() {
+                assert!(e.eigenvalue_rel < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn sequencer_releases_in_slot_order_regardless_of_submit_order() {
+        struct Tape(Mutex<Vec<usize>>);
+        impl ProgressObserver for Tape {
+            fn on_event(&self, event: &ProgressEvent) {
+                if let ProgressEvent::ReferenceStarted { index, .. } = event {
+                    self.0.lock().unwrap().push(*index);
+                }
+            }
+        }
+        let tape = Tape(Mutex::new(Vec::new()));
+        let seq = Sequencer::new(Some(&tape as &dyn ProgressObserver));
+        for slot in [2usize, 0, 3, 1, 4] {
+            seq.submit(slot, |events| {
+                events.push(ProgressEvent::ReferenceStarted {
+                    index: slot,
+                    matrix: String::new(),
+                });
+            });
+        }
+        assert_eq!(*tape.0.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -11,11 +11,11 @@
 //! byte-identical CSVs) keeps holding.
 //!
 //! Kept as a single test in its own integration binary because it toggles
-//! the process-global 16-bit tier.
+//! the process-global 16-bit tier (via the plan's `arith_tier` knob).
 
-use lpa_arith::{force_dec16_tier, Dec16Tier};
+use lpa_arith::Dec16Tier;
 use lpa_datagen::{general_corpus, CorpusConfig, TestMatrix};
-use lpa_experiments::{persist, run_experiment, ExperimentConfig, FormatTag};
+use lpa_experiments::{persist, ExperimentConfig, ExperimentPlan, FormatTag};
 
 #[test]
 fn fast_path_grid_serializes_identically_to_softfloat() {
@@ -37,10 +37,9 @@ fn fast_path_grid_serializes_identically_to_softfloat() {
         ..Default::default()
     };
 
-    force_dec16_tier(Dec16Tier::Softfloat);
-    let soft = run_experiment(&corpus, &formats, &cfg);
-    force_dec16_tier(Dec16Tier::Unpack);
-    let fast = run_experiment(&corpus, &formats, &cfg);
+    let plan = || ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone());
+    let soft = plan().arith_tier(Dec16Tier::Softfloat).run();
+    let fast = plan().arith_tier(Dec16Tier::Unpack).run();
 
     // The whole result object, serialization included, must not change.
     let soft_json = serde_json::to_string(&soft).expect("serialize soft-float results");

@@ -1,13 +1,14 @@
-//! The parallel driver must be bit-deterministic: the same corpus, formats
-//! and config must produce an identical `ExperimentResults` — including its
-//! serialization — whether the (matrix × format) grid runs on one thread or
-//! many.
+//! The parallel session must be bit-deterministic: the same plan must
+//! produce an identical `ExperimentResults` — including its serialization —
+//! whether the (matrix × format) grid runs on one thread or many, and
+//! whether the thread budget comes from the plan's `threads` knob or the
+//! `RAYON_NUM_THREADS` environment variable.
 //!
 //! Kept as a single test in its own integration binary because it toggles
 //! the process-global `RAYON_NUM_THREADS` variable.
 
 use lpa_datagen::{general_corpus, CorpusConfig, TestMatrix};
-use lpa_experiments::{run_experiment, ExperimentConfig, FormatTag};
+use lpa_experiments::{ExperimentConfig, ExperimentPlan, FormatTag};
 
 #[test]
 fn parallel_results_identical_to_serial() {
@@ -34,22 +35,22 @@ fn parallel_results_identical_to_serial() {
         max_restarts: 40,
         ..Default::default()
     };
+    let plan = || ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone());
 
+    // Serial via the environment knob (the rayon shim honours it on every
+    // call), parallel via the plan's thread budget — which must outrank it.
     std::env::set_var("RAYON_NUM_THREADS", "1");
-    let serial = run_experiment(&corpus, &formats, &cfg);
-    // Pin an explicit thread count > 1 so the threaded path runs even on a
-    // single-core machine (the shim would otherwise fall back to inline).
-    std::env::set_var("RAYON_NUM_THREADS", "3");
-    let parallel = run_experiment(&corpus, &formats, &cfg);
+    let serial = plan().run();
+    let parallel = plan().threads(3).run();
+    std::env::remove_var("RAYON_NUM_THREADS");
     // Run the grid a second time in parallel: OnceLock LUT initialization
     // raced on first use must not change anything either.
-    let parallel_again = run_experiment(&corpus, &formats, &cfg);
-    std::env::remove_var("RAYON_NUM_THREADS");
+    let parallel_again = plan().threads(3).run();
 
     let s = serde_json::to_string(&serial).expect("serialize serial results");
     let p = serde_json::to_string(&parallel).expect("serialize parallel results");
     let p2 = serde_json::to_string(&parallel_again).expect("serialize repeat results");
-    assert_eq!(s, p, "serial and parallel drivers diverged");
+    assert_eq!(s, p, "serial and parallel sessions diverged");
     assert_eq!(p, p2, "repeated parallel runs diverged");
     assert_eq!(serial.matrices.len() + serial.skipped.len(), corpus.len());
     for m in &serial.matrices {

@@ -1,0 +1,226 @@
+//! Contract tests of the `ExperimentPlan`/`Session` front door:
+//!
+//! * the deprecated free functions and the builder API serialize
+//!   byte-identically for the same grid (so stores populated through
+//!   either stay valid under the other, with `CODE_VERSION_SALT`
+//!   unchanged — the salt guard),
+//! * the `ProgressObserver` event stream has a deterministic order for
+//!   any thread count and never perturbs results, and
+//! * store-backed sessions report accurate served-from-store flags.
+
+use std::sync::Mutex;
+
+use lpa_datagen::{general_corpus, CorpusConfig, TestMatrix};
+use lpa_experiments::{
+    persist, ExperimentConfig, ExperimentPlan, FormatTag, ProgressEvent, ProgressObserver,
+};
+use lpa_store::Store;
+
+fn tiny_corpus(take: usize) -> Vec<TestMatrix> {
+    let corpus: Vec<TestMatrix> = general_corpus(&CorpusConfig {
+        scale: 1,
+        size_range: (24, 36),
+        ..CorpusConfig::tiny()
+    })
+    .into_iter()
+    .take(take)
+    .collect();
+    assert!(corpus.len() >= 3, "corpus too small to exercise the grid");
+    corpus
+}
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig {
+        eigenvalue_count: 3,
+        eigenvalue_buffer_count: 2,
+        max_restarts: 40,
+        ..Default::default()
+    }
+}
+
+/// Records every event (cloned) in delivery order.
+#[derive(Default)]
+struct Recorder(Mutex<Vec<ProgressEvent>>);
+
+impl ProgressObserver for Recorder {
+    fn on_event(&self, event: &ProgressEvent) {
+        self.0.lock().unwrap().push(event.clone());
+    }
+}
+
+impl Recorder {
+    fn events(&self) -> Vec<ProgressEvent> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+/// The salt guard: the API redesign must not change any computed bytes, so
+/// the free functions (old front door) and `Session::run` (new front door)
+/// must serialize byte-identically, store artifacts included, under an
+/// unchanged `CODE_VERSION_SALT` — which keeps every store populated
+/// before this change warm after it.
+#[test]
+fn old_and_new_front_doors_are_byte_identical() {
+    // If this assertion fires, the API refactor changed computed numerics
+    // (or someone bumped the salt without needing to): both invalidate the
+    // warm-start guarantee this test exists to protect.
+    assert_eq!(persist::CODE_VERSION_SALT, 0x6c70_6131_0000_0001, "salt must not change in PR 4");
+
+    let corpus = tiny_corpus(4);
+    let formats =
+        [FormatTag::Float64, FormatTag::Posit16, FormatTag::Takum8, FormatTag::Ofp8E5M2];
+    let cfg = tiny_config();
+
+    #[allow(deprecated)]
+    let old = lpa_experiments::run_experiment(&corpus, &formats, &cfg);
+    let new = ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).run();
+    assert_eq!(
+        serde_json::to_string(&old).unwrap(),
+        serde_json::to_string(&new).unwrap(),
+        "free-function and builder results diverged"
+    );
+
+    // Store round trip: populate through the old API, warm-start through
+    // the new one. Zero misses means every content-address matched.
+    let dir = std::env::temp_dir().join(format!("lpa-session-api-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let old_store = Store::open(&dir).unwrap();
+    #[allow(deprecated)]
+    let old_stored =
+        lpa_experiments::run_experiment_with_store(&corpus, &formats, &cfg, Some(&old_store));
+    let new_store = Store::open(&dir).unwrap();
+    let warm = ExperimentPlan::over(&corpus)
+        .formats(&formats)
+        .config(cfg.clone())
+        .store(&new_store)
+        .run();
+    assert_eq!(
+        serde_json::to_string(&old_stored).unwrap(),
+        serde_json::to_string(&warm).unwrap()
+    );
+    let refs = new_store.stats().snapshot(lpa_store::ArtifactKind::Reference);
+    assert_eq!(refs.misses, 0, "old-API store artifacts must warm-start the new API");
+    assert_eq!(refs.hits(), corpus.len() as u64);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Observer event ordering is deterministic: one worker thread or many,
+/// the stream is identical — and attaching an observer never changes the
+/// results.
+#[test]
+fn event_order_is_deterministic_across_thread_counts() {
+    let corpus = tiny_corpus(5);
+    let formats = [FormatTag::Float64, FormatTag::Takum16, FormatTag::Ofp8E4M3];
+    let cfg = tiny_config();
+
+    let unobserved =
+        ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).threads(4).run();
+
+    let run_recorded = |threads: usize| {
+        let recorder = Recorder::default();
+        let results = ExperimentPlan::over(&corpus)
+            .formats(&formats)
+            .config(cfg.clone())
+            .threads(threads)
+            .observer(&recorder)
+            .run();
+        (recorder.events(), results)
+    };
+    let (serial_events, serial_results) = run_recorded(1);
+    let (parallel_events, parallel_results) = run_recorded(4);
+
+    assert_eq!(serial_events, parallel_events, "event stream depends on thread count");
+    assert_eq!(
+        serde_json::to_string(&serial_results).unwrap(),
+        serde_json::to_string(&parallel_results).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&unobserved).unwrap(),
+        serde_json::to_string(&parallel_results).unwrap(),
+        "attaching an observer changed the results"
+    );
+
+    // Structural invariants of the stream.
+    let events = serial_events;
+    assert!(
+        matches!(events.first(), Some(ProgressEvent::GridStarted { matrices, formats: nf })
+            if *matrices == corpus.len() && *nf == formats.len()),
+        "{events:?}"
+    );
+    let kept = serial_results.matrices.len();
+    let skipped = serial_results.skipped.len();
+    assert!(
+        matches!(events.last(), Some(ProgressEvent::GridFinished { matrices, skipped: s, outcomes })
+            if *matrices == kept && *s == skipped && *outcomes == kept * formats.len()),
+        "{events:?}"
+    );
+    // References stream strictly in corpus order, one started + one
+    // resolution event per matrix, all before the first outcome.
+    let mut expected_index = 0;
+    let mut outcome_count = 0;
+    for event in &events {
+        match event {
+            ProgressEvent::ReferenceStarted { index, matrix } => {
+                assert_eq!(*index, expected_index, "references out of corpus order");
+                assert_eq!(*matrix, corpus[*index].name);
+                assert_eq!(outcome_count, 0, "reference events must precede outcomes");
+            }
+            ProgressEvent::ReferenceComputed { index, .. }
+            | ProgressEvent::MatrixSkipped { index, .. } => {
+                assert_eq!(*index, expected_index);
+                if let ProgressEvent::ReferenceComputed { from_store, .. } = event {
+                    assert!(!from_store, "no store attached, nothing can be served from one");
+                }
+                expected_index += 1;
+            }
+            ProgressEvent::OutcomeComputed { .. } => outcome_count += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(expected_index, corpus.len());
+    assert_eq!(outcome_count, kept * formats.len());
+}
+
+/// With a persistent store attached, the second run's events all carry
+/// `from_store: true`.
+#[test]
+fn store_hits_are_reported_in_events() {
+    let corpus = tiny_corpus(3);
+    let formats = [FormatTag::Float64, FormatTag::Posit8];
+    let cfg = tiny_config();
+    let dir = std::env::temp_dir().join(format!("lpa-session-events-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = |store: &Store| {
+        let recorder = Recorder::default();
+        ExperimentPlan::over(&corpus)
+            .formats(&formats)
+            .config(cfg.clone())
+            .store(store)
+            .observer(&recorder)
+            .run();
+        recorder.events()
+    };
+    let cold_store = Store::open(&dir).unwrap();
+    let cold = run(&cold_store);
+    let warm_store = Store::open(&dir).unwrap();
+    let warm = run(&warm_store);
+
+    let from_store_flags = |events: &[ProgressEvent]| -> Vec<bool> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                ProgressEvent::ReferenceComputed { from_store, .. }
+                | ProgressEvent::OutcomeComputed { from_store, .. } => Some(*from_store),
+                _ => None,
+            })
+            .collect()
+    };
+    let cold_flags = from_store_flags(&cold);
+    let warm_flags = from_store_flags(&warm);
+    assert!(!cold_flags.is_empty());
+    assert_eq!(cold_flags.len(), warm_flags.len());
+    assert!(cold_flags.iter().all(|&f| !f), "cold run found artifacts in an empty store");
+    assert!(warm_flags.iter().all(|&f| f), "warm run recomputed something");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

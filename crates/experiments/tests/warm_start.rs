@@ -12,8 +12,7 @@ use lpa_experiments::persist::{
     decode_outcome, decode_reference, encode_outcome, encode_reference,
 };
 use lpa_experiments::{
-    run_experiment, run_experiment_with_store, EigenErrors, ExperimentConfig, FormatTag, Outcome,
-    Reference,
+    EigenErrors, ExperimentConfig, ExperimentPlan, FormatTag, Outcome, Reference,
 };
 use lpa_store::{ArtifactKind, Store};
 use proptest::prelude::*;
@@ -115,7 +114,7 @@ fn undecodable_artifacts_are_healed_not_fatal() {
         max_restarts: 60,
         ..Default::default()
     };
-    let baseline = run_experiment(&corpus, &formats, &cfg);
+    let baseline = ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).run();
 
     let dir = std::env::temp_dir().join(format!("lpa-heal-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -127,7 +126,8 @@ fn undecodable_artifacts_are_healed_not_fatal() {
     store.put(ArtifactKind::Reference, ref_key, vec![0xEE, 1, 2, 3]).unwrap();
     store.put(ArtifactKind::Outcome, out_key, vec![0xEE]).unwrap();
 
-    let healed_run = run_experiment_with_store(&corpus, &formats, &cfg, Some(&store));
+    let healed_run =
+        ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).store(&store).run();
     assert_eq!(
         serde_json::to_string(&baseline).unwrap(),
         serde_json::to_string(&healed_run).unwrap()
@@ -166,11 +166,13 @@ fn warm_rerun_is_byte_identical_and_solves_no_references() {
 
     // Baseline without any store, then a cold populating run, then a warm
     // run through a fresh handle (second harness process in spirit).
-    let baseline = run_experiment(&corpus, &formats, &cfg);
+    let baseline = ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).run();
     let cold_store = Store::open(&dir).unwrap();
-    let cold = run_experiment_with_store(&corpus, &formats, &cfg, Some(&cold_store));
+    let cold =
+        ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).store(&cold_store).run();
     let warm_store = Store::open(&dir).unwrap();
-    let warm = run_experiment_with_store(&corpus, &formats, &cfg, Some(&warm_store));
+    let warm =
+        ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).store(&warm_store).run();
 
     // The store must be transparent: all three serializations identical.
     let baseline_json = serde_json::to_string(&baseline).unwrap();

@@ -130,12 +130,45 @@ pub struct GcReport {
     pub tmp_removed: usize,
 }
 
-/// Shrink the store below `max_bytes` by deleting the least recently
-/// modified artifacts first, and sweep leftover `.tmp` files (from crashed
-/// writers). Invalid artifacts are always deleted. Not safe to run
-/// concurrently with an *actively writing* harness — a live tmp file could
-/// be swept — but readers are unaffected.
-pub fn gc(root: &Path, max_bytes: u64) -> io::Result<GcReport> {
+/// What [`gc`] deletes. The two limits compose: age is applied first
+/// (drop everything not touched within `max_age`), then the byte budget
+/// shrinks whatever survived, oldest first. At least one limit must be
+/// set — an empty policy would be a no-op that *looks* like a cleanup.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GcPolicy {
+    /// Keep total artifact bytes at or below this budget.
+    pub max_bytes: Option<u64>,
+    /// Delete artifacts whose mtime is older than this.
+    pub max_age: Option<std::time::Duration>,
+}
+
+impl GcPolicy {
+    pub fn max_bytes(n: u64) -> GcPolicy {
+        GcPolicy { max_bytes: Some(n), ..Default::default() }
+    }
+
+    pub fn max_age(age: std::time::Duration) -> GcPolicy {
+        GcPolicy { max_age: Some(age), ..Default::default() }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.max_bytes.is_none() && self.max_age.is_none()
+    }
+}
+
+/// Shrink the store per `policy`: delete artifacts older than `max_age`,
+/// then the least recently modified ones until under `max_bytes`, and
+/// sweep leftover `.tmp` files (from crashed writers). Invalid artifacts
+/// are always deleted. Not safe to run concurrently with an *actively
+/// writing* harness — a live tmp file could be swept — but readers are
+/// unaffected.
+pub fn gc(root: &Path, policy: &GcPolicy) -> io::Result<GcReport> {
+    if policy.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "gc policy sets neither max_bytes nor max_age",
+        ));
+    }
     let (mut ok, bad) = scan(root)?;
     let mut report = GcReport { kept: 0, kept_bytes: 0, deleted: 0, deleted_bytes: 0, tmp_removed: 0 };
     for (path, _) in &bad {
@@ -144,10 +177,24 @@ pub fn gc(root: &Path, max_bytes: u64) -> io::Result<GcReport> {
         report.deleted += 1;
         report.deleted_bytes += len;
     }
-    // Oldest first; ties broken by the (stable, sorted) scan order.
+    // Age limit first: everything past the horizon goes, regardless of the
+    // byte budget.
+    if let Some(max_age) = policy.max_age {
+        let cutoff = SystemTime::now().checked_sub(max_age);
+        let (expired, fresh): (Vec<_>, Vec<_>) =
+            ok.into_iter().partition(|a| cutoff.is_some_and(|c| a.modified < c));
+        for a in &expired {
+            std::fs::remove_file(&a.path)?;
+            report.deleted += 1;
+            report.deleted_bytes += a.file_len;
+        }
+        ok = fresh;
+    }
+    // Then the byte budget on the survivors, oldest first; ties broken by
+    // the (stable, sorted) scan order.
     ok.sort_by_key(|a| a.modified);
     let total: u64 = ok.iter().map(|a| a.file_len).sum();
-    let mut excess = total.saturating_sub(max_bytes);
+    let mut excess = total.saturating_sub(policy.max_bytes.unwrap_or(u64::MAX));
     for a in &ok {
         if excess > 0 {
             std::fs::remove_file(&a.path)?;
@@ -243,19 +290,67 @@ mod tests {
         // Age the first two artifacts by rewriting the rest later is not
         // reliable timing-wise; instead set the budget so only some survive.
         let total = verify(&dir).unwrap().bytes;
-        let report = gc(&dir, total / 2).unwrap();
+        let report = gc(&dir, &GcPolicy::max_bytes(total / 2)).unwrap();
         assert!(report.deleted > 0 && report.kept > 0, "deleted {} kept {}", report.deleted, report.kept);
         assert!(report.kept_bytes <= total / 2);
         let after = verify(&dir).unwrap();
         assert_eq!(after.ok, report.kept);
         assert!(after.corrupt.is_empty());
 
-        // gc(0) empties the store; a stale tmp file is swept too.
+        // max_bytes 0 empties the store; a stale tmp file is swept too.
         std::fs::write(dir.join(".tmp").join("stale.tmp"), b"zzz").unwrap();
-        let report = gc(&dir, 0).unwrap();
+        let report = gc(&dir, &GcPolicy::max_bytes(0)).unwrap();
         assert_eq!(report.kept, 0);
         assert_eq!(report.tmp_removed, 1);
         assert_eq!(verify(&dir).unwrap().ok, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Backdate an artifact's mtime by `secs` seconds.
+    fn backdate(path: &Path, secs: u64) {
+        let old = SystemTime::now() - std::time::Duration::from_secs(secs);
+        let file = std::fs::File::options().write(true).open(path).unwrap();
+        file.set_times(std::fs::FileTimes::new().set_modified(old)).unwrap();
+    }
+
+    #[test]
+    fn gc_age_policy_deletes_expired_and_composes_with_bytes() {
+        use std::time::Duration;
+        let (dir, store) = scratch_store("gc-age");
+        fill(&store, 6);
+        // Artifacts 0 and 1 are an hour old; the rest are fresh.
+        for i in 0..2 {
+            backdate(&store.path_of(hash128(format!("artifact-{i}").as_bytes())), 3600);
+        }
+
+        // Pure age policy: exactly the two backdated artifacts go.
+        let report = gc(&dir, &GcPolicy::max_age(Duration::from_secs(60))).unwrap();
+        assert_eq!(report.deleted, 2, "expired artifacts deleted");
+        assert_eq!(report.kept, 4);
+        assert_eq!(verify(&dir).unwrap().ok, 4);
+
+        // Composed policy: age expires one more backdated artifact, then
+        // the byte budget shrinks the fresh survivors too.
+        backdate(&store.path_of(hash128(b"artifact-2")), 3600);
+        let expired_path = store.path_of(hash128(b"artifact-2"));
+        let survivors_bytes: u64 = scan(&dir)
+            .unwrap()
+            .0
+            .iter()
+            .filter(|a| a.path != expired_path)
+            .map(|a| a.file_len)
+            .sum();
+        let policy = GcPolicy {
+            max_age: Some(Duration::from_secs(60)),
+            max_bytes: Some(survivors_bytes / 2),
+        };
+        let report = gc(&dir, &policy).unwrap();
+        assert!(report.deleted >= 2, "age victim plus at least one budget victim");
+        assert!(report.kept_bytes <= survivors_bytes / 2);
+        assert_eq!(verify(&dir).unwrap().ok, report.kept);
+
+        // An empty policy is rejected, not a silent no-op.
+        assert!(gc(&dir, &GcPolicy::default()).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

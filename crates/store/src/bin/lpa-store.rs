@@ -3,20 +3,23 @@
 //! ```text
 //! lpa-store stats  <dir>                 per-kind artifact counts and bytes
 //! lpa-store verify <dir>                 re-hash and check every artifact
-//! lpa-store gc     <dir> --max-bytes N   delete oldest artifacts over budget
+//! lpa-store gc     <dir> [--max-bytes N] [--max-age-secs S]
 //! ```
 //!
-//! `verify` exits non-zero if any artifact fails validation, so CI can use
-//! it as an assertion.
+//! `gc` needs at least one limit; when both are given, artifacts older
+//! than `--max-age-secs` are deleted first, then the oldest survivors
+//! until the store fits `--max-bytes`. `verify` exits non-zero if any
+//! artifact fails validation, so CI can use it as an assertion.
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use lpa_store::admin;
 use lpa_store::ArtifactKind;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: lpa-store <stats|verify|gc> <dir> [--max-bytes N]");
+    eprintln!("usage: lpa-store <stats|verify|gc> <dir> [--max-bytes N] [--max-age-secs S]");
     ExitCode::from(2)
 }
 
@@ -34,20 +37,41 @@ fn main() -> ExitCode {
         "stats" => stats(root),
         "verify" => verify(root),
         "gc" => {
-            let max_bytes = match args.get(3).map(String::as_str) {
-                Some("--max-bytes") => match args.get(4).and_then(|v| v.parse::<u64>().ok()) {
-                    Some(n) => n,
-                    None => {
-                        eprintln!("lpa-store gc: --max-bytes needs an integer argument");
-                        return ExitCode::from(2);
+            let mut policy = admin::GcPolicy::default();
+            let mut i = 3;
+            while i < args.len() {
+                let value = |slot: &mut Option<u64>| match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(n) => {
+                        *slot = Some(n);
+                        true
                     }
-                },
-                _ => {
-                    eprintln!("lpa-store gc: missing required --max-bytes N");
+                    None => {
+                        eprintln!("lpa-store gc: {} needs an integer argument", args[i]);
+                        false
+                    }
+                };
+                let mut age_secs = None;
+                let ok = match args[i].as_str() {
+                    "--max-bytes" => value(&mut policy.max_bytes),
+                    "--max-age-secs" => value(&mut age_secs),
+                    other => {
+                        eprintln!("lpa-store gc: unknown flag {other}");
+                        false
+                    }
+                };
+                if !ok {
                     return ExitCode::from(2);
                 }
-            };
-            gc(root, max_bytes)
+                if let Some(secs) = age_secs {
+                    policy.max_age = Some(Duration::from_secs(secs));
+                }
+                i += 2;
+            }
+            if policy.is_empty() {
+                eprintln!("lpa-store gc: need --max-bytes N and/or --max-age-secs S");
+                return ExitCode::from(2);
+            }
+            gc(root, &policy)
         }
         _ => usage(),
     }
@@ -104,8 +128,8 @@ fn verify(root: &Path) -> ExitCode {
     }
 }
 
-fn gc(root: &Path, max_bytes: u64) -> ExitCode {
-    match admin::gc(root, max_bytes) {
+fn gc(root: &Path, policy: &admin::GcPolicy) -> ExitCode {
+    match admin::gc(root, policy) {
         Ok(report) => {
             println!(
                 "gc: kept {} artifacts ({} bytes), deleted {} ({} bytes), swept {} tmp files",

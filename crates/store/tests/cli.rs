@@ -1,0 +1,141 @@
+//! End-to-end tests of the `lpa-store` administration CLI, driving the
+//! real binary (`CARGO_BIN_EXE_lpa-store`) against scratch stores.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::time::{Duration, SystemTime};
+
+use lpa_store::{hash128, ArtifactKind, Store};
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lpa-store"))
+        .args(args)
+        .output()
+        .expect("spawn lpa-store CLI")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn scratch_store(tag: &str) -> (PathBuf, Store) {
+    let dir = std::env::temp_dir().join(format!(
+        "lpa-store-cli-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    (dir, store)
+}
+
+fn fill(store: &Store, n: usize) {
+    for i in 0..n {
+        let key = hash128(format!("cli-artifact-{i}").as_bytes());
+        let kind = if i % 2 == 0 { ArtifactKind::Reference } else { ArtifactKind::Outcome };
+        store.put(kind, key, vec![i as u8; 100]).unwrap();
+    }
+}
+
+fn backdate(path: &Path, secs: u64) {
+    let old = SystemTime::now() - Duration::from_secs(secs);
+    let file = std::fs::File::options().write(true).open(path).unwrap();
+    file.set_times(std::fs::FileTimes::new().set_modified(old)).unwrap();
+}
+
+#[test]
+fn stats_and_verify_report_a_healthy_store() {
+    let (dir, store) = scratch_store("stats");
+    fill(&store, 4);
+    let dir_str = dir.to_str().unwrap();
+
+    let out = cli(&["stats", dir_str]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("reference"), "{text}");
+    assert!(text.contains("outcome"), "{text}");
+
+    let out = cli(&["verify", dir_str]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("verified 4 artifacts"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn verify_fails_on_corruption() {
+    let (dir, store) = scratch_store("verify-bad");
+    fill(&store, 3);
+    let victim = store.path_of(hash128(b"cli-artifact-1"));
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 1;
+    std::fs::write(&victim, bytes).unwrap();
+
+    let out = cli(&["verify", dir.to_str().unwrap()]);
+    assert!(!out.status.success(), "corruption must fail verify");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gc_age_policy_deletes_only_expired_artifacts() {
+    let (dir, store) = scratch_store("gc-age");
+    fill(&store, 5);
+    for i in 0..2 {
+        backdate(&store.path_of(hash128(format!("cli-artifact-{i}").as_bytes())), 7200);
+    }
+
+    let out = cli(&["gc", dir.to_str().unwrap(), "--max-age-secs", "3600"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("kept 3 artifacts"), "{text}");
+    assert!(text.contains("deleted 2"), "{text}");
+
+    let out = cli(&["verify", dir.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("verified 3 artifacts"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gc_age_and_bytes_compose() {
+    let (dir, store) = scratch_store("gc-both");
+    fill(&store, 6);
+    backdate(&store.path_of(hash128(b"cli-artifact-0")), 7200);
+    // Every artifact file is the same size; budget for two of the five
+    // fresh survivors.
+    let file_len = std::fs::metadata(store.path_of(hash128(b"cli-artifact-1"))).unwrap().len();
+    let budget = (2 * file_len).to_string();
+
+    let out = cli(&[
+        "gc",
+        dir.to_str().unwrap(),
+        "--max-age-secs",
+        "3600",
+        "--max-bytes",
+        &budget,
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("kept 2 artifacts"), "{text}");
+    assert!(text.contains("deleted 4"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gc_without_a_limit_is_a_usage_error() {
+    let (dir, _store) = scratch_store("gc-empty");
+    let out = cli(&["gc", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = cli(&["gc", dir.to_str().unwrap(), "--max-bytes", "not-a-number"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = cli(&["gc", dir.to_str().unwrap(), "--frobnicate", "1"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let out = cli(&["defrag", "/tmp"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"), "{out:?}");
+}

@@ -14,18 +14,48 @@
 //! call; `RAYON_NUM_THREADS=1` (or a single-item input) runs inline with no
 //! threads at all, which the driver's determinism test exercises.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
 }
 
-/// Number of worker threads a parallel call will use.
+thread_local! {
+    /// Scoped thread-budget override installed by [`with_num_threads`];
+    /// 0 means "no override". Thread-local because the thread count of a
+    /// parallel call is decided on the calling thread, so two sessions
+    /// running on different threads can hold different budgets.
+    static NUM_THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads a parallel call will use: a
+/// [`with_num_threads`] override if one is active on this thread, else
+/// `RAYON_NUM_THREADS`, else all available cores.
 pub fn current_num_threads() -> usize {
+    let forced = NUM_THREADS_OVERRIDE.with(Cell::get);
+    if forced >= 1 {
+        return forced;
+    }
     match std::env::var("RAYON_NUM_THREADS").ok().and_then(|s| s.parse::<usize>().ok()) {
         Some(n) if n >= 1 => n,
         _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
     }
+}
+
+/// Run `f` with every parallel call issued from this thread capped at `n`
+/// workers (the stand-in for rayon's `ThreadPool::install`). `n = 0` clears
+/// the override for the scope instead, restoring environment-based
+/// selection. The previous override is restored even if `f` panics.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            NUM_THREADS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(NUM_THREADS_OVERRIDE.with(|c| c.replace(n)));
+    f()
 }
 
 /// `.par_iter()` — entry point mirroring `rayon::iter::IntoParallelRefIterator`.
@@ -137,6 +167,24 @@ mod tests {
         let empty: Vec<usize> = Vec::new();
         let out: Vec<usize> = empty.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn with_num_threads_overrides_and_restores() {
+        let ambient = crate::current_num_threads();
+        let inside = crate::with_num_threads(3, crate::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(crate::current_num_threads(), ambient, "override leaked out of scope");
+        // Nested overrides stack; 0 clears for the inner scope.
+        crate::with_num_threads(2, || {
+            assert_eq!(crate::current_num_threads(), 2);
+            crate::with_num_threads(0, || assert_eq!(crate::current_num_threads(), ambient));
+            assert_eq!(crate::current_num_threads(), 2);
+        });
+        // The capped path still produces ordered, complete results.
+        let input: Vec<usize> = (0..500).collect();
+        let out: Vec<usize> = crate::with_num_threads(2, || input.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(out, (1..501).collect::<Vec<_>>());
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! ```
 
 use lp_arnoldi::arith::types::{Bf16, Posit16, Takum16, F16};
+use lp_arnoldi::datagen::{GraphClass, Source, TestMatrix};
 use lp_arnoldi::experiments::{
-    compute_reference, run_format, ExperimentConfig, FormatTag, Outcome,
+    compute_reference, persist, ExperimentConfig, ExperimentPlan, FormatTag, Outcome,
 };
 use lp_arnoldi::sparse::normalized_laplacian;
+use lp_arnoldi::store::{ArtifactKind, Store};
 
 fn main() {
     // A 4-community social graph.
@@ -33,27 +35,57 @@ fn main() {
         println!("  {:.10}", v.to_f64());
     }
 
-    println!(
-        "\n{:<12} {:>22} {:>22}",
-        "format", "rel. eigenvalue error", "rel. eigenvector error"
-    );
-    for tag in [
+    // Seed a scratch store with the reference we just computed, so the
+    // plan below reuses it instead of paying the double-double solve a
+    // second time (the expensive step by far) — the same mechanism that
+    // warm-starts full harness reruns.
+    let store_dir =
+        std::env::temp_dir().join(format!("lpa-graph-spectral-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = Store::open(&store_dir).expect("open scratch store");
+    store
+        .put(
+            ArtifactKind::Reference,
+            persist::reference_key(&laplacian, &cfg),
+            persist::encode_reference(&Some(reference.clone())),
+        )
+        .expect("seed the reference artifact");
+
+    // The same sweep through the harness front door: a one-matrix corpus,
+    // five formats, one `ExperimentPlan`.
+    let corpus = [TestMatrix::new(
+        "example/sbm-96",
+        "soc",
+        Source::Graph(GraphClass::Social),
+        laplacian,
+    )];
+    let formats = [
         FormatTag::Float64,
         FormatTag::Float16,
         FormatTag::Bfloat16,
         FormatTag::Posit16,
         FormatTag::Takum16,
-    ] {
-        let run = run_format(&laplacian, &reference, tag, &cfg);
-        match run.outcome {
-            Outcome::Errors(e) => println!(
-                "{:<12} {:>22.3e} {:>22.3e}",
-                tag.name(),
-                e.eigenvalue_rel,
-                e.eigenvector_rel
-            ),
-            Outcome::NotConverged => println!("{:<12} {:>22} {:>22}", tag.name(), "∞ω", "∞ω"),
-            Outcome::RangeExceeded => println!("{:<12} {:>22} {:>22}", tag.name(), "∞σ", "∞σ"),
+    ];
+    let results =
+        ExperimentPlan::over(&corpus).formats(&formats).config(cfg).store(&store).run();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    println!(
+        "\n{:<12} {:>22} {:>22}",
+        "format", "rel. eigenvalue error", "rel. eigenvector error"
+    );
+    for &tag in &formats {
+        for outcome in results.outcomes_for(tag) {
+            match outcome {
+                Outcome::Errors(e) => println!(
+                    "{:<12} {:>22.3e} {:>22.3e}",
+                    tag.name(),
+                    e.eigenvalue_rel,
+                    e.eigenvector_rel
+                ),
+                Outcome::NotConverged => println!("{:<12} {:>22} {:>22}", tag.name(), "∞ω", "∞ω"),
+                Outcome::RangeExceeded => println!("{:<12} {:>22} {:>22}", tag.name(), "∞σ", "∞σ"),
+            }
         }
     }
 

@@ -1,69 +1,88 @@
-//! Quickstart: compute the 6 largest eigenpairs of a sparse symmetric matrix
-//! in float64 and in a couple of emulated formats, and compare.
+//! Quickstart: run a small experiment grid through the harness's one front
+//! door — an `ExperimentPlan` resolved into a `Session` — with progress
+//! streamed while it runs, and compare a few emulated formats against
+//! float64.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use lp_arnoldi::arith::types::{Posit16, Takum16, F16};
-use lp_arnoldi::{partial_schur, ArnoldiOptions, CsrMatrix, Real, Which};
+use lp_arnoldi::datagen::{general, Source, TestMatrix};
+use lp_arnoldi::experiments::{
+    ExperimentConfig, ExperimentPlan, FormatTag, Outcome, StderrProgress,
+};
 
 fn main() {
-    // A 2D Laplacian on a 12 x 12 grid (144 unknowns, 5-point stencil).
-    let a = lp_arnoldi::datagen::general::laplacian_2d(12, 12, 1.0);
-    println!("matrix: {} x {}, {} non-zeros", a.nrows(), a.ncols(), a.nnz());
+    // A tiny corpus: two Laplacians and a diagonally dominant matrix.
+    let corpus = vec![
+        TestMatrix::new(
+            "demo/lap2d-12x12",
+            "lap2d",
+            Source::General,
+            general::laplacian_2d(12, 12, 1.0),
+        ),
+        TestMatrix::new("demo/lap1d-96", "lap1d", Source::General, general::laplacian_1d(96, 1.0)),
+        TestMatrix::new(
+            "demo/diagdom-80",
+            "diagdom",
+            Source::General,
+            general::diagonally_dominant(80, 0.1, 7),
+        ),
+    ];
+    let formats = [
+        FormatTag::Float64,
+        FormatTag::Float16,
+        FormatTag::Posit16,
+        FormatTag::Takum16,
+        FormatTag::Ofp8E4M3,
+    ];
 
-    let opts = ArnoldiOptions {
-        nev: 6,
-        which: Which::LargestMagnitude,
-        tol: 1e-10,
-        ..Default::default()
-    };
+    // The builder chain is the whole API: corpus → formats → config →
+    // (store) → (arith tier) → (threads) → (observer) → session → run.
+    let progress = StderrProgress::new("quickstart");
+    let results = ExperimentPlan::over(&corpus)
+        .formats(&formats)
+        .config(ExperimentConfig {
+            eigenvalue_count: 6,
+            eigenvalue_buffer_count: 2,
+            max_restarts: 60,
+            ..Default::default()
+        })
+        .observer(&progress)
+        .session()
+        .run();
 
-    // Reference run in float64.
-    let (reference, hist) = partial_schur(&a, &opts).expect("float64 solve");
-    let mut ref_eigs = reference.real_eigenvalues();
-    ref_eigs.sort_by(|x, y| y.partial_cmp(x).unwrap());
     println!(
-        "float64: {} restarts, {} matvecs, largest eigenvalues:",
-        hist.restarts, hist.matvecs
+        "\n{} matrices solved, {} skipped; per-format relative errors vs the \
+         double-double reference:",
+        results.matrices.len(),
+        results.skipped.len()
     );
-    for e in &ref_eigs {
-        println!("  {e:.12}");
-    }
-
-    // The same computation in three 16-bit formats.
-    run_in::<F16>(&a, &ref_eigs);
-    run_in::<Posit16>(&a, &ref_eigs);
-    run_in::<Takum16>(&a, &ref_eigs);
-}
-
-fn run_in<T: Real>(a: &CsrMatrix<f64>, reference: &[f64]) {
-    let low: CsrMatrix<T> = a.convert();
-    let opts = ArnoldiOptions {
-        nev: 6,
-        which: Which::LargestMagnitude,
-        tol: 1e-4,
-        max_restarts: 60,
-        ..Default::default()
-    };
-    match partial_schur(&low, &opts) {
-        Ok((ps, hist)) => {
-            let mut eigs: Vec<f64> = ps.real_eigenvalues().iter().map(|x| x.to_f64()).collect();
-            eigs.sort_by(|x, y| y.partial_cmp(x).unwrap());
-            let rel: f64 = eigs
-                .iter()
-                .zip(reference)
-                .map(|(g, r)| ((g - r) / r).abs())
-                .fold(0.0, f64::max);
-            println!(
-                "{:<10} {} restarts, largest eigenvalue {:.6}, max relative error {:.2e}",
-                T::NAME,
-                hist.restarts,
-                eigs[0],
-                rel
-            );
+    println!("{:<12} {:>16} {:>16} {:>5} {:>5}", "format", "max λ err", "max v err", "∞ω", "∞σ");
+    for &format in &formats {
+        let outcomes = results.outcomes_for(format);
+        let mut max_val: f64 = 0.0;
+        let mut max_vec: f64 = 0.0;
+        let (mut not_converged, mut range_exceeded) = (0, 0);
+        for o in &outcomes {
+            match o {
+                Outcome::Errors(e) => {
+                    max_val = max_val.max(e.eigenvalue_rel);
+                    max_vec = max_vec.max(e.eigenvector_rel);
+                }
+                Outcome::NotConverged => not_converged += 1,
+                Outcome::RangeExceeded => range_exceeded += 1,
+            }
         }
-        Err(e) => println!("{:<10} failed: {e}", T::NAME),
+        println!(
+            "{:<12} {:>16.3e} {:>16.3e} {:>5} {:>5}",
+            format.name(),
+            max_val,
+            max_vec,
+            not_converged,
+            range_exceeded
+        );
     }
+    println!("\n(set LPA_STORE=<dir> and add .maybe_store(...) to warm-start reruns;");
+    println!(" the full figure harnesses run the same plan over the paper's corpora)");
 }

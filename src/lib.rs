@@ -27,4 +27,5 @@ pub use lpa_store as store;
 
 pub use lpa_arith::{Dd, Real};
 pub use lpa_arnoldi::{partial_schur, ArnoldiOptions, PartialSchur, Which};
+pub use lpa_experiments::{ExperimentPlan, ProgressEvent, ProgressObserver, Session};
 pub use lpa_sparse::CsrMatrix;

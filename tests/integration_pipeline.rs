@@ -4,7 +4,7 @@
 use lp_arnoldi::arith::types::{Posit16, Takum16};
 use lp_arnoldi::datagen::{graph_laplacian_corpus, CorpusConfig, GraphClass};
 use lp_arnoldi::experiments::{
-    cumulative_distribution, run_experiment, ExperimentConfig, FormatTag, Metric,
+    cumulative_distribution, ExperimentConfig, ExperimentPlan, FormatTag, Metric,
 };
 use lp_arnoldi::sparse::normalized_laplacian;
 use lp_arnoldi::{partial_schur, ArnoldiOptions, Real, Which};
@@ -54,7 +54,7 @@ fn experiment_pipeline_over_a_tiny_graph_class() {
         ..Default::default()
     };
     let formats = [FormatTag::Float64, FormatTag::Bfloat16, FormatTag::Takum16];
-    let results = run_experiment(&corpus, &formats, &cfg);
+    let results = ExperimentPlan::over(&corpus).formats(&formats).config(cfg).run();
     assert_eq!(results.matrices.len() + results.skipped.len(), corpus.len());
 
     let d64 = cumulative_distribution(&results, FormatTag::Float64, Metric::Eigenvalues);
