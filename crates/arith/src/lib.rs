@@ -33,6 +33,7 @@
 //! assert_eq!(hypot(Bf16::from_f64(3.0), Bf16::from_f64(4.0)).to_f64(), 5.0);
 //! ```
 
+pub mod batch;
 pub mod dd;
 pub mod ieee;
 pub mod info;
@@ -46,6 +47,10 @@ pub mod tier;
 pub mod types;
 pub mod unpacked;
 
+pub use batch::{
+    env_kernel_batch, force_kernel_batch, kernel_batch, kernel_batch_enabled, BatchReal,
+    DecodedSlice, KernelBatch,
+};
 pub use dd::Dd;
 pub use info::FormatInfo;
 pub use real::Real;

@@ -247,11 +247,56 @@ macro_rules! real_storage_core {
     };
 }
 
+/// The [`crate::batch::BatchReal`] implementation shared by every format
+/// whose pre-decoded operand form is the [`Unpacked`] representation (the
+/// 16-bit and the soft-float 32/64-bit backends): the decoded-domain ops
+/// run the shared kernel on the cached operands and round back onto the
+/// format's grid via the codec's value-level rounder
+/// (`crate::batch::round::$codec`), skipping both operand decodes and the
+/// bit-pattern round trip — bit-identical to the scalar operators by the
+/// rounder's contract (verified in `tests/batch_differential.rs`).
+macro_rules! unpacked_batch {
+    ($name:ident, $codec:ident, $spec:expr, $dec:expr) => {
+        impl crate::batch::BatchReal for $name {
+            type Dec = Unpacked;
+            const DECODED: bool = true;
+
+            #[inline]
+            fn dec(self) -> Unpacked {
+                let decode: fn($name) -> Unpacked = $dec;
+                decode(self)
+            }
+            #[inline]
+            fn undec(d: Unpacked) -> Self {
+                Self::pack(&d)
+            }
+            #[inline]
+            fn dec_add(a: Unpacked, b: Unpacked) -> Unpacked {
+                crate::batch::dec_add_via(&a, &b, |u| crate::batch::round::$codec(u, &$spec))
+            }
+            #[inline]
+            fn dec_mul(a: Unpacked, b: Unpacked) -> Unpacked {
+                crate::batch::dec_mul_via(&a, &b, |u| crate::batch::round::$codec(u, &$spec))
+            }
+            #[inline]
+            fn dec_neg(a: Unpacked) -> Unpacked {
+                crate::batch::dec_neg_via(&a, |u| crate::batch::round::$codec(u, &$spec))
+            }
+            #[inline]
+            fn dec_is_zero(a: Unpacked) -> bool {
+                a.is_zero()
+            }
+        }
+    };
+}
+
 /// Soft-float backend: operators and `Real` through the decode → kernel →
 /// round path (the 32- and 64-bit formats, whose significands exceed `f64`).
 macro_rules! soft_backend {
-    ($name:ident, $storage:ty, $fmtname:expr, $bits:expr, $max_pat:expr, $min_pat:expr) => {
+    ($name:ident, $storage:ty, $fmtname:expr, $bits:expr, $max_pat:expr, $min_pat:expr,
+     $codec:ident, $spec:expr) => {
         softfloat_ops!($name);
+        unpacked_batch!($name, $codec, $spec, |x: $name| x.unpack());
 
         impl PartialEq for $name {
             #[inline]
@@ -478,6 +523,9 @@ macro_rules! dec16_backend {
         dec16_binop!($name, Sub, sub, sub, softfloat_sub);
         dec16_binop!($name, Mul, mul, mul, softfloat_mul);
         dec16_binop!($name, Div, div, div, softfloat_div);
+        // Pre-decoding reads the unpack-once table: a 16-bit shadow fill is
+        // one indexed load per element.
+        unpacked_batch!($name, $codec, $spec, |x: $name| *Self::lut16().unpack(x.0));
         impl core::ops::Neg for $name {
             type Output = Self;
             #[inline]
@@ -557,7 +605,7 @@ macro_rules! soft_format {
         $codec:ident, $spec:expr, $max_pat:expr, $min_pat:expr
     ) => {
         format_shell!($(#[$meta])* $name, $storage, $fmtname, $codec, $spec);
-        soft_backend!($name, $storage, $fmtname, $bits, $max_pat, $min_pat);
+        soft_backend!($name, $storage, $fmtname, $bits, $max_pat, $min_pat, $codec, $spec);
     };
 }
 

@@ -1,0 +1,439 @@
+//! Differential conformance suite for the batch kernel engine
+//! (`lpa_arith::batch`).
+//!
+//! The engine's correctness rests on one contract: the value-level rounder
+//! `batch::round::{posit, takum, ieee}` must equal `decode(encode(u))` for
+//! *every* unrounded kernel output, because then a chain of decoded ops
+//! (kernel + round, no bit-pattern round trip) is inductively bit-identical
+//! to the scalar operator chain.  This suite attacks the contract three
+//! ways:
+//!
+//! 1. **Direct rounder sweeps** — exhaustive over the exponent range
+//!    (saturation margins included) × significand corpus × sticky × sign
+//!    for every posit/takum width, comparing the rounder against the
+//!    literal reference composition.
+//! 2. **Operator differentials** — `dec_add`/`dec_mul`/`dec_neg` against
+//!    the scalar operators over the PR-3 style boundary corpora (16-bit
+//!    and a 32-bit analog) and proptest-random operands, for all 16- and
+//!    32-bit formats.
+//! 3. **Bulk-kernel differentials** — `dot_decoded`/`axpy_decoded`/
+//!    `scale_decoded` and the slice-dispatch entry points against the
+//!    plain scalar loops.
+
+use lpa_arith::batch::{self, round, BatchReal};
+use lpa_arith::unpacked::{Class, Unpacked};
+use lpa_arith::{posit, takum, types::*, Real};
+use proptest::prelude::*;
+
+/// Field-wise equality of two unpacked values (NaN compares equal to NaN).
+fn same_unpacked(a: &Unpacked, b: &Unpacked) -> bool {
+    if a.class != b.class {
+        return false;
+    }
+    match a.class {
+        Class::Nan => true,
+        Class::Zero | Class::Inf => a.sign == b.sign,
+        Class::Finite => {
+            a.sign == b.sign && a.exp == b.exp && a.sig == b.sig && a.sticky == b.sticky
+        }
+    }
+}
+
+/// Significand corpus: normalized patterns exercising exact values, every
+/// rounding position (round bit set / clear, sticky-below set / clear) and
+/// tie patterns at a spread of fraction lengths.
+fn sig_corpus() -> Vec<u64> {
+    let mut sigs = vec![
+        1 << 63,
+        u64::MAX,
+        (1 << 63) | 1,
+        (1 << 63) | (1 << 62),
+        (1 << 63) | (1 << 62) | 1,
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xD555_5555_5555_5555,
+        0xFFFF_FFFF_0000_0000,
+        0x8000_0001_0000_0000,
+    ];
+    for k in 0..63u32 {
+        // A tie exactly at position k, the same tie plus a sticky ulp
+        // below, and an all-ones run ending at k (carry propagation).
+        sigs.push((1 << 63) | (1 << k));
+        if k > 0 {
+            sigs.push((1 << 63) | (1 << k) | (1 << (k - 1)));
+            sigs.push((1 << 63) | ((1 << k) - 1));
+            sigs.push(u64::MAX << k);
+        }
+    }
+    // A deterministic LCG sprinkle with the top bit forced.
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        sigs.push(x | (1 << 63));
+    }
+    sigs.sort_unstable();
+    sigs.dedup();
+    sigs
+}
+
+/// Sweep a posit rounder against the reference composition.
+fn sweep_posit(spec: &posit::PositSpec) {
+    let emax = spec.max_exp();
+    let sigs = sig_corpus();
+    for exp in (-emax - 6)..=(emax + 6) {
+        for &sig in &sigs {
+            for sticky in [false, true] {
+                for sign in [false, true] {
+                    let u = Unpacked { class: Class::Finite, sign, exp, sig, sticky };
+                    let fast = round::posit(&u, spec);
+                    let reference = posit::decode(posit::encode(&u, spec), spec);
+                    assert!(
+                        same_unpacked(&fast, &reference),
+                        "{}: round({u:?}) = {fast:?}, reference {reference:?}",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+    // Specials.
+    for u in [Unpacked::nan(), Unpacked::inf(false), Unpacked::inf(true), Unpacked::zero(false), Unpacked::zero(true)] {
+        let fast = round::posit(&u, spec);
+        let reference = posit::decode(posit::encode(&u, spec), spec);
+        assert!(same_unpacked(&fast, &reference), "{}: special {u:?}", spec.name);
+    }
+}
+
+/// Sweep a takum rounder against the reference composition.
+fn sweep_takum(spec: &takum::TakumSpec) {
+    let sigs = sig_corpus();
+    for exp in -262..=262 {
+        for &sig in &sigs {
+            for sticky in [false, true] {
+                for sign in [false, true] {
+                    let u = Unpacked { class: Class::Finite, sign, exp, sig, sticky };
+                    let fast = round::takum(&u, spec);
+                    let reference = takum::decode(takum::encode(&u, spec), spec);
+                    assert!(
+                        same_unpacked(&fast, &reference),
+                        "{}: round({u:?}) = {fast:?}, reference {reference:?}",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+    for u in [Unpacked::nan(), Unpacked::inf(false), Unpacked::inf(true), Unpacked::zero(false), Unpacked::zero(true)] {
+        let fast = round::takum(&u, spec);
+        let reference = takum::decode(takum::encode(&u, spec), spec);
+        assert!(same_unpacked(&fast, &reference), "{}: special {u:?}", spec.name);
+    }
+}
+
+#[test]
+fn posit_rounder_matches_reference_composition() {
+    sweep_posit(&posit::POSIT16);
+    sweep_posit(&posit::POSIT32);
+    sweep_posit(&posit::POSIT16_ES1);
+}
+
+#[test]
+fn posit64_rounder_matches_reference_composition() {
+    sweep_posit(&posit::POSIT64);
+}
+
+#[test]
+fn takum_rounder_matches_reference_composition() {
+    sweep_takum(&takum::TAKUM16);
+    sweep_takum(&takum::TAKUM32);
+    sweep_takum(&takum::TAKUM64);
+}
+
+/// Per-format operator differential: the decoded-domain ops, encoded back,
+/// must reproduce the scalar operators bit for bit.
+macro_rules! op_differential {
+    ($check:ident, $t:ty, $bits:ty) => {
+        fn $check(a: $bits, b: $bits) {
+            let x = <$t>::from_bits(a);
+            let y = <$t>::from_bits(b);
+            let (dx, dy) = (x.dec(), y.dec());
+            assert_eq!(
+                <$t>::undec(<$t>::dec_add(dx, dy)).to_bits(),
+                (x + y).to_bits(),
+                "{a:#x} + {b:#x} in {}",
+                <$t>::NAME
+            );
+            assert_eq!(
+                <$t>::undec(<$t>::dec_mul(dx, dy)).to_bits(),
+                (x * y).to_bits(),
+                "{a:#x} * {b:#x} in {}",
+                <$t>::NAME
+            );
+            assert_eq!(
+                <$t>::undec(<$t>::dec_neg(dx)).to_bits(),
+                (-x).to_bits(),
+                "-{a:#x} in {}",
+                <$t>::NAME
+            );
+            // Round-trip of the canonical decoded forms.
+            if !x.is_nan() {
+                assert_eq!(<$t>::undec(dx).to_bits(), x.to_bits(), "{}", <$t>::NAME);
+            }
+            assert_eq!(<$t>::dec_is_zero(dx), x.is_zero(), "{}", <$t>::NAME);
+        }
+    };
+}
+
+op_differential!(diff_f16, F16, u16);
+op_differential!(diff_bf16, Bf16, u16);
+op_differential!(diff_posit16, Posit16, u16);
+op_differential!(diff_posit16_es1, Posit16Es1, u16);
+op_differential!(diff_takum16, Takum16, u16);
+op_differential!(diff_posit32, Posit32, u32);
+op_differential!(diff_takum32, Takum32, u32);
+
+fn diff_all16(a: u16, b: u16) {
+    diff_f16(a, b);
+    diff_bf16(a, b);
+    diff_posit16(a, b);
+    diff_posit16_es1(a, b);
+    diff_takum16(a, b);
+}
+
+/// The 16-bit boundary corpus (the PR-3 shape: specials, ±0, max-finite /
+/// min-positive neighbourhoods in both sign halves, subnormal edges, every
+/// power-of-two regime/exponent-window boundary).
+fn boundary_corpus_16() -> Vec<u16> {
+    let mut pats: Vec<u16> = vec![
+        0x0000, 0x0001, 0x0002, 0x8000, 0x8001, 0x8002, 0x00ff, 0x0100, 0x0380, 0x03ff, 0x0400,
+        0x0401, 0x7bff, 0x7c00, 0x7c01, 0x7e00, 0x7f80, 0x7fc0, 0x7ffe, 0x7fff, 0xfbff, 0xfc00,
+        0xfe00, 0xff80, 0xfffe, 0xffff,
+    ];
+    for k in 0..16u32 {
+        let p = 1u16 << k;
+        for q in [p, p.wrapping_sub(1), p.wrapping_add(1)] {
+            pats.push(q);
+            pats.push(q | 0x8000);
+            pats.push(q.wrapping_neg());
+        }
+    }
+    for bits in [
+        F16::one().to_bits(),
+        Bf16::one().to_bits(),
+        Posit16::one().to_bits(),
+        Takum16::one().to_bits(),
+        F16::max_finite().to_bits(),
+        Bf16::max_finite().to_bits(),
+        Posit16::max_finite().to_bits(),
+        Takum16::max_finite().to_bits(),
+        F16::min_positive().to_bits(),
+        Posit16::min_positive().to_bits(),
+        Takum16::min_positive().to_bits(),
+    ] {
+        for p in [bits.wrapping_sub(1), bits, bits.wrapping_add(1)] {
+            pats.push(p);
+            pats.push(p ^ 0x8000);
+            pats.push(p.wrapping_neg());
+        }
+    }
+    pats.sort_unstable();
+    pats.dedup();
+    pats
+}
+
+/// The 32-bit analog: the tapered formats' saturation patterns and every
+/// regime/characteristic window boundary, in both sign halves.
+fn boundary_corpus_32() -> Vec<u32> {
+    let mut pats: Vec<u32> = vec![0x0000_0000, 0x0000_0001, 0x8000_0000, 0x8000_0001];
+    for k in 0..32u32 {
+        let p = 1u32 << k;
+        for q in [p, p.wrapping_sub(1), p.wrapping_add(1)] {
+            pats.push(q);
+            pats.push(q | 0x8000_0000);
+            pats.push(q.wrapping_neg());
+        }
+    }
+    for bits in [
+        Posit32::one().to_bits(),
+        Takum32::one().to_bits(),
+        Posit32::max_finite().to_bits(),
+        Takum32::max_finite().to_bits(),
+        Posit32::min_positive().to_bits(),
+        Takum32::min_positive().to_bits(),
+    ] {
+        for p in [bits.wrapping_sub(1), bits, bits.wrapping_add(1)] {
+            pats.push(p);
+            pats.push(p ^ 0x8000_0000);
+            pats.push(p.wrapping_neg());
+        }
+    }
+    pats.sort_unstable();
+    pats.dedup();
+    pats
+}
+
+#[test]
+fn decoded_ops_match_scalar_on_boundary_corpus_16() {
+    let pats = boundary_corpus_16();
+    assert!(pats.len() >= 100);
+    for &a in &pats {
+        for &b in &pats {
+            diff_all16(a, b);
+        }
+    }
+}
+
+#[test]
+fn decoded_ops_match_scalar_on_boundary_corpus_32() {
+    let pats = boundary_corpus_32();
+    assert!(pats.len() >= 100);
+    for &a in &pats {
+        for &b in &pats {
+            diff_posit32(a, b);
+            diff_takum32(a, b);
+        }
+    }
+}
+
+/// Bulk kernels against the scalar reference loops, for one format over a
+/// mixed magnitude/sign value set.
+fn bulk_differential<T: BatchReal>(values: &[f64]) {
+    let x: Vec<T> = values.iter().map(|&v| T::from_f64(v)).collect();
+    let y: Vec<T> = values.iter().rev().map(|&v| T::from_f64(v * 0.7 + 0.1)).collect();
+    let xd = batch::decode_slice(&x);
+    let yd = batch::decode_slice(&y);
+
+    // dot
+    let mut scalar = T::zero();
+    for (a, b) in x.iter().zip(&y) {
+        scalar += *a * *b;
+    }
+    let batch_dot = T::undec(batch::dot_decoded::<T>(&xd, &yd));
+    assert!(
+        same_bits(batch_dot, scalar),
+        "dot diverged in {}: {batch_dot} vs {scalar}",
+        T::NAME
+    );
+
+    // axpy (including the alpha == 0 early-out)
+    for alpha in [T::from_f64(-0.875), T::zero()] {
+        let mut yd2 = yd.clone();
+        batch::axpy_decoded::<T>(alpha.dec(), &xd, &mut yd2);
+        let mut y2 = y.clone();
+        for (yi, xi) in y2.iter_mut().zip(&x) {
+            if !alpha.is_zero() {
+                *yi += alpha * *xi;
+            }
+        }
+        for (d, s) in yd2.iter().zip(&y2) {
+            assert!(same_bits(T::undec(*d), *s), "axpy diverged in {}", T::NAME);
+        }
+    }
+
+    // scale
+    let alpha = T::from_f64(0.3125);
+    let mut xd2 = xd.clone();
+    batch::scale_decoded::<T>(alpha.dec(), &mut xd2);
+    let mut x2 = x.clone();
+    for xi in x2.iter_mut() {
+        *xi *= alpha;
+    }
+    for (d, s) in xd2.iter().zip(&x2) {
+        assert!(same_bits(T::undec(*d), *s), "scale diverged in {}", T::NAME);
+    }
+}
+
+fn same_bits<T: Real>(a: T, b: T) -> bool {
+    (a.is_nan() && b.is_nan()) || (a.to_f64() == b.to_f64())
+}
+
+#[test]
+fn bulk_kernels_match_scalar_loops() {
+    let values: Vec<f64> = (0..97)
+        .map(|i| (0.35 + (i % 17) as f64 * 0.21) * if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    bulk_differential::<F16>(&values);
+    bulk_differential::<Bf16>(&values);
+    bulk_differential::<Posit16>(&values);
+    bulk_differential::<Takum16>(&values);
+    bulk_differential::<Posit32>(&values);
+    bulk_differential::<Takum32>(&values);
+    bulk_differential::<Posit64>(&values);
+    bulk_differential::<Takum64>(&values);
+    bulk_differential::<E4M3>(&values);
+    bulk_differential::<f32>(&values);
+    bulk_differential::<f64>(&values);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn decoded_ops_match_scalar_on_random_16(a in any::<u16>(), b in any::<u16>()) {
+        diff_all16(a, b);
+    }
+
+    #[test]
+    fn decoded_ops_match_scalar_on_random_32(a in any::<u32>(), b in any::<u32>()) {
+        diff_posit32(a, b);
+        diff_takum32(a, b);
+    }
+
+    #[test]
+    fn posit32_rounder_matches_on_random_unpacked(
+        exp in -140.0f64..140.0,
+        sig in any::<u64>(),
+        sticky in any::<bool>(),
+        sign in any::<bool>(),
+    ) {
+        let u = Unpacked { class: Class::Finite, sign, exp: exp as i32, sig: sig | (1 << 63), sticky };
+        let fast = round::posit(&u, &posit::POSIT32);
+        let reference = posit::decode(posit::encode(&u, &posit::POSIT32), &posit::POSIT32);
+        prop_assert!(same_unpacked(&fast, &reference), "{u:?}: {fast:?} vs {reference:?}");
+    }
+
+    #[test]
+    fn takum32_rounder_matches_on_random_unpacked(
+        exp in -262.0f64..262.0,
+        sig in any::<u64>(),
+        sticky in any::<bool>(),
+        sign in any::<bool>(),
+    ) {
+        let u = Unpacked { class: Class::Finite, sign, exp: exp as i32, sig: sig | (1 << 63), sticky };
+        let fast = round::takum(&u, &takum::TAKUM32);
+        let reference = takum::decode(takum::encode(&u, &takum::TAKUM32), &takum::TAKUM32);
+        prop_assert!(same_unpacked(&fast, &reference), "{u:?}: {fast:?} vs {reference:?}");
+    }
+
+    #[test]
+    fn random_mul_add_chains_match(seed in any::<u64>()) {
+        // A short random chain through the decoded domain vs the scalar
+        // operators, encoded once at the end.
+        fn chain<T: BatchReal>(seed: u64) {
+            let mut s = seed | 1;
+            let mut next = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+            };
+            let mut acc_scalar = T::from_f64(next());
+            let mut acc_dec = acc_scalar.dec();
+            for _ in 0..24 {
+                let x = T::from_f64(next());
+                let y = T::from_f64(next());
+                acc_scalar = acc_scalar * x + y;
+                acc_dec = T::dec_add(T::dec_mul(acc_dec, x.dec()), y.dec());
+            }
+            assert!(
+                (acc_scalar.is_nan() && T::undec(acc_dec).is_nan())
+                    || acc_scalar.to_f64() == T::undec(acc_dec).to_f64(),
+                "chain diverged in {}",
+                T::NAME
+            );
+        }
+        chain::<Posit16>(seed);
+        chain::<Takum16>(seed);
+        chain::<Posit32>(seed);
+        chain::<Takum32>(seed);
+        chain::<F16>(seed);
+        chain::<Bf16>(seed);
+    }
+}

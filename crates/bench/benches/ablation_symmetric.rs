@@ -1,12 +1,12 @@
 //! Ablation: does exploiting symmetry (dense tridiagonal path) change the
 //! format ranking relative to the untailored general Krylov-Schur path?
 use lpa_arith::types::{Posit16, Takum16, F16};
-use lpa_arith::Real;
+
 use lpa_arnoldi::{partial_schur, ArnoldiOptions};
 use lpa_dense::eigen_sym::symmetric_eigenvalues;
 use lpa_datagen::{general_corpus, CorpusConfig};
 
-fn spectrum_error<T: Real>(m: &lpa_sparse::CsrMatrix<f64>, via_arnoldi: bool) -> Option<f64> {
+fn spectrum_error<T: lpa_arith::BatchReal>(m: &lpa_sparse::CsrMatrix<f64>, via_arnoldi: bool) -> Option<f64> {
     let reference = {
         let mut e = symmetric_eigenvalues(&m.to_dense()).ok()?;
         e.sort_by(|a, b| b.abs().partial_cmp(&a.abs()).unwrap());

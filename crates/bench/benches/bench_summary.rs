@@ -1,25 +1,30 @@
 //! Machine-readable micro-benchmark summary: `cargo bench -p lpa-bench
 //! --bench bench_summary` writes `out/BENCH_micro.json` with median ns/op
-//! per format for scalar add/mul, per-element dot and per-nonzero SpMV,
-//! the soft-float baselines for the table-served formats (the LUT 8-bit
-//! tier *and* the unpack-once 16-bit tier — compare e.g. `f16` against
-//! `f16_softfloat` for the fast path's before/after), the end-to-end wall
-//! time of a Figure-1 style experiment run, and the cold-vs-warm cost of
-//! the same run through the persistent `lpa-store` (the `store` block:
-//! hit/miss counters and wall times).
+//! per format for scalar add/mul, per-element dot and per-nonzero SpMV
+//! (dot routed through the batch-dispatching BLAS, SpMV through the
+//! decode-once `CsrDecoded` cache — the hot-path configuration the
+//! experiment grid actually runs), the soft-float baselines for the
+//! table-served formats, the `*_scalar` batch-off baselines for the
+//! formats the batch kernel engine accelerates (compare e.g. `posit32`
+//! against `posit32_scalar` for the engine's before/after), the
+//! end-to-end wall time of a Figure-1 style experiment run, and the
+//! cold-vs-warm cost of the same run through the persistent `lpa-store`
+//! (the `store` block: hit/miss counters and wall times).
 //!
 //! The file gives future PRs a perf trajectory to compare against; keep the
-//! schema (`lpa-bench-micro/v3`) stable or bump the version.
+//! schema (`lpa-bench-micro/v4`) stable or bump the version.  CI
+//! regenerates the file and prints greppable `bench-delta:` lines against
+//! the committed copy (see the `bench_delta` binary).
 
 use std::time::Instant;
 
 use lpa_arith::types::{
     Bf16, E4M3, E5M2, F16, Posit16, Posit32, Posit64, Posit8, Takum16, Takum32, Takum64, Takum8,
 };
-use lpa_arith::{Dd, Real};
+use lpa_arith::{batch, BatchReal, Dd, Real};
 use lpa_datagen::general;
 use lpa_experiments::ExperimentPlan;
-use lpa_sparse::CsrMatrix;
+use lpa_sparse::{CsrDecoded, CsrMatrix};
 use lpa_store::{ArtifactKind, CountersSnapshot, Store};
 use serde::Value;
 
@@ -92,20 +97,64 @@ fn scalar_mul_ns<T: Real>() -> f64 {
     }) / SCALAR_LEN as f64
 }
 
-fn dot_ns<T: Real>() -> f64 {
+fn dot_operands<T: Real>() -> (Vec<T>, Vec<T>) {
     // Alternating signs keep the 1024-term accumulator inside E4M3's range.
     let x = (0..DOT_LEN)
         .map(|i| T::from_f64((0.6 + (i % 7) as f64 * 0.09) * if i % 2 == 0 { 1.0 } else { -1.0 }))
         .collect::<Vec<_>>();
     let y = (0..DOT_LEN).map(|i| T::from_f64(0.4 + (i % 11) as f64 * 0.07)).collect::<Vec<_>>();
+    (x, y)
+}
+
+/// Dot through the ambient engine (the batch-dispatching BLAS entry point).
+fn dot_ns<T: BatchReal>() -> f64 {
+    let (x, y) = dot_operands::<T>();
     median_ns_per_call(|| {
         std::hint::black_box(lpa_dense::blas::dot(&x, &y));
     }) / DOT_LEN as f64
 }
 
-fn spmv_ns<T: Real>(a64: &CsrMatrix<f64>) -> f64 {
+/// Dot through the plain scalar operator loop (the batch-off baseline).
+fn dot_scalar_ns<T: Real>() -> f64 {
+    let (x, y) = dot_operands::<T>();
+    median_ns_per_call(|| {
+        let mut acc = T::zero();
+        for (a, b) in x.iter().zip(&y) {
+            acc += *a * *b;
+        }
+        std::hint::black_box(acc);
+    }) / DOT_LEN as f64
+}
+
+fn spmv_operand<T: Real>(ncols: usize) -> Vec<T> {
+    (0..ncols).map(|i| T::from_f64(0.3 + (i % 5) as f64 * 0.14)).collect()
+}
+
+/// SpMV through the ambient engine: with the batch engine enabled (the
+/// default), the Krylov hot-loop configuration — matrix values decoded
+/// once (`CsrDecoded`), the operand vector pre-decoded like a basis-column
+/// shadow, the result left in decoded form like the work buffer; with
+/// `LPA_KERNEL_BATCH=scalar` (or for `Dec = Self` formats), the plain
+/// scalar CSR loop, so the recorded `config.kernel_batch` always matches
+/// what was measured.
+fn spmv_ns<T: BatchReal>(a64: &CsrMatrix<f64>) -> f64 {
+    if !(T::DECODED && lpa_arith::kernel_batch_enabled()) {
+        return spmv_scalar_ns::<T>(a64);
+    }
+    let a = CsrDecoded::new(a64.convert::<T>());
+    let x = batch::decode_slice(&spmv_operand::<T>(a.ncols()));
+    let mut y = vec![T::zero().dec(); a.nrows()];
+    let nnz = a.nnz() as f64;
+    median_ns_per_call(move || {
+        a.spmv_decoded(std::hint::black_box(&x), &mut y);
+        std::hint::black_box(&y);
+    }) / nnz
+}
+
+/// SpMV through the scalar CSR loop (the batch-off baseline).
+fn spmv_scalar_ns<T: Real>(a64: &CsrMatrix<f64>) -> f64 {
     let a: CsrMatrix<T> = a64.convert();
-    let x: Vec<T> = (0..a.ncols()).map(|i| T::from_f64(0.3 + (i % 5) as f64 * 0.14)).collect();
+    let x = spmv_operand::<T>(a.ncols());
     let mut y = vec![T::zero(); a.nrows()];
     let nnz = a.nnz() as f64;
     median_ns_per_call(move || {
@@ -114,7 +163,7 @@ fn spmv_ns<T: Real>(a64: &CsrMatrix<f64>) -> f64 {
     }) / nnz
 }
 
-fn format_entry<T: Real>(a64: &CsrMatrix<f64>) -> (String, Value) {
+fn format_entry<T: BatchReal>(a64: &CsrMatrix<f64>) -> (String, Value) {
     let map = vec![
         ("add".to_string(), Value::Num(scalar_add_ns::<T>())),
         ("mul".to_string(), Value::Num(scalar_mul_ns::<T>())),
@@ -122,6 +171,17 @@ fn format_entry<T: Real>(a64: &CsrMatrix<f64>) -> (String, Value) {
         ("spmv".to_string(), Value::Num(spmv_ns::<T>(a64))),
     ];
     (json_name(T::NAME), Value::Map(map))
+}
+
+/// Batch-off baseline entry (`<format>_scalar`): the same dot/SpMV chains
+/// through the plain scalar operators, for the formats the batch kernel
+/// engine accelerates.
+fn scalar_baseline_entry<T: BatchReal>(a64: &CsrMatrix<f64>) -> (String, Value) {
+    let map = vec![
+        ("dot".to_string(), Value::Num(dot_scalar_ns::<T>())),
+        ("spmv".to_string(), Value::Num(spmv_scalar_ns::<T>(a64))),
+    ];
+    (format!("{}_scalar", json_name(T::NAME)), Value::Map(map))
 }
 
 /// JSON-friendly format keys ("OFP8 E4M3" → "ofp8_e4m3").
@@ -188,6 +248,11 @@ fn main() {
     softfloat_baseline!(Bf16, &a64, formats);
     softfloat_baseline!(Posit16, &a64, formats);
     softfloat_baseline!(Takum16, &a64, formats);
+    // Batch-off baselines for the formats the batch kernel engine serves.
+    formats.push(scalar_baseline_entry::<Posit16>(&a64));
+    formats.push(scalar_baseline_entry::<Takum16>(&a64));
+    formats.push(scalar_baseline_entry::<Posit32>(&a64));
+    formats.push(scalar_baseline_entry::<Takum32>(&a64));
 
     for (name, entry) in &formats {
         if let Value::Map(ops) = entry {
@@ -258,7 +323,7 @@ fn main() {
     };
 
     let summary = Value::Map(vec![
-        ("schema".to_string(), Value::Str("lpa-bench-micro/v3".to_string())),
+        ("schema".to_string(), Value::Str("lpa-bench-micro/v4".to_string())),
         (
             "config".to_string(),
             Value::Map(vec![
@@ -270,6 +335,10 @@ fn main() {
                 (
                     "dec16_tier".to_string(),
                     Value::Str(format!("{:?}", lpa_arith::dec16_tier()).to_lowercase()),
+                ),
+                (
+                    "kernel_batch".to_string(),
+                    Value::Str(format!("{:?}", lpa_arith::kernel_batch()).to_lowercase()),
                 ),
                 (
                     "figure1_matrices".to_string(),

@@ -6,8 +6,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use lpa_arith::types::{Posit16, Posit64, Posit8, Takum16, Takum64, Takum8, Bf16, E5M2, F16, E4M3};
-use lpa_arith::{Dd, Real};
+use lpa_arith::types::{
+    Bf16, Posit16, Posit32, Posit64, Posit8, Takum16, Takum32, Takum64, Takum8, E4M3, E5M2, F16,
+};
+use lpa_arith::{batch, BatchReal, Dd, Real};
 use lpa_arnoldi::{partial_schur, ArnoldiOptions};
 use lpa_datagen::general;
 use lpa_experiments::{ExperimentConfig, ExperimentPlan, FormatTag};
@@ -93,9 +95,60 @@ fn bench_lut_vs_softfloat(c: &mut Criterion) {
     backend_pair!(Takum16, "takum16");
 }
 
+/// The batch kernel engine against the scalar operator loops on the
+/// Krylov-shaped kernels — a pre-decoded dot and a decode-once SpMV — for
+/// the formats the engine serves (acceptance gate for the 32-bit tapered
+/// formats: >= 1.5x, bit-identical results).
+fn bench_batch_vs_scalar(c: &mut Criterion) {
+    let a64 = general::laplacian_2d(24, 24, 1.0);
+    fn run<T: BatchReal>(c: &mut Criterion, a64: &lpa_sparse::CsrMatrix<f64>, label: &str) {
+        let n = 1024;
+        let x: Vec<T> = (0..n)
+            .map(|i| T::from_f64((0.6 + (i % 7) as f64 * 0.09) * if i % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        let y: Vec<T> = (0..n).map(|i| T::from_f64(0.4 + (i % 11) as f64 * 0.07)).collect();
+        let (xd, yd) = (batch::decode_slice(&x), batch::decode_slice(&y));
+        c.bench_function(&format!("dot/{label}/batch"), |b| {
+            b.iter(|| black_box(T::undec(batch::dot_decoded::<T>(black_box(&xd), &yd))))
+        });
+        c.bench_function(&format!("dot/{label}/scalar"), |b| {
+            b.iter(|| {
+                let mut acc = T::zero();
+                for (a, b) in x.iter().zip(&y) {
+                    acc += *a * *b;
+                }
+                black_box(acc)
+            })
+        });
+
+        let a: CsrMatrix<T> = a64.convert();
+        let ad = lpa_sparse::CsrDecoded::new(a.clone());
+        let xs: Vec<T> = (0..a.ncols()).map(|i| T::from_f64((i % 7) as f64 * 0.1)).collect();
+        let xsd = batch::decode_slice(&xs);
+        let mut ys = vec![T::zero(); a.nrows()];
+        let mut ysd = vec![T::zero().dec(); a.nrows()];
+        c.bench_function(&format!("spmv/{label}/batch"), |b| {
+            b.iter(|| {
+                ad.spmv_decoded(black_box(&xsd), &mut ysd);
+                black_box(&ysd);
+            })
+        });
+        c.bench_function(&format!("spmv/{label}/scalar"), |b| {
+            b.iter(|| {
+                a.spmv(black_box(&xs), &mut ys);
+                black_box(&ys);
+            })
+        });
+    }
+    run::<Posit16>(c, &a64, "posit16");
+    run::<Takum16>(c, &a64, "takum16");
+    run::<Posit32>(c, &a64, "posit32");
+    run::<Takum32>(c, &a64, "takum32");
+}
+
 fn bench_spmv(c: &mut Criterion) {
     let a64 = general::laplacian_2d(24, 24, 1.0);
-    fn run<T: Real>(c: &mut Criterion, a64: &CsrMatrix<f64>, label: &str) {
+    fn run<T: lpa_arith::BatchReal>(c: &mut Criterion, a64: &CsrMatrix<f64>, label: &str) {
         let a: CsrMatrix<T> = a64.convert();
         let x: Vec<T> = (0..a.ncols()).map(|i| T::from_f64((i % 7) as f64 * 0.1)).collect();
         let mut y = vec![T::zero(); a.nrows()];
@@ -114,7 +167,7 @@ fn bench_spmv(c: &mut Criterion) {
 
 fn bench_arnoldi(c: &mut Criterion) {
     let a64 = general::laplacian_1d(64, 1.0);
-    fn run<T: Real>(c: &mut Criterion, a64: &CsrMatrix<f64>, label: &str, tol: f64) {
+    fn run<T: lpa_arith::BatchReal>(c: &mut Criterion, a64: &CsrMatrix<f64>, label: &str, tol: f64) {
         let a: CsrMatrix<T> = a64.convert();
         c.bench_function(&format!("partial_schur/{label}"), |b| {
             b.iter(|| {
@@ -185,6 +238,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_scalars, bench_lut_vs_softfloat, bench_spmv, bench_arnoldi, bench_experiment_grid, bench_hungarian
+    targets = bench_scalars, bench_lut_vs_softfloat, bench_batch_vs_scalar, bench_spmv, bench_arnoldi, bench_experiment_grid, bench_hungarian
 }
 criterion_main!(benches);

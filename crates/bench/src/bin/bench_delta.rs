@@ -1,0 +1,101 @@
+//! Compare two `BENCH_micro.json` files and print greppable `bench-delta:`
+//! lines, one per (format, op) present in both — CI runs it against the
+//! committed baseline after regenerating the file, so perf regressions
+//! surface directly in the job log:
+//!
+//! ```text
+//! cargo run --release -p lpa-bench --bin bench_delta -- out/BENCH_micro.json new/BENCH_micro.json
+//! bench-delta: posit32.dot 245.29 -> 30.12 ns (0.12x)
+//! bench-delta: worst-ratio 1.04x (takum16.add)
+//! ```
+//!
+//! Ratios are `new / old`: above 1.0 is slower, below is faster.  The tool
+//! only reports; thresholds are a human (or grep) decision because CI
+//! runners' absolute timings are noisy.
+
+use serde::Value;
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Num(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn map(v: &Value) -> Option<&[(String, Value)]> {
+    match v {
+        Value::Map(m) => Some(m),
+        _ => None,
+    }
+}
+
+fn get<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    m.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn load(path: &str) -> Vec<(String, Value)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_delta: cannot read {path}: {e}"));
+    let value: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("bench_delta: {path} is not valid JSON: {e:?}"));
+    map(&value).unwrap_or_else(|| panic!("bench_delta: {path} is not a JSON object")).to_vec()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, old_path, new_path] = &args[..] else {
+        eprintln!("usage: bench_delta OLD.json NEW.json");
+        std::process::exit(2);
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+
+    for (label, m) in [("old", &old), ("new", &new)] {
+        if let Some(Value::Str(schema)) = get(m, "schema") {
+            println!("bench-delta: {label} schema {schema}");
+        }
+    }
+
+    let mut worst: Option<(f64, String)> = None;
+    let (Some(old_ops), Some(new_ops)) =
+        (get(&old, "ns_per_op").and_then(map), get(&new, "ns_per_op").and_then(map))
+    else {
+        eprintln!("bench_delta: ns_per_op missing from one of the files");
+        std::process::exit(1);
+    };
+    for (format, entry) in new_ops {
+        let (Some(new_entry), Some(old_entry)) =
+            (map(entry), get(old_ops, format).and_then(map))
+        else {
+            continue;
+        };
+        for (op, v) in new_entry {
+            let (Some(new_ns), Some(old_ns)) =
+                (num(v), get(old_entry, op).and_then(num))
+            else {
+                continue;
+            };
+            if old_ns <= 0.0 {
+                continue;
+            }
+            let ratio = new_ns / old_ns;
+            println!("bench-delta: {format}.{op} {old_ns:.2} -> {new_ns:.2} ns ({ratio:.2}x)");
+            if worst.as_ref().is_none_or(|(w, _)| ratio > *w) {
+                worst = Some((ratio, format!("{format}.{op}")));
+            }
+        }
+    }
+
+    if let (Some(old_wall), Some(new_wall)) = (
+        get(&old, "figure1_wall_ms").and_then(num),
+        get(&new, "figure1_wall_ms").and_then(num),
+    ) {
+        println!(
+            "bench-delta: figure1_wall_ms {old_wall:.0} -> {new_wall:.0} ({:.2}x)",
+            new_wall / old_wall
+        );
+    }
+    if let Some((ratio, name)) = worst {
+        println!("bench-delta: worst-ratio {ratio:.2}x ({name})");
+    }
+}

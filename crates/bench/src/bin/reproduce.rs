@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p lpa-bench --bin reproduce -- \
 //!     [--experiment figureN|table1|all] [--scale K] [--size-max N] [--matrices M] \
-//!     [--store DIR] [--threads T] [--arith-tier unpack|softfloat]
+//!     [--store DIR] [--threads T] [--arith-tier unpack|softfloat] \
+//!     [--kernel-batch batch|scalar]
 //! ```
 //!
 //! CSV artifacts are written to `out/`. Every flag builds a
@@ -11,17 +12,28 @@
 //! (`--store` beats `LPA_STORE`, `--scale` beats `LPA_BENCH_SCALE`, …) —
 //! the process environment is never mutated. `--store DIR` backs the run
 //! with the persistent experiment store, so repeating a run reuses every
-//! double-double reference solve.
+//! double-double reference solve.  `--help` prints the full flag ↔
+//! environment-variable table, rendered from
+//! `lpa_experiments::harness::ENV_DOCS` so the docs cannot drift from the
+//! knobs.
 
 use lpa_bench::{HarnessEnv, PlanOverrides};
 use lpa_datagen::GraphClass;
 
-const USAGE: &str = "usage: reproduce [--experiment figureN|table1|all] [--scale K] \
-[--size-max N] [--matrices M] [--store DIR] [--threads T] [--arith-tier unpack|softfloat]";
+const USAGE: &str = "usage: reproduce [--experiment figureN|table1|all] [flags]";
+
+/// The full usage text: the one-liner plus the flag ↔ environment-variable
+/// table generated from the harness's knob docs.
+fn usage_text() -> String {
+    format!(
+        "{USAGE}\n\nflags (each outranks its environment variable; flag > env > default):\n{}",
+        lpa_experiments::harness::env_docs_table()
+    )
+}
 
 fn usage_error(message: &str) -> ! {
     eprintln!("reproduce: {message}");
-    eprintln!("{USAGE}");
+    eprintln!("{}", usage_text());
     std::process::exit(2);
 }
 
@@ -53,8 +65,9 @@ fn main() {
             "--store" => overrides.store_dir = Some(flag_value(&args, i).into()),
             "--threads" => overrides.threads = Some(parsed_flag(&args, i)),
             "--arith-tier" => overrides.arith_tier = Some(parsed_flag(&args, i)),
+            "--kernel-batch" => overrides.kernel_batch = Some(parsed_flag(&args, i)),
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{}", usage_text());
                 return;
             }
             other => usage_error(&format!("unknown argument: {other}")),

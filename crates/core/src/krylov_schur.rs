@@ -9,8 +9,8 @@
 //! in OFP8, bfloat16, float16, float32/64, posits, takums and the
 //! double-double reference format.
 
-use lpa_arith::Real;
-use lpa_dense::blas::{axpy, dot, normalize, nrm2};
+use lpa_arith::{batch, BatchReal};
+use lpa_dense::blas::{axpy, axpy_decoded, dot, dot_decoded, normalize, nrm2, scal_decoded};
 use lpa_dense::ordschur::reorder_schur;
 use lpa_dense::schur::{block_structure, eigenvalues_of_quasi_triangular, schur};
 use lpa_dense::{Complex, DMatrix};
@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::ArnoldiError;
-use crate::operator::LinearOperator;
+use crate::operator::BatchOperator;
 use crate::options::{ArnoldiOptions, Which};
 use crate::result::{History, PartialSchur};
 
@@ -28,7 +28,21 @@ use crate::result::{History, PartialSchur};
 /// For symmetric input matrices `R` is diagonal (up to the working
 /// precision) and the columns of `Q` are the eigenvectors, which is exactly
 /// how the paper extracts eigenpairs.
-pub fn partial_schur<T: Real, Op: LinearOperator<T> + ?Sized>(
+///
+/// ## The batch kernel engine
+///
+/// When `lpa_arith::kernel_batch_enabled()` (the default; see the
+/// `LPA_KERNEL_BATCH` knob) and the scalar format profits from
+/// pre-decoding, the expansion hot loop runs through a decoded workspace:
+/// the operator is applied via [`BatchOperator::apply_dec`] (so a
+/// [`lpa_sparse::CsrDecoded`] operator's matrix values are decoded once
+/// per run, not once per SpMV), the Krylov basis keeps decoded shadows of
+/// its columns that are updated on write, and the Gram-Schmidt
+/// dot/axpy/scale passes run the decoded-domain kernels.  Results are
+/// bit-identical to the scalar engine by the batch engine's contract
+/// (every operation still rounds to the format's grid), which the
+/// `lpa_experiments` end-to-end grid test enforces.
+pub fn partial_schur<T: BatchReal, Op: BatchOperator<T> + ?Sized>(
     op: &Op,
     opts: &ArnoldiOptions,
 ) -> Result<(PartialSchur<T>, History), ArnoldiError> {
@@ -74,26 +88,62 @@ pub fn partial_schur<T: Real, Op: LinearOperator<T> + ?Sized>(
     let mut w = vec![T::zero(); n];
     let mut h_buf = vec![T::zero(); m];
 
+    // The batch-engine workspace: decoded shadows of the basis columns and
+    // the step buffers, owned for the whole run so the basis is decoded
+    // once per write instead of once per read.  Scalar formats whose
+    // decoded form is their bit pattern skip the bookkeeping entirely.
+    let use_batch = T::DECODED && batch::kernel_batch_enabled();
+    let zero_dec = T::zero().dec();
+    let mut v_dec: Vec<Vec<T::Dec>> =
+        if use_batch { vec![vec![zero_dec; n]; m + 1] } else { Vec::new() };
+    let mut w_dec: Vec<T::Dec> = if use_batch { vec![zero_dec; n] } else { Vec::new() };
+    let mut h_dec_buf: Vec<T::Dec> = if use_batch { vec![zero_dec; m] } else { Vec::new() };
+    if use_batch {
+        batch::decode_slice_into(v.col(0), &mut v_dec[0]);
+    }
+
     for restart in 0..opts.max_restarts {
         // --- Expansion from k to m ------------------------------------
         for j in k..m {
-            // `apply` fully overwrites `w` (it computes y = A x), so no
-            // clearing is needed between steps.
-            op.apply(v.col(j), &mut w);
-            matvecs += 1;
             // Classical Gram-Schmidt with one full re-orthogonalization
             // pass (DGKS-style), which is what keeps the basis usable in
             // the very low precision formats; both passes accumulate into
-            // the same coefficient slice.
+            // the same coefficient slice.  The two engines run the same
+            // operation sequence — the batch engine merely reads the
+            // pre-decoded shadows and defers the bit-pattern encode of `w`
+            // and `h` to the end of the step.
             let h = &mut h_buf[..j + 1];
-            h.fill(T::zero());
-            for _pass in 0..2 {
-                for (i, hi) in h.iter_mut().enumerate() {
-                    let c = dot(v.col(i), &w);
-                    axpy(-c, v.col(i), &mut w);
-                    *hi += c;
+            if use_batch {
+                // `apply_dec` fully overwrites `w_dec` (same contract as
+                // `apply`).
+                op.apply_dec(&v_dec[j], &mut w_dec);
+                let hd = &mut h_dec_buf[..j + 1];
+                hd.fill(zero_dec);
+                for _pass in 0..2 {
+                    for (i, hi) in hd.iter_mut().enumerate() {
+                        let c = dot_decoded::<T>(&v_dec[i], &w_dec);
+                        axpy_decoded::<T>(T::dec_neg(c), &v_dec[i], &mut w_dec);
+                        *hi = T::dec_add(*hi, c);
+                    }
+                }
+                for (hb, hd) in h.iter_mut().zip(hd.iter()) {
+                    *hb = T::undec(*hd);
+                }
+                batch::encode_slice_into(&w_dec, &mut w);
+            } else {
+                // `apply` fully overwrites `w` (it computes y = A x), so no
+                // clearing is needed between steps.
+                op.apply(v.col(j), &mut w);
+                h.fill(T::zero());
+                for _pass in 0..2 {
+                    for (i, hi) in h.iter_mut().enumerate() {
+                        let c = dot(v.col(i), &w);
+                        axpy(-c, v.col(i), &mut w);
+                        *hi += c;
+                    }
                 }
             }
+            matvecs += 1;
             let beta = nrm2(&w);
             if !beta.is_finite() || h.iter().any(|x| !x.is_finite()) {
                 return Err(ArnoldiError::NonFinite);
@@ -125,12 +175,27 @@ pub fn partial_schur<T: Real, Op: LinearOperator<T> + ?Sized>(
                     return Err(ArnoldiError::NonFinite);
                 }
                 v.col_mut(j + 1).copy_from_slice(&w);
+                if use_batch {
+                    // The fresh random direction was built on the encoded
+                    // side; refresh its shadow.
+                    batch::decode_slice_into(&w, &mut v_dec[j + 1]);
+                }
             } else {
                 spike[j] = beta;
                 let inv = beta.recip();
                 let wcol = v.col_mut(j + 1);
-                for (dst, src) in wcol.iter_mut().zip(&w) {
-                    *dst = *src * inv;
+                if use_batch {
+                    // Scale in the decoded domain (`w_dec` is dead after
+                    // this step) and write both sides of the new basis
+                    // column — the shadow update is free because the
+                    // scaled values are already decoded.
+                    scal_decoded::<T>(inv.dec(), &mut w_dec);
+                    v_dec[j + 1].copy_from_slice(&w_dec);
+                    batch::encode_slice_into(&w_dec, wcol);
+                } else {
+                    for (dst, src) in wcol.iter_mut().zip(&w) {
+                        *dst = *src * inv;
+                    }
                 }
             }
         }
@@ -268,6 +333,13 @@ pub fn partial_schur<T: Real, Op: LinearOperator<T> + ?Sized>(
         }
         let last = v.col(m).to_vec();
         v.col_mut(rows).copy_from_slice(&last);
+        if use_batch {
+            // The restart rewrote basis columns 0..=rows on the encoded
+            // side (dense matmul); refresh their shadows once.
+            for (c, col_dec) in v_dec.iter_mut().enumerate().take(rows + 1) {
+                batch::decode_slice_into(v.col(c), col_dec);
+            }
+        }
 
         // New projected matrix and spike.
         let wz = w_spike(&z);

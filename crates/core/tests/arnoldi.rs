@@ -1,7 +1,7 @@
 //! Integration tests of the Krylov–Schur Arnoldi driver.
 
 use lpa_arith::types::{Bf16, Posit16, Posit32, Takum16, Takum32, F16};
-use lpa_arith::{Dd, Real};
+use lpa_arith::Dd;
 use lpa_arnoldi::{partial_schur, ArnoldiError, ArnoldiOptions, Which};
 use lpa_dense::eigen_sym::symmetric_eigenvalues;
 use lpa_sparse::CsrMatrix;
@@ -140,7 +140,7 @@ fn works_in_double_double_reference_arithmetic() {
 
 #[test]
 fn works_in_low_precision_formats() {
-    fn run<T: Real>(tol: f64) -> Vec<f64> {
+    fn run<T: lpa_arith::BatchReal>(tol: f64) -> Vec<f64> {
         let a = laplacian_1d(48).convert::<T>();
         // Starting-vector seed chosen to converge for every format under the
         // vendored rand stream (like any IRAM run, individual unlucky seeds

@@ -4,28 +4,44 @@
 //! overflows nor underflows the narrow formats' dynamic range — the same
 //! robustness the paper's Julia stack inherits from its `norm`
 //! implementation.
+//!
+//! `dot` and `axpy` — the kernels whose operands the Krylov loops re-read
+//! — route through `lpa_arith::batch`: when the batch kernel engine is
+//! enabled (the default, see `LPA_KERNEL_BATCH`) the emulated formats
+//! pre-decode their operands and run the decoded-domain kernels, which are
+//! bit-identical to the scalar loops but skip the per-operation bit-pattern
+//! round trips.  The decoded counterparts ([`dot_decoded`],
+//! [`axpy_decoded`], [`scal_decoded`]) work on already-cached shadows —
+//! `lpa_arnoldi`'s Gram-Schmidt passes and basis-column scaling call them
+//! directly.
 
-use lpa_arith::Real;
+use lpa_arith::{batch, BatchReal, Real};
 
-/// Dot product.
-pub fn dot<T: Real>(x: &[T], y: &[T]) -> T {
+/// Dot product (batch-engine routed, see the module docs).
+pub fn dot<T: BatchReal>(x: &[T], y: &[T]) -> T {
     debug_assert_eq!(x.len(), y.len());
-    let mut acc = T::zero();
-    for (a, b) in x.iter().zip(y) {
-        acc += *a * *b;
-    }
-    acc
+    batch::dot_slice(x, y)
 }
 
-/// `y += alpha * x`.
-pub fn axpy<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
+/// Dot product over pre-decoded shadows; returns the decoded accumulator.
+pub fn dot_decoded<T: BatchReal>(x: &[T::Dec], y: &[T::Dec]) -> T::Dec {
+    batch::dot_decoded::<T>(x, y)
+}
+
+/// `y += alpha * x` (batch-engine routed, see the module docs).
+pub fn axpy<T: BatchReal>(alpha: T, x: &[T], y: &mut [T]) {
     debug_assert_eq!(x.len(), y.len());
-    if alpha.is_zero() {
-        return;
-    }
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * *xi;
-    }
+    batch::axpy_slice(alpha, x, y)
+}
+
+/// `y += alpha * x` over pre-decoded shadows.
+pub fn axpy_decoded<T: BatchReal>(alpha: T::Dec, x: &[T::Dec], y: &mut [T::Dec]) {
+    batch::axpy_decoded::<T>(alpha, x, y)
+}
+
+/// `x *= alpha` over pre-decoded shadows.
+pub fn scal_decoded<T: BatchReal>(alpha: T::Dec, x: &mut [T::Dec]) {
+    batch::scale_decoded::<T>(alpha, x)
 }
 
 /// `x *= alpha`.
@@ -87,7 +103,7 @@ pub fn normalize<T: Real>(x: &mut [T]) -> T {
 /// Dense general matrix-vector product `y = alpha * A * x + beta * y` with
 /// `A` given as a closure over column slices (used by tests); the dense
 /// matrix type has its own `matvec`.
-pub fn gemv_cols<T: Real>(cols: &[&[T]], alpha: T, x: &[T], beta: T, y: &mut [T]) {
+pub fn gemv_cols<T: BatchReal>(cols: &[&[T]], alpha: T, x: &[T], beta: T, y: &mut [T]) {
     for yi in y.iter_mut() {
         *yi *= beta;
     }

@@ -149,7 +149,10 @@ impl<T: Real> DMatrix<T> {
     }
 
     /// `self^T * other`.
-    pub fn transpose_matmul(&self, other: &Self) -> Self {
+    pub fn transpose_matmul(&self, other: &Self) -> Self
+    where
+        T: lpa_arith::BatchReal,
+    {
         assert_eq!(self.nrows, other.nrows);
         Self::from_fn(self.ncols, other.ncols, |i, j| {
             crate::blas::dot(self.col(i), other.col(j))

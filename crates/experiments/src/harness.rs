@@ -6,6 +6,10 @@
 //!
 //! For every knob: **CLI flag > environment variable > default.**
 //!
+//! The knob table below is **data**, not prose: [`ENV_DOCS`] holds one row
+//! per knob and the `reproduce` binary renders its usage text from it, so
+//! the CLI flags and their documentation cannot drift apart.
+//!
 //! | knob           | CLI (`reproduce`) | environment          | default |
 //! |----------------|-------------------|----------------------|---------|
 //! | corpus scale   | `--scale`         | `LPA_BENCH_SCALE`    | 1       |
@@ -13,22 +17,24 @@
 //! | matrix budget  | `--matrices`      | `LPA_BENCH_MATRICES` | 6       |
 //! | store dir      | `--store`         | `LPA_STORE`          | none    |
 //! | 16-bit tier    | `--arith-tier`    | `LPA_ARITH_TIER`     | ambient |
+//! | kernel engine  | `--kernel-batch`  | `LPA_KERNEL_BATCH`   | batch   |
 //! | thread budget  | `--threads`       | `RAYON_NUM_THREADS`  | cores   |
 //!
-//! Two variables are owned by lower layers and only *flow through* here so
-//! the precedence stays uniform: `LPA_ARITH_TIER` is read by
-//! [`lpa_arith::env_dec16_tier`] (the tier module keeps the only
-//! `std::env` read) and `RAYON_NUM_THREADS` by the rayon shim — a CLI
-//! thread budget simply outranks it by being pinned on the plan, and no
+//! Three variables are owned by lower layers and only *flow through* here
+//! so the precedence stays uniform: `LPA_ARITH_TIER` is read by
+//! [`lpa_arith::env_dec16_tier`], `LPA_KERNEL_BATCH` by
+//! [`lpa_arith::env_kernel_batch`] (each module keeps its only `std::env`
+//! read) and `RAYON_NUM_THREADS` by the rayon shim — a CLI thread budget
+//! simply outranks it by being pinned on the plan, and no
 //! process-environment mutation (`std::env::set_var`) is needed anywhere.
 //!
 //! Unset or unparsable environment values fall through to the next level,
-//! except `LPA_ARITH_TIER`, where a typo panics rather than silently
-//! selecting a tier.
+//! except `LPA_ARITH_TIER` and `LPA_KERNEL_BATCH`, where a typo panics
+//! rather than silently selecting a default.
 
 use std::path::PathBuf;
 
-use lpa_arith::Dec16Tier;
+use lpa_arith::{Dec16Tier, KernelBatch};
 use lpa_store::Store;
 
 /// Default corpus scale factor.
@@ -38,6 +44,78 @@ pub const DEFAULT_SIZE_MAX: usize = 72;
 /// Default per-figure matrix budget after subsampling (kept small because
 /// the whole pipeline runs in software-emulated arithmetic).
 pub const DEFAULT_MATRIX_BUDGET: usize = 6;
+
+/// One row of the harness knob table: the environment variable, its
+/// `reproduce` CLI flag (empty when CLI-only/env-only), the value syntax
+/// and a one-line description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnvDoc {
+    pub var: &'static str,
+    pub flag: &'static str,
+    pub value: &'static str,
+    pub help: &'static str,
+}
+
+/// The single source of truth for every harness knob: `reproduce --help`
+/// renders its environment-variable table from this array (so flags and
+/// docs cannot drift), and `tests` assert it covers every [`HarnessEnv`] /
+/// [`PlanOverrides`] field.
+pub const ENV_DOCS: &[EnvDoc] = &[
+    EnvDoc {
+        var: "LPA_BENCH_SCALE",
+        flag: "--scale",
+        value: "K",
+        help: "corpus scale factor (matrices per category, default 1)",
+    },
+    EnvDoc {
+        var: "LPA_BENCH_SIZE_MAX",
+        flag: "--size-max",
+        value: "N",
+        help: "maximum generated matrix dimension (default 72)",
+    },
+    EnvDoc {
+        var: "LPA_BENCH_MATRICES",
+        flag: "--matrices",
+        value: "M",
+        help: "per-figure matrix budget after subsampling (default 6)",
+    },
+    EnvDoc {
+        var: "LPA_STORE",
+        flag: "--store",
+        value: "DIR",
+        help: "persistent experiment store directory (default none)",
+    },
+    EnvDoc {
+        var: "LPA_ARITH_TIER",
+        flag: "--arith-tier",
+        value: "unpack|softfloat",
+        help: "16-bit arithmetic tier (bit-identical; default unpack)",
+    },
+    EnvDoc {
+        var: "LPA_KERNEL_BATCH",
+        flag: "--kernel-batch",
+        value: "batch|scalar",
+        help: "bulk kernel engine (bit-identical; default batch)",
+    },
+    EnvDoc {
+        var: "RAYON_NUM_THREADS",
+        flag: "--threads",
+        value: "T",
+        help: "worker-thread budget (default all cores)",
+    },
+];
+
+/// Render [`ENV_DOCS`] as the aligned two-column table `reproduce --help`
+/// prints (flag + value on the left, environment variable and description
+/// on the right).
+pub fn env_docs_table() -> String {
+    let rows: Vec<(String, String)> = ENV_DOCS
+        .iter()
+        .map(|d| (format!("{} {}", d.flag, d.value), format!("[{}] {}", d.var, d.help)))
+        .collect();
+    let width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    rows.iter().map(|(l, r)| format!("  {l:<width$}  {r}\n")).collect()
+}
 
 /// A snapshot of every `LPA_*` harness variable.
 ///
@@ -56,6 +134,8 @@ pub struct HarnessEnv {
     pub store_dir: Option<PathBuf>,
     /// `LPA_ARITH_TIER`, via [`lpa_arith::env_dec16_tier`]
     pub arith_tier: Option<Dec16Tier>,
+    /// `LPA_KERNEL_BATCH`, via [`lpa_arith::env_kernel_batch`]
+    pub kernel_batch: Option<KernelBatch>,
 }
 
 impl HarnessEnv {
@@ -63,13 +143,14 @@ impl HarnessEnv {
     pub fn capture() -> HarnessEnv {
         HarnessEnv {
             arith_tier: lpa_arith::env_dec16_tier(),
+            kernel_batch: lpa_arith::env_kernel_batch(),
             ..Self::from_lookup(|name| std::env::var(name).ok())
         }
     }
 
     /// Parse the `LPA_BENCH_*` / `LPA_STORE` variables through `lookup`
-    /// (injectable for tests; `arith_tier` stays `None` because its
-    /// environment read belongs to `lpa_arith::tier`).
+    /// (injectable for tests; `arith_tier` and `kernel_batch` stay `None`
+    /// because their environment reads belong to `lpa_arith`).
     pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> HarnessEnv {
         let parsed = |name: &str| lookup(name).and_then(|v| v.parse().ok());
         let store_dir = lookup("LPA_STORE").filter(|v| !v.is_empty()).map(PathBuf::from);
@@ -79,6 +160,7 @@ impl HarnessEnv {
             matrices: parsed("LPA_BENCH_MATRICES"),
             store_dir,
             arith_tier: None,
+            kernel_batch: None,
         }
     }
 }
@@ -92,6 +174,7 @@ pub struct PlanOverrides {
     pub matrices: Option<usize>,
     pub store_dir: Option<PathBuf>,
     pub arith_tier: Option<Dec16Tier>,
+    pub kernel_batch: Option<KernelBatch>,
     pub threads: Option<usize>,
 }
 
@@ -105,6 +188,7 @@ impl PlanOverrides {
             matrix_budget: self.matrices.or(env.matrices).unwrap_or(DEFAULT_MATRIX_BUDGET),
             store_dir: self.store_dir.clone().or_else(|| env.store_dir.clone()),
             arith_tier: self.arith_tier.or(env.arith_tier),
+            kernel_batch: self.kernel_batch.or(env.kernel_batch),
             // No env fallback here: when None, the rayon shim applies
             // RAYON_NUM_THREADS itself, keeping that read in one module.
             threads: self.threads,
@@ -125,6 +209,8 @@ pub struct HarnessSettings {
     pub store_dir: Option<PathBuf>,
     /// Forced 16-bit arithmetic tier (`None` = ambient).
     pub arith_tier: Option<Dec16Tier>,
+    /// Forced bulk kernel engine (`None` = ambient, i.e. batch).
+    pub kernel_batch: Option<KernelBatch>,
     /// Worker-thread budget (`None` = `RAYON_NUM_THREADS`, else all cores).
     pub threads: Option<usize>,
 }
@@ -192,11 +278,16 @@ mod tests {
             ("LPA_BENCH_MATRICES", "12"),
             ("LPA_STORE", "/tmp/from-env"),
         ]);
-        let env = HarnessEnv { arith_tier: Some(Dec16Tier::Unpack), ..env };
+        let env = HarnessEnv {
+            arith_tier: Some(Dec16Tier::Unpack),
+            kernel_batch: Some(KernelBatch::Batch),
+            ..env
+        };
         let cli = PlanOverrides {
             scale: Some(5),
             store_dir: Some(PathBuf::from("/tmp/from-cli")),
             arith_tier: Some(Dec16Tier::Softfloat),
+            kernel_batch: Some(KernelBatch::Scalar),
             threads: Some(2),
             ..Default::default()
         };
@@ -205,6 +296,7 @@ mod tests {
         assert_eq!(settings.scale, 5);
         assert_eq!(settings.store_dir, Some(PathBuf::from("/tmp/from-cli")));
         assert_eq!(settings.arith_tier, Some(Dec16Tier::Softfloat));
+        assert_eq!(settings.kernel_batch, Some(KernelBatch::Scalar));
         assert_eq!(settings.threads, Some(2));
         // Env wins where only it is set.
         assert_eq!(settings.matrix_budget, 12);
@@ -215,7 +307,33 @@ mod tests {
         let settings = PlanOverrides::default().resolve(&env);
         assert_eq!(settings.scale, 2);
         assert_eq!(settings.arith_tier, Some(Dec16Tier::Unpack));
+        assert_eq!(settings.kernel_batch, Some(KernelBatch::Batch));
         assert_eq!(settings.threads, None);
+    }
+
+    /// The knob-doc table is the single source of CLI usage text: it must
+    /// cover every override field (destructuring makes adding a field
+    /// without a doc row a compile error here) and render every row.
+    #[test]
+    fn env_docs_cover_every_knob() {
+        let PlanOverrides {
+            scale: _,
+            size_max: _,
+            matrices: _,
+            store_dir: _,
+            arith_tier: _,
+            kernel_batch: _,
+            threads: _,
+        } = PlanOverrides::default();
+        assert_eq!(ENV_DOCS.len(), 7, "one doc row per override field");
+
+        let table = env_docs_table();
+        for doc in ENV_DOCS {
+            assert!(table.contains(doc.var), "{} missing from the table", doc.var);
+            assert!(table.contains(doc.flag), "{} missing from the table", doc.flag);
+        }
+        assert!(table.contains("LPA_KERNEL_BATCH"));
+        assert!(table.contains("--kernel-batch"));
     }
 
     #[test]

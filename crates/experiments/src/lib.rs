@@ -56,6 +56,7 @@ pub mod harness;
 pub mod outcome;
 pub mod persist;
 pub mod pipeline;
+pub mod progress;
 pub mod report;
 pub mod session;
 
@@ -67,6 +68,7 @@ pub use pipeline::{
     compare_to_reference, compute_reference, cosine_similarity_matrix, run_format,
     ExperimentConfig, Reference,
 };
+pub use progress::CsvProgress;
 pub use report::{
     cumulative_distribution, format_summary_table, log10_clamped, write_figure_csv,
     CumulativeDistribution, Metric,

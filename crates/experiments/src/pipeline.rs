@@ -146,7 +146,7 @@ pub fn run_format(
     FormatRun { format, outcome }
 }
 
-fn run_typed<T: Real>(
+fn run_typed<T: lpa_arith::BatchReal>(
     matrix: &CsrMatrix<f64>,
     reference: &Reference,
     format: FormatTag,
@@ -158,7 +158,17 @@ fn run_typed<T: Real>(
         Err(_) => return Outcome::RangeExceeded,
     };
     // Step 2: the Arnoldi run itself (failure of any kind is the paper's ∞ω).
-    let ps = match partial_schur(&converted, &cfg.options(format.tolerance())) {
+    // With the batch kernel engine active, the matrix values are decoded
+    // once per (matrix, format) run here — every SpMV of every Arnoldi
+    // step then gathers the shadows instead of re-decoding (bit-identical
+    // results, see `lpa_arith::batch`).
+    let opts = cfg.options(format.tolerance());
+    let ps = if T::DECODED && lpa_arith::kernel_batch_enabled() {
+        partial_schur(&lpa_sparse::CsrDecoded::new(converted), &opts)
+    } else {
+        partial_schur(&converted, &opts)
+    };
+    let ps = match ps {
         Ok((ps, _hist)) => ps,
         Err(_) => return Outcome::NotConverged,
     };

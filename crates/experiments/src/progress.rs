@@ -1,0 +1,120 @@
+//! Streaming progress consumers beyond the stderr logger: ready-made
+//! [`ProgressObserver`](crate::ProgressObserver) implementations that turn
+//! the deterministic event stream into machine-readable artifacts while a
+//! grid runs.
+//!
+//! [`CsvProgress`] writes one CSV row per event — references as they
+//! resolve, matrices as they are skipped, and one row per (matrix, format)
+//! outcome — to any `Write` sink.  Because the session's sequencer releases
+//! events in corpus/grid order for every thread count, the produced CSV is
+//! byte-identical for any parallelism (test-enforced by
+//! `tests/csv_progress.rs`): an incremental CSV is as reproducible as the
+//! final results.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::session::{ProgressEvent, ProgressObserver};
+
+/// A [`ProgressObserver`] that streams incremental CSV rows.
+///
+/// Columns: `event,index,matrix,format,from_store` with `event` one of
+/// `reference`, `skipped`, `outcome`.  The header is written on the first
+/// `GridStarted`; `GridFinished` flushes the sink, so a harness that is
+/// killed mid-run still leaves every completed row on disk.  Matrix names
+/// in this workspace never contain commas or quotes, so rows are emitted
+/// verbatim.
+pub struct CsvProgress<W: Write + Send> {
+    state: Mutex<CsvState<W>>,
+}
+
+struct CsvState<W> {
+    writer: W,
+    header_written: bool,
+}
+
+impl<W: Write + Send> CsvProgress<W> {
+    /// Stream CSV rows into `writer`.
+    pub fn new(writer: W) -> CsvProgress<W> {
+        CsvProgress { state: Mutex::new(CsvState { writer, header_written: false }) }
+    }
+
+    /// Consume the observer and return the sink.
+    pub fn into_inner(self) -> W {
+        self.state.into_inner().expect("csv progress poisoned").writer
+    }
+}
+
+impl CsvProgress<Vec<u8>> {
+    /// An in-memory sink (tests, post-run inspection).
+    pub fn buffered() -> CsvProgress<Vec<u8>> {
+        CsvProgress::new(Vec::new())
+    }
+}
+
+impl<W: Write + Send> ProgressObserver for CsvProgress<W> {
+    fn on_event(&self, event: &ProgressEvent) {
+        let mut state = self.state.lock().expect("csv progress poisoned");
+        if !state.header_written {
+            if let ProgressEvent::GridStarted { .. } = event {
+                writeln!(state.writer, "event,index,matrix,format,from_store")
+                    .expect("write csv header");
+                state.header_written = true;
+            }
+        }
+        let row = match event {
+            ProgressEvent::ReferenceComputed { index, matrix, from_store } => {
+                Some(format!("reference,{index},{matrix},,{from_store}"))
+            }
+            ProgressEvent::MatrixSkipped { index, matrix } => {
+                Some(format!("skipped,{index},{matrix},,"))
+            }
+            ProgressEvent::OutcomeComputed { index, matrix, format, from_store } => {
+                Some(format!("outcome,{index},{matrix},{},{from_store}", format.name()))
+            }
+            ProgressEvent::GridFinished { .. } => {
+                state.writer.flush().expect("flush csv progress");
+                None
+            }
+            _ => None,
+        };
+        if let Some(row) = row {
+            writeln!(state.writer, "{row}").expect("write csv row");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::FormatTag;
+
+    #[test]
+    fn rows_follow_the_event_stream() {
+        let csv = CsvProgress::buffered();
+        let events = [
+            ProgressEvent::GridStarted { matrices: 2, formats: 1 },
+            ProgressEvent::ReferenceStarted { index: 0, matrix: "a".into() },
+            ProgressEvent::ReferenceComputed { index: 0, matrix: "a".into(), from_store: false },
+            ProgressEvent::MatrixSkipped { index: 1, matrix: "b".into() },
+            ProgressEvent::OutcomeComputed {
+                index: 0,
+                matrix: "a".into(),
+                format: FormatTag::Posit32,
+                from_store: true,
+            },
+            ProgressEvent::GridFinished { matrices: 1, skipped: 1, outcomes: 1 },
+        ];
+        for e in &events {
+            csv.on_event(e);
+        }
+        let text = String::from_utf8(csv.into_inner()).unwrap();
+        assert_eq!(
+            text,
+            "event,index,matrix,format,from_store\n\
+             reference,0,a,,false\n\
+             skipped,1,b,,\n\
+             outcome,0,a,posit32,true\n"
+        );
+    }
+}

@@ -49,7 +49,9 @@ use std::sync::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use lpa_arith::{dec16_tier, force_dec16_tier, Dec16Tier};
+use lpa_arith::{
+    dec16_tier, force_dec16_tier, force_kernel_batch, kernel_batch, Dec16Tier, KernelBatch,
+};
 use lpa_datagen::TestMatrix;
 use lpa_store::{ArtifactKind, Store};
 
@@ -209,6 +211,7 @@ pub struct ExperimentPlan<'a> {
     config: ExperimentConfig,
     store: Option<&'a Store>,
     arith_tier: Option<Dec16Tier>,
+    kernel_batch: Option<KernelBatch>,
     threads: Option<usize>,
     observer: Option<&'a dyn ProgressObserver>,
 }
@@ -222,6 +225,7 @@ impl<'a> ExperimentPlan<'a> {
             config: ExperimentConfig::default(),
             store: None,
             arith_tier: None,
+            kernel_batch: None,
             threads: None,
             observer: None,
         }
@@ -262,6 +266,16 @@ impl<'a> ExperimentPlan<'a> {
         self
     }
 
+    /// Force the batch kernel engine on or off for the duration of the run
+    /// (default: the ambient engine — `LPA_KERNEL_BATCH` or batch). Both
+    /// engines are bit-identical, so — like
+    /// [`ExperimentPlan::arith_tier`] — this is a verification/benchmark
+    /// knob, not a semantic one.
+    pub fn kernel_batch(mut self, engine: KernelBatch) -> Self {
+        self.kernel_batch = Some(engine);
+        self
+    }
+
     /// Cap the run at `n` worker threads (default: `RAYON_NUM_THREADS`,
     /// else all cores). Results are byte-identical for any value.
     pub fn threads(mut self, n: usize) -> Self {
@@ -283,6 +297,9 @@ impl<'a> ExperimentPlan<'a> {
     pub fn apply(mut self, settings: &crate::harness::HarnessSettings) -> Self {
         if let Some(tier) = settings.arith_tier {
             self = self.arith_tier(tier);
+        }
+        if let Some(engine) = settings.kernel_batch {
+            self = self.kernel_batch(engine);
         }
         if let Some(threads) = settings.threads {
             self = self.threads(threads);
@@ -334,6 +351,7 @@ impl Session<'_> {
     /// thread count, store state and observer.
     pub fn run(&self) -> ExperimentResults {
         let _tier = self.plan.arith_tier.map(TierGuard::force);
+        let _engine = self.plan.kernel_batch.map(BatchGuard::force);
         match self.plan.threads {
             Some(n) => rayon::with_num_threads(n, || self.run_grid()),
             None => self.run_grid(),
@@ -533,6 +551,25 @@ impl TierGuard {
 impl Drop for TierGuard {
     fn drop(&mut self) {
         force_dec16_tier(self.0);
+    }
+}
+
+/// Forces the batch kernel engine for a scope and restores the previous
+/// engine on drop (the `arith_tier` restore-guard pattern; both engines
+/// compute identical bits, so overlapping guards are benign).
+struct BatchGuard(KernelBatch);
+
+impl BatchGuard {
+    fn force(engine: KernelBatch) -> BatchGuard {
+        let previous = kernel_batch();
+        force_kernel_batch(engine);
+        BatchGuard(previous)
+    }
+}
+
+impl Drop for BatchGuard {
+    fn drop(&mut self) {
+        force_kernel_batch(self.0);
     }
 }
 

@@ -1,0 +1,60 @@
+//! The incremental CSV observer must produce byte-identical output for any
+//! thread count — the event sequencer releases worker events in corpus/grid
+//! order, so a streaming consumer is as reproducible as the final results.
+
+use lpa_datagen::{general_corpus, CorpusConfig, TestMatrix};
+use lpa_experiments::{CsvProgress, ExperimentConfig, ExperimentPlan, FormatTag};
+
+#[test]
+fn csv_is_identical_across_thread_counts() {
+    let corpus: Vec<TestMatrix> = general_corpus(&CorpusConfig {
+        scale: 1,
+        size_range: (24, 32),
+        ..CorpusConfig::tiny()
+    })
+    .into_iter()
+    .take(4)
+    .collect();
+    assert!(corpus.len() >= 3);
+    let formats = [FormatTag::Takum16, FormatTag::Posit32, FormatTag::Float64];
+    let cfg = ExperimentConfig {
+        eigenvalue_count: 3,
+        eigenvalue_buffer_count: 2,
+        max_restarts: 40,
+        ..Default::default()
+    };
+
+    let run = |threads: usize| -> String {
+        let csv = CsvProgress::buffered();
+        let results = ExperimentPlan::over(&corpus)
+            .formats(&formats)
+            .config(cfg.clone())
+            .threads(threads)
+            .observer(&csv)
+            .run();
+        assert_eq!(results.matrices.len() + results.skipped.len(), corpus.len());
+        String::from_utf8(csv.into_inner()).expect("csv is utf-8")
+    };
+
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel, "CSV progress output depends on the thread count");
+
+    // Shape checks: a header, one row per reference resolution (computed or
+    // skipped), one row per outcome.
+    let lines: Vec<&str> = serial.lines().collect();
+    assert_eq!(lines[0], "event,index,matrix,format,from_store");
+    let references = lines.iter().filter(|l| l.starts_with("reference,") || l.starts_with("skipped,")).count();
+    assert_eq!(references, corpus.len());
+    let outcomes = lines.iter().filter(|l| l.starts_with("outcome,")).count();
+    assert!(outcomes > 0 && outcomes % formats.len() == 0, "{outcomes} outcome rows");
+    // Rows arrive in corpus/grid order: reference indices are non-decreasing.
+    let mut last = 0usize;
+    for l in &lines[1..] {
+        if let Some(rest) = l.strip_prefix("reference,").or_else(|| l.strip_prefix("skipped,")) {
+            let idx: usize = rest.split(',').next().unwrap().parse().unwrap();
+            assert!(idx >= last, "reference rows out of order");
+            last = idx;
+        }
+    }
+}

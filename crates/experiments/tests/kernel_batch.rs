@@ -1,0 +1,75 @@
+//! End-to-end guard for the batch kernel engine: a (matrix × format)
+//! experiment grid run with the engine forced **off** (scalar reference)
+//! and forced **on** (decoded batch kernels) must produce byte-identical
+//! serialized results — both the JSON serialization of the whole
+//! `ExperimentResults` and the `lpa-store` payload encoding of every
+//! outcome.
+//!
+//! This is the proof that the engine needs no
+//! [`lpa_experiments::persist::CODE_VERSION_SALT`] bump: artifacts
+//! persisted by a scalar-engine (or pre-engine) run stay valid under the
+//! batch engine and vice versa, so existing stores warm-start unchanged.
+//!
+//! The format list deliberately spans every affected backend: the 16-bit
+//! unpack-once tier, the 32-bit soft-float tapered formats the engine
+//! primarily targets, and native float64 as the `Dec = Self` control.
+//!
+//! Kept as a single test in its own integration binary because it toggles
+//! the process-global kernel engine (via the plan's `kernel_batch` knob).
+
+use lpa_arith::KernelBatch;
+use lpa_datagen::{general_corpus, CorpusConfig, TestMatrix};
+use lpa_experiments::{persist, ExperimentConfig, ExperimentPlan, FormatTag};
+
+#[test]
+fn batch_engine_grid_serializes_identically_to_scalar() {
+    let corpus: Vec<TestMatrix> = general_corpus(&CorpusConfig {
+        scale: 1,
+        size_range: (24, 36),
+        ..CorpusConfig::tiny()
+    })
+    .into_iter()
+    .take(4)
+    .collect();
+    assert!(corpus.len() >= 3, "corpus too small to exercise the grid");
+    let formats = [
+        FormatTag::Posit32,
+        FormatTag::Takum32,
+        FormatTag::Posit16,
+        FormatTag::Takum16,
+        FormatTag::Float16,
+        FormatTag::Bfloat16,
+        FormatTag::Float64,
+    ];
+    let cfg = ExperimentConfig {
+        eigenvalue_count: 3,
+        eigenvalue_buffer_count: 2,
+        max_restarts: 40,
+        ..Default::default()
+    };
+
+    let plan = || ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone());
+    let scalar = plan().kernel_batch(KernelBatch::Scalar).run();
+    let batch = plan().kernel_batch(KernelBatch::Batch).run();
+
+    // The whole result object, serialization included, must not change.
+    let scalar_json = serde_json::to_string(&scalar).expect("serialize scalar-engine results");
+    let batch_json = serde_json::to_string(&batch).expect("serialize batch-engine results");
+    assert_eq!(scalar_json, batch_json, "batch kernel engine changed experiment results");
+
+    // And neither must the store payload bytes of any outcome: this is the
+    // exact encoding persisted under CODE_VERSION_SALT-derived keys.
+    assert!(!scalar.matrices.is_empty(), "every reference solve failed");
+    for (ms, mb) in scalar.matrices.iter().zip(&batch.matrices) {
+        for ((fs, os), (fb, ob)) in ms.outcomes.iter().zip(&mb.outcomes) {
+            assert_eq!(fs, fb);
+            assert_eq!(
+                persist::encode_outcome(os),
+                persist::encode_outcome(ob),
+                "persisted outcome bytes diverged for {} / {:?}",
+                ms.name,
+                fs
+            );
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Differential guard for [`lpa_sparse::CsrDecoded`]: the decode-once SpMV
+//! must be bit-identical to the scalar [`lpa_sparse::CsrMatrix::spmv`] for
+//! every format, including on boundary-magnitude values (saturation
+//! neighbourhoods, tiny magnitudes) and repeated applications (the Arnoldi
+//! pattern the cache exists for).
+
+use lpa_arith::{BatchReal, Real};
+use lpa_sparse::{CsrDecoded, CsrMatrix};
+
+/// A deterministic pseudo-random CSR matrix with entries spanning many
+/// magnitudes (including values near the 16-bit formats' range edges).
+fn test_matrix<T: BatchReal>(n: usize, seed: u64, spread: f64) -> CsrMatrix<T> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if next() < 0.25 || i == j {
+                let mag = 10f64.powf((next() * 2.0 - 1.0) * spread);
+                let v = T::from_f64(mag * if next() < 0.5 { -1.0 } else { 1.0 });
+                if !v.is_zero() {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+fn same_bits<T: Real>(a: T, b: T) -> bool {
+    (a.is_nan() && b.is_nan()) || a.to_f64() == b.to_f64()
+}
+
+fn differential<T: BatchReal>(spread: f64) {
+    for seed in [3u64, 17, 91] {
+        let a = test_matrix::<T>(17, seed, spread);
+        let d = CsrDecoded::new(a.clone());
+        let mut x: Vec<T> =
+            (0..17).map(|i| T::from_f64(0.13 * i as f64 - 1.1)).collect();
+        let mut y_scalar = vec![T::zero(); 17];
+        let mut y_batch = vec![T::zero(); 17];
+        // Repeated application (x <- normalized-ish A x) like an Arnoldi
+        // expansion: divergence anywhere compounds and is caught.
+        for step in 0..4 {
+            a.spmv(&x, &mut y_scalar);
+            d.spmv(&x, &mut y_batch);
+            for (b, s) in y_batch.iter().zip(&y_scalar) {
+                assert!(
+                    same_bits(*b, *s),
+                    "{}: spmv diverged at step {step} (seed {seed}): {} vs {}",
+                    T::NAME,
+                    b.to_f64(),
+                    s.to_f64()
+                );
+            }
+            // Feed back a damped copy to keep magnitudes in range.
+            let damp = T::from_f64(0.25);
+            for (xi, yi) in x.iter_mut().zip(&y_scalar) {
+                *xi = *yi * damp;
+            }
+        }
+    }
+}
+
+#[test]
+fn decoded_spmv_matches_scalar_all_formats() {
+    use lpa_arith::types::*;
+    differential::<F16>(1.5);
+    differential::<Bf16>(3.0);
+    differential::<Posit16>(3.0);
+    differential::<Takum16>(3.0);
+    differential::<Posit32>(6.0);
+    differential::<Takum32>(6.0);
+    differential::<Posit64>(8.0);
+    differential::<Takum64>(8.0);
+    differential::<E4M3>(1.0);
+    differential::<f32>(6.0);
+    differential::<f64>(8.0);
+}
+
+#[test]
+fn decoded_spmv_matches_scalar_on_saturating_magnitudes() {
+    use lpa_arith::types::{Posit16, Takum16};
+    // Entries pushed to the formats' saturation regions: the rounder's
+    // boundary paths (maxpos/minpos clamps) must still match the scalar
+    // product exactly.
+    differential::<Posit16>(18.0);
+    differential::<Takum16>(25.0);
+}

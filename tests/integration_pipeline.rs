@@ -20,7 +20,7 @@ fn graph_laplacian_eigenvalues_in_low_precision_formats() {
     let mut ref_eigs = ps64.real_eigenvalues();
     ref_eigs.sort_by(|a, b| b.partial_cmp(a).unwrap());
 
-    fn largest<T: Real>(lap: &lp_arnoldi::CsrMatrix<f64>) -> f64 {
+    fn largest<T: lp_arnoldi::arith::BatchReal>(lap: &lp_arnoldi::CsrMatrix<f64>) -> f64 {
         let a = lap.convert::<T>();
         let opts = ArnoldiOptions { nev: 5, tol: 1e-4, max_restarts: 80, ..Default::default() };
         let (ps, _) = partial_schur(&a, &opts).expect(T::NAME);
