@@ -458,6 +458,10 @@ pub fn encode_slice_into<T: BatchReal>(dec: &[T::Dec], out: &mut [T]) {
 /// recovers the bits.
 pub fn dot_decoded<T: BatchReal>(x: &[T::Dec], y: &[T::Dec]) -> T::Dec {
     debug_assert_eq!(x.len(), y.len());
+    // Fault point on the hottest kernel, one per *call* (not per element):
+    // disarmed this is a single relaxed atomic load, which the bench suite
+    // guards as within-noise against a kernel without the point.
+    lpa_faults::stall(lpa_faults::SOLVER_STALL);
     let mut acc = T::zero().dec();
     for (a, b) in x.iter().zip(y) {
         acc = T::dec_add(acc, T::dec_mul(*a, *b));

@@ -12,7 +12,7 @@
 //! (the `store` block: hit/miss counters and wall times).
 //!
 //! The file gives future PRs a perf trajectory to compare against; keep the
-//! schema (`lpa-bench-micro/v4`) stable or bump the version.  CI
+//! schema (`lpa-bench-micro/v5`) stable or bump the version.  CI
 //! regenerates the file and prints greppable `bench-delta:` lines against
 //! the committed copy (see the `bench_delta` binary).
 
@@ -323,7 +323,7 @@ fn main() {
     };
 
     let summary = Value::Map(vec![
-        ("schema".to_string(), Value::Str("lpa-bench-micro/v4".to_string())),
+        ("schema".to_string(), Value::Str("lpa-bench-micro/v5".to_string())),
         (
             "config".to_string(),
             Value::Map(vec![
@@ -343,6 +343,14 @@ fn main() {
                 (
                     "figure1_matrices".to_string(),
                     Value::Num((results.matrices.len() + results.skipped.len()) as f64),
+                ),
+                // Perf numbers are only comparable between runs with the
+                // same fault state; a benchmark under an armed LPA_FAULTS
+                // spec self-identifies instead of silently polluting the
+                // trajectory.
+                (
+                    "faults".to_string(),
+                    Value::Str(lpa_faults::active_spec().unwrap_or_else(|| "disarmed".to_string())),
                 ),
             ]),
         ),

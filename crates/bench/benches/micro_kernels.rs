@@ -146,6 +146,36 @@ fn bench_batch_vs_scalar(c: &mut Criterion) {
     run::<Takum32>(c, &a64, "takum32");
 }
 
+/// The disarmed fault-point overhead on the hottest kernel:
+/// `batch::dot_decoded` carries a `solver.stall` fault point (one relaxed
+/// atomic load per call when `LPA_FAULTS` is unset) — compare against the
+/// identical decoded-dot loop without the point. The `bench-delta:` guard
+/// in CI asserts the pair stays within noise of each other.
+fn bench_fault_point_overhead(c: &mut Criterion) {
+    fn run<T: BatchReal>(c: &mut Criterion, label: &str) {
+        let n = 1024;
+        let x: Vec<T> = (0..n)
+            .map(|i| T::from_f64((0.6 + (i % 7) as f64 * 0.09) * if i % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        let y: Vec<T> = (0..n).map(|i| T::from_f64(0.4 + (i % 11) as f64 * 0.07)).collect();
+        let (xd, yd) = (batch::decode_slice(&x), batch::decode_slice(&y));
+        c.bench_function(&format!("faults/{label}/dot_with_disarmed_point"), |b| {
+            b.iter(|| black_box(T::undec(batch::dot_decoded::<T>(black_box(&xd), &yd))))
+        });
+        c.bench_function(&format!("faults/{label}/dot_without_point"), |b| {
+            b.iter(|| {
+                let mut acc = T::zero().dec();
+                for (a, b) in black_box(&xd).iter().zip(&yd) {
+                    acc = T::dec_add(acc, T::dec_mul(*a, *b));
+                }
+                black_box(T::undec(acc))
+            })
+        });
+    }
+    run::<Posit32>(c, "posit32");
+    run::<Takum32>(c, "takum32");
+}
+
 fn bench_spmv(c: &mut Criterion) {
     let a64 = general::laplacian_2d(24, 24, 1.0);
     fn run<T: lpa_arith::BatchReal>(c: &mut Criterion, a64: &CsrMatrix<f64>, label: &str) {
@@ -238,6 +268,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_scalars, bench_lut_vs_softfloat, bench_batch_vs_scalar, bench_spmv, bench_arnoldi, bench_experiment_grid, bench_hungarian
+    targets = bench_scalars, bench_lut_vs_softfloat, bench_batch_vs_scalar, bench_fault_point_overhead, bench_spmv, bench_arnoldi, bench_experiment_grid, bench_hungarian
 }
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! cargo run --release -p lpa-bench --bin reproduce -- \
 //!     [--experiment figureN|table1|all] [--scale K] [--size-max N] [--matrices M] \
 //!     [--store DIR] [--threads T] [--arith-tier unpack|softfloat] \
-//!     [--kernel-batch batch|scalar]
+//!     [--kernel-batch batch|scalar] [--retry N] [--cell-deadline-ms MS]
 //! ```
 //!
 //! CSV artifacts are written to `out/`. Every flag builds a
@@ -66,6 +66,8 @@ fn main() {
             "--threads" => overrides.threads = Some(parsed_flag(&args, i)),
             "--arith-tier" => overrides.arith_tier = Some(parsed_flag(&args, i)),
             "--kernel-batch" => overrides.kernel_batch = Some(parsed_flag(&args, i)),
+            "--retry" => overrides.retry = Some(parsed_flag(&args, i)),
+            "--cell-deadline-ms" => overrides.cell_deadline_ms = Some(parsed_flag(&args, i)),
             "--help" | "-h" => {
                 println!("{}", usage_text());
                 return;

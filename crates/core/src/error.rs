@@ -24,6 +24,11 @@ pub enum ArnoldiError {
     /// The dense projected eigensolver failed (itself usually a symptom of
     /// too little precision).
     Projection(DenseError),
+    /// The cooperative deadline in
+    /// [`ArnoldiOptions::deadline`](crate::ArnoldiOptions) passed before
+    /// convergence. Unlike the other variants this says nothing about the
+    /// matrix — only about the wall clock — so it must never be cached.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ArnoldiError {
@@ -36,6 +41,7 @@ impl fmt::Display for ArnoldiError {
             ),
             ArnoldiError::NonFinite => write!(f, "non-finite value encountered"),
             ArnoldiError::Projection(e) => write!(f, "projected eigensolver failed: {e}"),
+            ArnoldiError::DeadlineExceeded => write!(f, "cell deadline exceeded"),
         }
     }
 }

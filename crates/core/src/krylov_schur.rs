@@ -103,8 +103,19 @@ pub fn partial_schur<T: BatchReal, Op: BatchOperator<T> + ?Sized>(
     }
 
     for restart in 0..opts.max_restarts {
+        // Fault point: makes "a cell that hangs" injectable so the
+        // harness's deadline machinery can be exercised deterministically.
+        lpa_faults::stall(lpa_faults::SOLVER_STALL);
         // --- Expansion from k to m ------------------------------------
         for j in k..m {
+            // Cooperative deadline, checked at expansion-step granularity:
+            // a step is O(n·j) scalar ops, so the check overhead is noise
+            // while long cells still notice within one step.
+            if let Some(deadline) = opts.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(ArnoldiError::DeadlineExceeded);
+                }
+            }
             // Classical Gram-Schmidt with one full re-orthogonalization
             // pass (DGKS-style), which is what keeps the basis usable in
             // the very low precision formats; both passes accumulate into

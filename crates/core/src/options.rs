@@ -34,6 +34,13 @@ pub struct ArnoldiOptions {
     pub max_restarts: usize,
     /// Seed of the random starting vector, for reproducibility.
     pub seed: u64,
+    /// Cooperative wall-clock deadline: the driver checks it once per
+    /// Arnoldi expansion step and returns
+    /// [`ArnoldiError::DeadlineExceeded`](crate::ArnoldiError::DeadlineExceeded)
+    /// past it. `None` (the default) never times out. Note this makes the
+    /// *error* timing-dependent, so callers that persist results must not
+    /// record deadline failures as facts about the matrix.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for ArnoldiOptions {
@@ -45,6 +52,7 @@ impl Default for ArnoldiOptions {
             max_dim: None,
             max_restarts: 100,
             seed: 1,
+            deadline: None,
         }
     }
 }

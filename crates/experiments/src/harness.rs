@@ -19,6 +19,9 @@
 //! | 16-bit tier    | `--arith-tier`    | `LPA_ARITH_TIER`     | ambient |
 //! | kernel engine  | `--kernel-batch`  | `LPA_KERNEL_BATCH`   | batch   |
 //! | thread budget  | `--threads`       | `RAYON_NUM_THREADS`  | cores   |
+//! | I/O retries    | `--retry`         | `LPA_RETRY`          | 2       |
+//! | cell deadline  | `--cell-deadline-ms` | `LPA_CELL_DEADLINE_MS` | off |
+//! | fault spec     | *(env-only)*      | `LPA_FAULTS`         | disarmed |
 //!
 //! Three variables are owned by lower layers and only *flow through* here
 //! so the precedence stays uniform: `LPA_ARITH_TIER` is read by
@@ -103,6 +106,24 @@ pub const ENV_DOCS: &[EnvDoc] = &[
         value: "T",
         help: "worker-thread budget (default all cores)",
     },
+    EnvDoc {
+        var: "LPA_RETRY",
+        flag: "--retry",
+        value: "N",
+        help: "transient store-I/O retry budget per operation (default 2)",
+    },
+    EnvDoc {
+        var: "LPA_CELL_DEADLINE_MS",
+        flag: "--cell-deadline-ms",
+        value: "MS",
+        help: "cooperative per-cell solve deadline in ms (0 = off, default)",
+    },
+    EnvDoc {
+        var: "LPA_FAULTS",
+        flag: "",
+        value: "SPEC",
+        help: "fault-injection spec, e.g. store.read.corrupt=prob:0.2 (read by lpa-faults; default disarmed)",
+    },
 ];
 
 /// Render [`ENV_DOCS`] as the aligned two-column table `reproduce --help`
@@ -111,7 +132,14 @@ pub const ENV_DOCS: &[EnvDoc] = &[
 pub fn env_docs_table() -> String {
     let rows: Vec<(String, String)> = ENV_DOCS
         .iter()
-        .map(|d| (format!("{} {}", d.flag, d.value), format!("[{}] {}", d.var, d.help)))
+        .map(|d| {
+            let left = if d.flag.is_empty() {
+                "(env-only)".to_string()
+            } else {
+                format!("{} {}", d.flag, d.value)
+            };
+            (left, format!("[{}] {}", d.var, d.help))
+        })
         .collect();
     let width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     rows.iter().map(|(l, r)| format!("  {l:<width$}  {r}\n")).collect()
@@ -136,6 +164,10 @@ pub struct HarnessEnv {
     pub arith_tier: Option<Dec16Tier>,
     /// `LPA_KERNEL_BATCH`, via [`lpa_arith::env_kernel_batch`]
     pub kernel_batch: Option<KernelBatch>,
+    /// `LPA_RETRY`
+    pub retry: Option<u32>,
+    /// `LPA_CELL_DEADLINE_MS`
+    pub cell_deadline_ms: Option<u64>,
 }
 
 impl HarnessEnv {
@@ -161,6 +193,8 @@ impl HarnessEnv {
             store_dir,
             arith_tier: None,
             kernel_batch: None,
+            retry: lookup("LPA_RETRY").and_then(|v| v.parse().ok()),
+            cell_deadline_ms: lookup("LPA_CELL_DEADLINE_MS").and_then(|v| v.parse().ok()),
         }
     }
 }
@@ -176,6 +210,8 @@ pub struct PlanOverrides {
     pub arith_tier: Option<Dec16Tier>,
     pub kernel_batch: Option<KernelBatch>,
     pub threads: Option<usize>,
+    pub retry: Option<u32>,
+    pub cell_deadline_ms: Option<u64>,
 }
 
 impl PlanOverrides {
@@ -192,6 +228,13 @@ impl PlanOverrides {
             // No env fallback here: when None, the rayon shim applies
             // RAYON_NUM_THREADS itself, keeping that read in one module.
             threads: self.threads,
+            retry: self.retry.or(env.retry),
+            // A zero deadline means "off", same as unset.
+            cell_deadline: self
+                .cell_deadline_ms
+                .or(env.cell_deadline_ms)
+                .filter(|&ms| ms > 0)
+                .map(std::time::Duration::from_millis),
         }
     }
 }
@@ -213,6 +256,10 @@ pub struct HarnessSettings {
     pub kernel_batch: Option<KernelBatch>,
     /// Worker-thread budget (`None` = `RAYON_NUM_THREADS`, else all cores).
     pub threads: Option<usize>,
+    /// Transient store-I/O retry budget (`None` = the store's default).
+    pub retry: Option<u32>,
+    /// Cooperative per-cell solve deadline (`None` = off).
+    pub cell_deadline: Option<std::time::Duration>,
 }
 
 impl HarnessSettings {
@@ -251,6 +298,28 @@ mod tests {
         assert_eq!(settings.store_dir, None);
         assert_eq!(settings.arith_tier, None);
         assert_eq!(settings.threads, None);
+        assert_eq!(settings.retry, None);
+        assert_eq!(settings.cell_deadline, None);
+    }
+
+    #[test]
+    fn retry_and_deadline_resolve_with_zero_meaning_off() {
+        let env = env_of(&[("LPA_RETRY", "5"), ("LPA_CELL_DEADLINE_MS", "250")]);
+        assert_eq!(env.retry, Some(5));
+        assert_eq!(env.cell_deadline_ms, Some(250));
+        let settings = PlanOverrides::default().resolve(&env);
+        assert_eq!(settings.retry, Some(5));
+        assert_eq!(settings.cell_deadline, Some(std::time::Duration::from_millis(250)));
+
+        // CLI outranks the environment; a zero deadline disables it.
+        let cli = PlanOverrides {
+            retry: Some(0),
+            cell_deadline_ms: Some(0),
+            ..Default::default()
+        };
+        let settings = cli.resolve(&env);
+        assert_eq!(settings.retry, Some(0), "retry 0 is a real budget (no retries)");
+        assert_eq!(settings.cell_deadline, None, "deadline 0 means off");
     }
 
     #[test]
@@ -324,8 +393,11 @@ mod tests {
             arith_tier: _,
             kernel_batch: _,
             threads: _,
+            retry: _,
+            cell_deadline_ms: _,
         } = PlanOverrides::default();
-        assert_eq!(ENV_DOCS.len(), 7, "one doc row per override field");
+        // 9 override fields + the env-only LPA_FAULTS row.
+        assert_eq!(ENV_DOCS.len(), 10, "one doc row per knob");
 
         let table = env_docs_table();
         for doc in ENV_DOCS {

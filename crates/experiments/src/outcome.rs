@@ -14,7 +14,14 @@ pub struct EigenErrors {
 }
 
 /// What happened when a matrix was run in a given format.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// The first three variants are *facts about the cell* — deterministic
+/// functions of (matrix, format, config) — and are what the store
+/// persists. [`Outcome::Crashed`] and [`Outcome::TimedOut`] are facts
+/// about *one particular run* (a panic the driver isolated, a wall-clock
+/// deadline) and are therefore **never persisted**: a warm rerun retries
+/// those cells from scratch.
+#[derive(Clone, Debug, PartialEq)]
 pub enum Outcome {
     /// The run converged; relative errors are reported.
     Errors(EigenErrors),
@@ -23,6 +30,15 @@ pub enum Outcome {
     /// The matrix entries exceeded the format's dynamic range — the paper's
     /// `∞σ`.
     RangeExceeded,
+    /// The cell panicked; the driver's `catch_unwind` isolated it and the
+    /// grid completed degraded.
+    Crashed {
+        /// The panic payload, when it was a string.
+        reason: String,
+    },
+    /// The cell's cooperative deadline (`ExperimentPlan::cell_deadline`)
+    /// passed before the solve finished.
+    TimedOut,
 }
 
 impl Outcome {
@@ -40,6 +56,74 @@ impl Outcome {
     pub fn is_range_exceeded(&self) -> bool {
         matches!(self, Outcome::RangeExceeded)
     }
+
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, Outcome::Crashed { .. })
+    }
+
+    pub fn is_timed_out(&self) -> bool {
+        matches!(self, Outcome::TimedOut)
+    }
+
+    pub fn crash_reason(&self) -> Option<&str> {
+        match self {
+            Outcome::Crashed { reason } => Some(reason),
+            _ => None,
+        }
+    }
+
+    /// True for the per-run failure variants that must never reach the
+    /// store (see the type-level docs).
+    pub fn is_ephemeral(&self) -> bool {
+        matches!(self, Outcome::Crashed { .. } | Outcome::TimedOut)
+    }
+}
+
+// Manual serde impls (the derive convention by hand): the vendored derive
+// macro cannot handle the struct-like `Crashed { reason }` variant.
+impl Serialize for Outcome {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Outcome::Errors(e) => {
+                serde::Value::Map(vec![("Errors".to_string(), e.to_value())])
+            }
+            Outcome::NotConverged => serde::Value::Str("NotConverged".to_string()),
+            Outcome::RangeExceeded => serde::Value::Str("RangeExceeded".to_string()),
+            Outcome::Crashed { reason } => serde::Value::Map(vec![(
+                "Crashed".to_string(),
+                serde::Value::Map(vec![(
+                    "reason".to_string(),
+                    serde::Value::Str(reason.clone()),
+                )]),
+            )]),
+            Outcome::TimedOut => serde::Value::Str("TimedOut".to_string()),
+        }
+    }
+}
+
+impl Deserialize for Outcome {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "NotConverged" => Ok(Outcome::NotConverged),
+                "RangeExceeded" => Ok(Outcome::RangeExceeded),
+                "TimedOut" => Ok(Outcome::TimedOut),
+                other => Err(serde::Error::msg(format!("unknown Outcome variant {other}"))),
+            };
+        }
+        let map = v.as_map().ok_or_else(|| serde::Error::msg("Outcome: expected string or map"))?;
+        match map.first().map(|(k, v)| (k.as_str(), v)) {
+            Some(("Errors", payload)) => Ok(Outcome::Errors(EigenErrors::from_value(payload)?)),
+            Some(("Crashed", payload)) => {
+                let reason = payload
+                    .get("reason")
+                    .and_then(|r| r.as_str())
+                    .ok_or_else(|| serde::Error::msg("Crashed: missing reason"))?;
+                Ok(Outcome::Crashed { reason: reason.to_string() })
+            }
+            _ => Err(serde::Error::msg("unknown Outcome variant")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -53,9 +137,30 @@ mod tests {
         assert!(Outcome::NotConverged.is_not_converged());
         assert!(Outcome::RangeExceeded.is_range_exceeded());
         assert!(Outcome::Errors(e).errors().unwrap().eigenvalue_rel < 1e-2);
+        let crashed = Outcome::Crashed { reason: "index out of bounds".to_string() };
+        assert!(crashed.is_crashed() && crashed.is_ephemeral());
+        assert_eq!(crashed.crash_reason(), Some("index out of bounds"));
+        assert!(Outcome::TimedOut.is_timed_out() && Outcome::TimedOut.is_ephemeral());
+        assert!(!Outcome::NotConverged.is_ephemeral());
         // serde round trip
         let json = serde_json::to_string(&Outcome::Errors(e)).unwrap();
         let back: Outcome = serde_json::from_str(&json).unwrap();
         assert_eq!(back, Outcome::Errors(e));
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_serde() {
+        let e = EigenErrors { eigenvalue_rel: 2e-5, eigenvector_rel: 3e-4 };
+        for outcome in [
+            Outcome::Errors(e),
+            Outcome::NotConverged,
+            Outcome::RangeExceeded,
+            Outcome::Crashed { reason: "solver exploded".to_string() },
+            Outcome::TimedOut,
+        ] {
+            let json = serde_json::to_string(&outcome).unwrap();
+            let back: Outcome = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, outcome, "{json}");
+        }
     }
 }

@@ -174,6 +174,12 @@ pub fn encode_outcome(outcome: &Outcome) -> Vec<u8> {
         }
         Outcome::NotConverged => e.put_u8(OUTCOME_NOT_CONVERGED),
         Outcome::RangeExceeded => e.put_u8(OUTCOME_RANGE_EXCEEDED),
+        // Per-run failures say nothing about the (matrix, format) cell;
+        // persisting one would poison warm runs with a stale crash. The
+        // driver filters them out before it ever reaches this encoder.
+        Outcome::Crashed { .. } | Outcome::TimedOut => {
+            unreachable!("crashed/timed-out outcomes are never persisted")
+        }
     }
     e.into_bytes()
 }
@@ -281,7 +287,7 @@ mod tests {
             Outcome::Errors(EigenErrors { eigenvalue_rel: 1e-9, eigenvector_rel: f64::INFINITY }),
         ] {
             let back = decode_outcome(&encode_outcome(&o)).unwrap();
-            match (o, back) {
+            match (o.clone(), back) {
                 (Outcome::Errors(a), Outcome::Errors(b)) => {
                     assert_eq!(a.eigenvalue_rel.to_bits(), b.eigenvalue_rel.to_bits());
                     assert_eq!(a.eigenvector_rel.to_bits(), b.eigenvector_rel.to_bits());

@@ -37,6 +37,11 @@ pub struct ExperimentConfig {
     pub max_restarts: usize,
     /// Seed of the Arnoldi starting vectors.
     pub seed: u64,
+    /// Opt-in wall-clock budget per solve; past it the cell yields
+    /// [`Outcome::TimedOut`]. Deliberately **not** part of the persistence
+    /// key (`persist::hash_config`): it changes which runs finish, never
+    /// what a finished run computes, and timed-out cells are never stored.
+    pub cell_deadline: Option<std::time::Duration>,
 }
 
 impl Default for ExperimentConfig {
@@ -48,6 +53,7 @@ impl Default for ExperimentConfig {
             reference_tol: 1e-20,
             max_restarts: 100,
             seed: 1,
+            cell_deadline: None,
         }
     }
 }
@@ -65,6 +71,8 @@ impl ExperimentConfig {
             max_dim: None,
             max_restarts: self.max_restarts,
             seed: self.seed,
+            // The budget clock starts when the solve does.
+            deadline: self.cell_deadline.map(|d| std::time::Instant::now() + d),
         }
     }
 }
@@ -86,6 +94,9 @@ pub fn compute_reference(
     matrix: &CsrMatrix<f64>,
     cfg: &ExperimentConfig,
 ) -> Result<Reference, lpa_arnoldi::ArnoldiError> {
+    // Fault point: an injectable panic at the top of the reference solve,
+    // for exercising the driver's per-cell crash isolation.
+    lpa_faults::inject_panic(lpa_faults::SOLVER_PANIC);
     let a: CsrMatrix<Dd> = matrix.convert();
     let (ps, _hist) = partial_schur(&a, &cfg.options(cfg.reference_tol))?;
     let (values, vectors) = sorted_pairs(&ps, cfg);
@@ -152,6 +163,9 @@ fn run_typed<T: lpa_arith::BatchReal>(
     format: FormatTag,
     cfg: &ExperimentConfig,
 ) -> Outcome {
+    // Fault point: an injectable panic at the top of the cell, for
+    // exercising the driver's per-cell crash isolation.
+    lpa_faults::inject_panic(lpa_faults::SOLVER_PANIC);
     // Step 1: conversion with dynamic-range check (the paper's ∞σ).
     let converted: CsrMatrix<T> = match convert_checked::<f64, T>(matrix) {
         Ok(m) => m,
@@ -170,6 +184,9 @@ fn run_typed<T: lpa_arith::BatchReal>(
     };
     let ps = match ps {
         Ok((ps, _hist)) => ps,
+        // Running out of wall clock is a fact about this run, not about
+        // the cell; the driver keeps it out of the store.
+        Err(lpa_arnoldi::ArnoldiError::DeadlineExceeded) => return Outcome::TimedOut,
         Err(_) => return Outcome::NotConverged,
     };
     let (values, vectors) = sorted_pairs(&ps, cfg);
@@ -328,7 +345,7 @@ mod tests {
                     assert!(e.eigenvalue_rel < 1.0, "{tag:?}: {}", e.eigenvalue_rel);
                 }
                 Outcome::NotConverged => {} // acceptable for low precision
-                Outcome::RangeExceeded => panic!("{tag:?} should not range-fail here"),
+                other => panic!("{tag:?}: unexpected outcome {other:?}"),
             }
         }
     }

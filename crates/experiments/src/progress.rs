@@ -19,7 +19,9 @@ use crate::session::{ProgressEvent, ProgressObserver};
 /// A [`ProgressObserver`] that streams incremental CSV rows.
 ///
 /// Columns: `event,index,matrix,format,from_store` with `event` one of
-/// `reference`, `skipped`, `outcome`.  The header is written on the first
+/// `reference`, `skipped`, `outcome`, `crashed` (the `crashed` row covers
+/// isolated panics and cell deadlines; its `format` column is empty for
+/// reference-stage failures).  The header is written on the first
 /// `GridStarted`; `GridFinished` flushes the sink, so a harness that is
 /// killed mid-run still leaves every completed row on disk.  Matrix names
 /// in this workspace never contain commas or quotes, so rows are emitted
@@ -72,6 +74,10 @@ impl<W: Write + Send> ProgressObserver for CsvProgress<W> {
             ProgressEvent::OutcomeComputed { index, matrix, format, from_store } => {
                 Some(format!("outcome,{index},{matrix},{},{from_store}", format.name()))
             }
+            ProgressEvent::CellFailed { index, matrix, format, .. } => {
+                let fmt = format.map(|f| f.name()).unwrap_or("");
+                Some(format!("crashed,{index},{matrix},{fmt},"))
+            }
             ProgressEvent::GridFinished { .. } => {
                 state.writer.flush().expect("flush csv progress");
                 None
@@ -103,6 +109,12 @@ mod tests {
                 format: FormatTag::Posit32,
                 from_store: true,
             },
+            ProgressEvent::CellFailed {
+                index: 0,
+                matrix: "a".into(),
+                format: Some(FormatTag::Posit16),
+                reason: "injected fault: solver.panic".into(),
+            },
             ProgressEvent::GridFinished { matrices: 1, skipped: 1, outcomes: 1 },
         ];
         for e in &events {
@@ -114,7 +126,8 @@ mod tests {
             "event,index,matrix,format,from_store\n\
              reference,0,a,,false\n\
              skipped,1,b,,\n\
-             outcome,0,a,posit32,true\n"
+             outcome,0,a,posit32,true\n\
+             crashed,0,a,posit16,\n"
         );
     }
 }

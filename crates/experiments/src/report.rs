@@ -6,6 +6,7 @@ use std::io::Write;
 
 use crate::driver::ExperimentResults;
 use crate::formats::FormatTag;
+use crate::outcome::Outcome;
 
 /// The cumulative error distribution of one format on one metric: the sorted
 /// relative errors plus the counts of the two failure modes.
@@ -18,6 +19,11 @@ pub struct CumulativeDistribution {
     pub not_converged: usize,
     /// Runs where the matrix exceeded the format's dynamic range (`∞σ`).
     pub range_exceeded: usize,
+    /// Runs that panicked and were isolated by the driver (per-run
+    /// accidents, never persisted; non-zero only on degraded grids).
+    pub crashed: usize,
+    /// Runs that hit the cooperative cell deadline.
+    pub timed_out: usize,
     /// Total number of runs.
     pub total: usize,
 }
@@ -50,23 +56,30 @@ pub fn cumulative_distribution(
     let mut errors = Vec::new();
     let mut not_converged = 0;
     let mut range_exceeded = 0;
+    let mut crashed = 0;
+    let mut timed_out = 0;
     for o in outcomes {
-        match o.errors() {
-            Some(e) => errors.push(match metric {
+        match o {
+            Outcome::Errors(e) => errors.push(match metric {
                 Metric::Eigenvalues => e.eigenvalue_rel,
                 Metric::Eigenvectors => e.eigenvector_rel,
             }),
-            None => {
-                if o.is_range_exceeded() {
-                    range_exceeded += 1;
-                } else {
-                    not_converged += 1;
-                }
-            }
+            Outcome::NotConverged => not_converged += 1,
+            Outcome::RangeExceeded => range_exceeded += 1,
+            Outcome::Crashed { .. } => crashed += 1,
+            Outcome::TimedOut => timed_out += 1,
         }
     }
     errors.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
-    CumulativeDistribution { format, sorted_errors: errors, not_converged, range_exceeded, total }
+    CumulativeDistribution {
+        format,
+        sorted_errors: errors,
+        not_converged,
+        range_exceeded,
+        crashed,
+        timed_out,
+        total,
+    }
 }
 
 impl CumulativeDistribution {
@@ -134,7 +147,16 @@ pub fn write_figure_csv<W: Write>(
                 log10_clamped(*e)
             )?;
         }
-        writeln!(w, "# {} not_converged={} range_exceeded={} total={}", f.name(), dist.not_converged, dist.range_exceeded, dist.total)?;
+        writeln!(
+            w,
+            "# {} not_converged={} range_exceeded={} crashed={} timed_out={} total={}",
+            f.name(),
+            dist.not_converged,
+            dist.range_exceeded,
+            dist.crashed,
+            dist.timed_out,
+            dist.total
+        )?;
     }
     Ok(())
 }
@@ -204,7 +226,7 @@ mod tests {
                 outcomes: vec![(FormatTag::Float64, Outcome::Errors(e64)), (FormatTag::Ofp8E4M3, o8)],
             });
         }
-        ExperimentResults { formats, matrices, skipped: vec![] }
+        ExperimentResults { formats, matrices, skipped: vec![], crashed: vec![] }
     }
 
     #[test]
@@ -237,6 +259,24 @@ mod tests {
         let table = format_summary_table(&r, &[FormatTag::Float64, FormatTag::Ofp8E4M3], Metric::Eigenvectors);
         assert!(table.contains("float64"));
         assert!(table.contains("inf_s"));
+    }
+
+    #[test]
+    fn ephemeral_outcomes_are_counted_separately() {
+        let mut r = fake_results();
+        // Degrade two cells of the OFP8 column in place.
+        r.matrices[0].outcomes[1] = (FormatTag::Ofp8E4M3, Outcome::Crashed { reason: "boom".into() });
+        r.matrices[1].outcomes[1] = (FormatTag::Ofp8E4M3, Outcome::TimedOut);
+        let d = cumulative_distribution(&r, FormatTag::Ofp8E4M3, Metric::Eigenvalues);
+        assert_eq!(d.crashed, 1);
+        assert_eq!(d.timed_out, 1);
+        assert_eq!(d.total, 10);
+        // Crashed/timed-out runs are failures, not converged results.
+        assert!(d.success_rate() < 0.51);
+        let mut buf = Vec::new();
+        write_figure_csv(&mut buf, &r, &[FormatTag::Ofp8E4M3], Metric::Eigenvalues).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("crashed=1 timed_out=1"));
     }
 
     #[test]

@@ -44,7 +44,9 @@
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -80,9 +82,29 @@ pub struct ExperimentResults {
     /// Matrices skipped because even the double-double reference failed to
     /// converge (mirrors the paper's preparation step discarding such cases).
     pub skipped: Vec<String>,
+    /// Matrices dropped because their reference solve crashed or timed out
+    /// this run. Unlike `skipped` this is a per-run accident, not a fact
+    /// about the matrix: nothing is persisted and a rerun retries them.
+    pub crashed: Vec<String>,
 }
 
 impl ExperimentResults {
+    /// Number of (matrix, format) cells whose outcome is a per-run failure
+    /// ([`Outcome::Crashed`] or [`Outcome::TimedOut`]).
+    pub fn crashed_cells(&self) -> usize {
+        self.matrices
+            .iter()
+            .flat_map(|m| m.outcomes.iter())
+            .filter(|(_, o)| o.is_ephemeral())
+            .count()
+    }
+
+    /// True when this run completed with isolated failures: results are
+    /// usable but incomplete, and a rerun will retry the failed cells.
+    pub fn is_degraded(&self) -> bool {
+        !self.crashed.is_empty() || self.crashed_cells() > 0
+    }
+
     /// All outcomes of one format across the corpus.
     ///
     /// The session stores each matrix's outcomes in the experiment's format
@@ -96,8 +118,8 @@ impl ExperimentResults {
         self.matrices
             .iter()
             .filter_map(|m| match m.outcomes.get(idx) {
-                Some(&(f, o)) if f == format => Some(o),
-                _ => m.outcomes.iter().find(|(f, _)| *f == format).map(|&(_, o)| o),
+                Some((f, o)) if *f == format => Some(o.clone()),
+                _ => m.outcomes.iter().find(|(f, _)| *f == format).map(|(_, o)| o.clone()),
             })
             .collect()
     }
@@ -121,6 +143,12 @@ pub enum ProgressEvent {
     /// The outcome of (matrix `index`, `format`) is available; `from_store`
     /// distinguishes a store hit from a fresh solve.
     OutcomeComputed { index: usize, matrix: String, format: FormatTag, from_store: bool },
+    /// A cell crashed or timed out and was isolated: the grid continues
+    /// degraded. `format: None` means the matrix's *reference* solve failed
+    /// (every cell of that matrix is lost this run); `Some(f)` is a single
+    /// (matrix, format) cell. Emitted *instead of* the corresponding
+    /// `ReferenceComputed`/`MatrixSkipped`/`OutcomeComputed` event.
+    CellFailed { index: usize, matrix: String, format: Option<FormatTag>, reason: String },
     /// The whole grid finished and results are assembled.
     GridFinished { matrices: usize, skipped: usize, outcomes: usize },
 }
@@ -185,6 +213,19 @@ impl ProgressObserver for StderrProgress {
             ProgressEvent::OutcomeComputed { from_store: true, .. } => {
                 self.outcome_hits.fetch_add(1, Relaxed);
             }
+            ProgressEvent::CellFailed { matrix, format, reason, .. } => match format {
+                Some(f) => {
+                    eprintln!("[{}] cell FAILED {matrix} {f:?}: {reason}", self.label);
+                }
+                None => {
+                    let seen = self.seen.fetch_add(1, Relaxed) + 1;
+                    let total = self.total.load(Relaxed);
+                    eprintln!(
+                        "[{}] reference {seen}/{total} {matrix} FAILED: {reason}",
+                        self.label
+                    );
+                }
+            },
             ProgressEvent::GridFinished { matrices, skipped, outcomes } => {
                 eprintln!(
                     "[{}] grid finished: {matrices} matrices, {skipped} skipped, {outcomes} outcomes ({} from store)",
@@ -213,6 +254,8 @@ pub struct ExperimentPlan<'a> {
     arith_tier: Option<Dec16Tier>,
     kernel_batch: Option<KernelBatch>,
     threads: Option<usize>,
+    retry: Option<u32>,
+    cell_deadline: Option<Duration>,
     observer: Option<&'a dyn ProgressObserver>,
 }
 
@@ -227,6 +270,8 @@ impl<'a> ExperimentPlan<'a> {
             arith_tier: None,
             kernel_batch: None,
             threads: None,
+            retry: None,
+            cell_deadline: None,
             observer: None,
         }
     }
@@ -283,6 +328,24 @@ impl<'a> ExperimentPlan<'a> {
         self
     }
 
+    /// Retry budget for transient store I/O failures (reads and writes
+    /// retried with exponential backoff; default: the store's own default
+    /// of 2). Only meaningful when a store is attached; restored to the
+    /// store's previous budget when the run ends.
+    pub fn retry(mut self, retries: u32) -> Self {
+        self.retry = Some(retries);
+        self
+    }
+
+    /// Opt-in wall-clock budget per solve (default: off). A cell past its
+    /// deadline yields [`Outcome::TimedOut`] — reported, **never
+    /// persisted** — at Arnoldi-expansion-step granularity, so the grid
+    /// survives pathological cells without losing cache validity.
+    pub fn cell_deadline(mut self, deadline: Duration) -> Self {
+        self.cell_deadline = Some(deadline);
+        self
+    }
+
     /// Stream [`ProgressEvent`]s of the run to `observer`.
     pub fn observer(mut self, observer: &'a dyn ProgressObserver) -> Self {
         self.observer = Some(observer);
@@ -303,6 +366,12 @@ impl<'a> ExperimentPlan<'a> {
         }
         if let Some(threads) = settings.threads {
             self = self.threads(threads);
+        }
+        if let Some(retries) = settings.retry {
+            self = self.retry(retries);
+        }
+        if let Some(deadline) = settings.cell_deadline {
+            self = self.cell_deadline(deadline);
         }
         self
     }
@@ -352,6 +421,13 @@ impl Session<'_> {
     pub fn run(&self) -> ExperimentResults {
         let _tier = self.plan.arith_tier.map(TierGuard::force);
         let _engine = self.plan.kernel_batch.map(BatchGuard::force);
+        // Scope the I/O retry budget to this run (same restore-guard
+        // pattern as the tier/engine knobs — the budget lives on the
+        // shared store handle).
+        let _retry = match (self.plan.retry, self.plan.store) {
+            (Some(retries), Some(store)) => Some(RetryGuard::set(store, retries)),
+            _ => None,
+        };
         match self.plan.threads {
             Some(n) => rayon::with_num_threads(n, || self.run_grid()),
             None => self.run_grid(),
@@ -361,7 +437,11 @@ impl Session<'_> {
     fn run_grid(&self) -> ExperimentResults {
         let corpus = self.plan.corpus;
         let formats = self.formats();
-        let cfg = self.config();
+        // The plan-level deadline overrides the config's own (both are
+        // run-scoped knobs; neither enters the persistence key).
+        let mut cfg = self.config().clone();
+        cfg.cell_deadline = self.plan.cell_deadline.or(cfg.cell_deadline);
+        let cfg = &cfg;
         let store = self.plan.store;
         let observer = self.plan.observer;
 
@@ -373,7 +453,7 @@ impl Session<'_> {
         // Stage 1: one reference per matrix, fanned out over the corpus.
         let slots: Vec<usize> = (0..corpus.len()).collect();
         let sequencer = Sequencer::new(observer);
-        let references: Vec<Option<Reference>> = slots
+        let references: Vec<Result<Option<Reference>, CellError>> = slots
             .par_iter()
             .map(|&i| {
                 let tm = &corpus[i];
@@ -381,12 +461,20 @@ impl Session<'_> {
                 sequencer.submit(i, |events| {
                     events.push(ProgressEvent::ReferenceStarted { index: i, matrix: tm.name.clone() });
                     events.push(match &reference {
-                        Some(_) => ProgressEvent::ReferenceComputed {
+                        Ok(Some(_)) => ProgressEvent::ReferenceComputed {
                             index: i,
                             matrix: tm.name.clone(),
                             from_store,
                         },
-                        None => ProgressEvent::MatrixSkipped { index: i, matrix: tm.name.clone() },
+                        Ok(None) => {
+                            ProgressEvent::MatrixSkipped { index: i, matrix: tm.name.clone() }
+                        }
+                        Err(e) => ProgressEvent::CellFailed {
+                            index: i,
+                            matrix: tm.name.clone(),
+                            format: None,
+                            reason: e.describe(),
+                        },
                     });
                 });
                 reference
@@ -399,7 +487,7 @@ impl Session<'_> {
         let jobs: Vec<(usize, FormatTag)> = corpus
             .iter()
             .enumerate()
-            .filter(|(i, _)| references[*i].is_some())
+            .filter(|(i, _)| matches!(references[*i], Ok(Some(_))))
             .flat_map(|(i, _)| formats.iter().map(move |&f| (i, f)))
             .collect();
         let slots: Vec<usize> = (0..jobs.len()).collect();
@@ -408,16 +496,32 @@ impl Session<'_> {
             .par_iter()
             .map(|&slot| {
                 let (i, f) = jobs[slot];
-                let reference =
-                    references[i].as_ref().expect("only solved matrices are in the grid");
+                let reference = match &references[i] {
+                    Ok(Some(r)) => r,
+                    _ => unreachable!("only solved matrices are in the grid"),
+                };
                 let (outcome, from_store) =
                     resolve_outcome(&corpus[i], reference, f, cfg, store);
                 sequencer.submit(slot, |events| {
-                    events.push(ProgressEvent::OutcomeComputed {
-                        index: i,
-                        matrix: corpus[i].name.clone(),
-                        format: f,
-                        from_store,
+                    events.push(match &outcome {
+                        Outcome::Crashed { reason } => ProgressEvent::CellFailed {
+                            index: i,
+                            matrix: corpus[i].name.clone(),
+                            format: Some(f),
+                            reason: reason.clone(),
+                        },
+                        Outcome::TimedOut => ProgressEvent::CellFailed {
+                            index: i,
+                            matrix: corpus[i].name.clone(),
+                            format: Some(f),
+                            reason: "cell deadline exceeded".to_string(),
+                        },
+                        _ => ProgressEvent::OutcomeComputed {
+                            index: i,
+                            matrix: corpus[i].name.clone(),
+                            format: f,
+                            from_store,
+                        },
                     });
                 });
                 outcome
@@ -428,11 +532,19 @@ impl Session<'_> {
         // the outcomes of each kept matrix form one contiguous chunk.
         let mut matrices = Vec::new();
         let mut skipped = Vec::new();
+        let mut crashed = Vec::new();
         let mut chunks = outcomes.chunks_exact(formats.len().max(1));
         for (tm, reference) in corpus.iter().zip(&references) {
-            if reference.is_none() {
-                skipped.push(tm.name.clone());
-                continue;
+            match reference {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    skipped.push(tm.name.clone());
+                    continue;
+                }
+                Err(_) => {
+                    crashed.push(tm.name.clone());
+                    continue;
+                }
             }
             let chunk = if formats.is_empty() {
                 &[][..]
@@ -444,7 +556,7 @@ impl Session<'_> {
                 category: tm.category.clone(),
                 n: tm.n(),
                 nnz: tm.nnz(),
-                outcomes: formats.iter().copied().zip(chunk.iter().copied()).collect(),
+                outcomes: formats.iter().copied().zip(chunk.iter().cloned()).collect(),
             });
         }
         emit(
@@ -455,47 +567,109 @@ impl Session<'_> {
                 outcomes: outcomes.len(),
             },
         );
-        ExperimentResults { formats: formats.to_vec(), matrices, skipped }
+        ExperimentResults { formats: formats.to_vec(), matrices, skipped, crashed }
+    }
+}
+
+/// A per-run cell failure the driver isolated: says nothing about the
+/// (matrix, format) cell itself, so it must never reach the store.
+enum CellError {
+    Crashed(String),
+    TimedOut,
+}
+
+impl CellError {
+    fn describe(&self) -> String {
+        match self {
+            CellError::Crashed(reason) => reason.clone(),
+            CellError::TimedOut => "cell deadline exceeded".to_string(),
+        }
+    }
+
+    fn into_outcome(self) -> Outcome {
+        match self {
+            CellError::Crashed(reason) => Outcome::Crashed { reason },
+            CellError::TimedOut => Outcome::TimedOut,
+        }
+    }
+}
+
+/// Run one cell's compute under `catch_unwind`, turning a panic into an
+/// `Err` with the stringified payload. The driver's state is all per-cell
+/// (no shared mutable structures survive a cell), so resuming after an
+/// unwound cell is sound — that is the whole isolation story.
+fn catch_cell<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string())),
     }
 }
 
 /// Resolve one matrix's reference: store lookup (with in-place healing of
-/// undecodable artifacts) or a fresh double-double solve. Returns the
-/// reference (`None` = failed/skip) and whether it was served from the
-/// store.
+/// undecodable artifacts) or a fresh double-double solve. `Ok(None)` is a
+/// persisted fact ("the reference does not converge", the paper's skip);
+/// `Err` is a per-run crash/timeout, never persisted. The bool says the
+/// result was served from the store.
 fn resolve_reference(
     tm: &TestMatrix,
     cfg: &ExperimentConfig,
     store: Option<&Store>,
-) -> (Option<Reference>, bool) {
+) -> (Result<Option<Reference>, CellError>, bool) {
+    // One isolated solve. Distinguishes the three worlds: a solver verdict
+    // (persistable), a deadline (per-run), a panic (per-run).
+    let solve = || -> Result<Option<Reference>, CellError> {
+        match catch_cell(|| compute_reference(&tm.matrix, cfg)) {
+            Ok(Ok(r)) => Ok(Some(r)),
+            Ok(Err(lpa_arnoldi::ArnoldiError::DeadlineExceeded)) => Err(CellError::TimedOut),
+            Ok(Err(_)) => Ok(None),
+            Err(reason) => Err(CellError::Crashed(reason)),
+        }
+    };
     let Some(s) = store else {
-        return (compute_reference(&tm.matrix, cfg).ok(), false);
+        return (solve(), false);
     };
     let computed = Cell::new(false);
     let key = persist::reference_key(&tm.matrix, cfg);
-    let bytes = s
-        .get_or_compute(ArtifactKind::Reference, key, || {
+    let bytes = match s
+        .get_or_try_compute(ArtifactKind::Reference, key, || {
             computed.set(true);
-            persist::encode_reference(&compute_reference(&tm.matrix, cfg).ok())
+            // A crashed/timed-out solve propagates as Err: the store
+            // persists nothing and the key stays retryable.
+            solve().map(|r| persist::encode_reference(&r))
         })
-        .expect("store I/O failed while persisting a reference");
+        .expect("store I/O failed while persisting a reference")
+    {
+        Ok(bytes) => bytes,
+        Err(cell_error) => return (Err(cell_error), false),
+    };
     let reference = match persist::decode_reference(&bytes) {
-        Ok(r) => r,
+        Ok(r) => Ok(r),
         // Checksum-valid but undecodable: payload schema drift without a
         // salt bump. Recompute and heal in place rather than poisoning
         // every future run.
         Err(_) => {
             computed.set(true);
-            let r = compute_reference(&tm.matrix, cfg).ok();
-            s.put(ArtifactKind::Reference, key, persist::encode_reference(&r))
-                .expect("store I/O failed while healing a reference");
-            r
+            match solve() {
+                Ok(r) => {
+                    s.put(ArtifactKind::Reference, key, persist::encode_reference(&r))
+                        .expect("store I/O failed while healing a reference");
+                    Ok(r)
+                }
+                Err(cell_error) => Err(cell_error),
+            }
         }
     };
-    (reference, !computed.get())
+    let from_store = !computed.get();
+    (reference, from_store)
 }
 
-/// Resolve one (matrix, format) outcome, mirroring [`resolve_reference`].
+/// Resolve one (matrix, format) outcome, mirroring [`resolve_reference`]:
+/// crashed/timed-out cells come back as `Outcome::Crashed`/`TimedOut` and
+/// are never persisted.
 fn resolve_outcome(
     tm: &TestMatrix,
     reference: &Reference,
@@ -503,27 +677,45 @@ fn resolve_outcome(
     cfg: &ExperimentConfig,
     store: Option<&Store>,
 ) -> (Outcome, bool) {
+    // `Ok` outcomes are cell facts (persistable); `Err` is this run's
+    // accident. `run_format` maps a deadline to `Outcome::TimedOut`
+    // internally, so it is re-routed to the Err side here.
+    let solve = || -> Result<Outcome, CellError> {
+        match catch_cell(|| run_format(&tm.matrix, reference, format, cfg).outcome) {
+            Ok(Outcome::TimedOut) => Err(CellError::TimedOut),
+            Ok(outcome) => Ok(outcome),
+            Err(reason) => Err(CellError::Crashed(reason)),
+        }
+    };
     let Some(s) = store else {
-        return (run_format(&tm.matrix, reference, format, cfg).outcome, false);
+        return (solve().unwrap_or_else(CellError::into_outcome), false);
     };
     let computed = Cell::new(false);
     let key = persist::outcome_key(&tm.matrix, format, cfg);
-    let bytes = s
-        .get_or_compute(ArtifactKind::Outcome, key, || {
+    let bytes = match s
+        .get_or_try_compute(ArtifactKind::Outcome, key, || {
             computed.set(true);
-            persist::encode_outcome(&run_format(&tm.matrix, reference, format, cfg).outcome)
+            solve().map(|o| persist::encode_outcome(&o))
         })
-        .expect("store I/O failed while persisting an outcome");
+        .expect("store I/O failed while persisting an outcome")
+    {
+        Ok(bytes) => bytes,
+        Err(cell_error) => return (cell_error.into_outcome(), false),
+    };
     let outcome = match persist::decode_outcome(&bytes) {
         Ok(o) => o,
         // Same healing path as references: recompute and overwrite the
         // undecodable artifact.
         Err(_) => {
             computed.set(true);
-            let o = run_format(&tm.matrix, reference, format, cfg).outcome;
-            s.put(ArtifactKind::Outcome, key, persist::encode_outcome(&o))
-                .expect("store I/O failed while healing an outcome");
-            o
+            match solve() {
+                Ok(o) => {
+                    s.put(ArtifactKind::Outcome, key, persist::encode_outcome(&o))
+                        .expect("store I/O failed while healing an outcome");
+                    o
+                }
+                Err(cell_error) => return (cell_error.into_outcome(), false),
+            }
         }
     };
     (outcome, !computed.get())
@@ -551,6 +743,27 @@ impl TierGuard {
 impl Drop for TierGuard {
     fn drop(&mut self) {
         force_dec16_tier(self.0);
+    }
+}
+
+/// Sets a store's I/O retry budget for a scope and restores the previous
+/// budget on drop (the tier/engine restore-guard pattern).
+struct RetryGuard<'a> {
+    store: &'a Store,
+    previous: u32,
+}
+
+impl<'a> RetryGuard<'a> {
+    fn set(store: &'a Store, retries: u32) -> RetryGuard<'a> {
+        let previous = store.io_retries();
+        store.set_io_retries(retries);
+        RetryGuard { store, previous }
+    }
+}
+
+impl Drop for RetryGuard<'_> {
+    fn drop(&mut self) {
+        self.store.set_io_retries(self.previous);
     }
 }
 

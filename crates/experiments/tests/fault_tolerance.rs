@@ -1,0 +1,197 @@
+//! End-to-end fault tolerance at the session level: an injected solver
+//! panic is isolated to its cell (every other cell's serialized outcome is
+//! byte-identical to a fault-free run), timed-out and crashed cells are
+//! never persisted, and transient store I/O faults are retried away.
+//!
+//! The fault registry is process-global; every test here holds a
+//! [`FaultScope`] for its entire body (an `off` trigger makes a section
+//! effectively fault-free while still serializing against the other
+//! tests), so no test observes another's armed spec.
+
+use std::time::Duration;
+
+use lpa_experiments::persist::encode_outcome;
+use lpa_experiments::{ExperimentConfig, ExperimentPlan, FormatTag};
+use lpa_faults::FaultScope;
+use lpa_store::{ArtifactKind, Store};
+
+fn tiny_corpus(categories: &[&str]) -> Vec<lpa_datagen::TestMatrix> {
+    lpa_datagen::general_corpus(&lpa_datagen::CorpusConfig {
+        scale: 1,
+        size_range: (30, 40),
+        ..lpa_datagen::CorpusConfig::tiny()
+    })
+    .into_iter()
+    .filter(|t| categories.contains(&t.category.as_str()))
+    .collect()
+}
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig {
+        eigenvalue_count: 4,
+        eigenvalue_buffer_count: 2,
+        max_restarts: 60,
+        ..Default::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lpa-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A `solver.panic=once` fault crashes exactly one cell; the grid completes
+/// degraded, the crash is never persisted, and a clean rerun through the
+/// same store heals it — every surviving cell byte-identical to a fault-free
+/// run throughout.
+#[test]
+fn solver_panic_is_isolated_to_one_cell() {
+    let corpus = tiny_corpus(&["lap1d", "diagdom"]);
+    assert!(corpus.len() >= 2, "need at least two matrices to prove isolation");
+    let formats = [FormatTag::Float64, FormatTag::Takum16];
+    let cfg = tiny_config();
+
+    // Fault-free baseline (scope held with an `off` trigger: serialized
+    // against the other tests, fires nothing).
+    let baseline = {
+        let _quiet = FaultScope::arm("solver.panic=off");
+        ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).threads(1).run()
+    };
+    assert!(!baseline.is_degraded());
+
+    // Armed run: with one worker thread, the first solve in the grid — the
+    // reference of matrix 0 — takes the `once` panic.
+    let dir = scratch_dir("panic");
+    let store = Store::open(&dir).unwrap();
+    let degraded = {
+        let _armed = FaultScope::arm("solver.panic=once");
+        ExperimentPlan::over(&corpus)
+            .formats(&formats)
+            .config(cfg.clone())
+            .threads(1)
+            .store(&store)
+            .run()
+    };
+    assert!(degraded.is_degraded());
+    assert_eq!(degraded.crashed, vec![corpus[0].name.clone()], "exactly the first reference");
+    assert_eq!(degraded.matrices.len() + degraded.skipped.len() + 1, corpus.len());
+
+    // Every surviving cell's *serialized* outcome is byte-identical to the
+    // fault-free run's.
+    for survivor in &degraded.matrices {
+        let in_baseline = baseline
+            .matrices
+            .iter()
+            .find(|m| m.name == survivor.name)
+            .expect("survivor present in baseline");
+        for ((fa, oa), (fb, ob)) in survivor.outcomes.iter().zip(&in_baseline.outcomes) {
+            assert_eq!(fa, fb);
+            assert_eq!(
+                encode_outcome(oa),
+                encode_outcome(ob),
+                "{}/{:?} diverged under an unrelated fault",
+                survivor.name,
+                fa
+            );
+        }
+    }
+
+    // The crashed cell persisted nothing: the store holds artifacts only
+    // for the surviving matrices.
+    let refs = store.stats().snapshot(ArtifactKind::Reference);
+    assert_eq!(refs.misses as usize, degraded.matrices.len() + degraded.skipped.len());
+
+    // A clean rerun through the same store heals the crashed cell and is
+    // byte-identical to the baseline.
+    let healed = {
+        let _quiet = FaultScope::arm("solver.panic=off");
+        let warm = Store::open(&dir).unwrap();
+        ExperimentPlan::over(&corpus)
+            .formats(&formats)
+            .config(cfg.clone())
+            .threads(1)
+            .store(&warm)
+            .run()
+    };
+    assert!(!healed.is_degraded());
+    assert_eq!(
+        serde_json::to_string(&baseline).unwrap(),
+        serde_json::to_string(&healed).unwrap()
+    );
+    let report = lpa_store::admin::verify(&dir).unwrap();
+    assert!(report.corrupt.is_empty(), "{:?}", report.corrupt);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A cell deadline of effectively zero times out every reference solve;
+/// nothing is persisted (TimedOut is ephemeral), and dropping the deadline
+/// recovers the full grid.
+#[test]
+fn timed_out_cells_are_never_persisted() {
+    let _quiet = FaultScope::arm("solver.panic=off");
+    let corpus = tiny_corpus(&["lap1d"]);
+    assert!(!corpus.is_empty());
+    let formats = [FormatTag::Float64];
+    let cfg = tiny_config();
+
+    let dir = scratch_dir("deadline");
+    let store = Store::open(&dir).unwrap();
+    let timed_out = ExperimentPlan::over(&corpus)
+        .formats(&formats)
+        .config(cfg.clone())
+        .cell_deadline(Duration::from_nanos(1))
+        .store(&store)
+        .run();
+    assert!(timed_out.is_degraded());
+    assert_eq!(timed_out.crashed.len(), corpus.len(), "every reference hit the deadline");
+    assert!(timed_out.matrices.is_empty());
+    let refs = store.stats().snapshot(ArtifactKind::Reference);
+    let outs = store.stats().snapshot(ArtifactKind::Outcome);
+    assert_eq!(refs.misses + outs.misses, 0, "timed-out cells must not persist");
+
+    // Without the deadline, the same plan and store produce the full grid,
+    // identical to a store-free baseline.
+    let baseline = ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).run();
+    let recovered =
+        ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).store(&store).run();
+    assert_eq!(
+        serde_json::to_string(&baseline).unwrap(),
+        serde_json::to_string(&recovered).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A transient I/O fault on the store is retried away inside the store
+/// layer: the run completes with the exact baseline results and the retry
+/// budget from `ExperimentPlan::retry` is restored afterwards.
+#[test]
+fn transient_store_faults_are_retried_away() {
+    let corpus = tiny_corpus(&["lap1d"]);
+    let formats = [FormatTag::Float64];
+    let cfg = tiny_config();
+    let baseline = {
+        let _quiet = FaultScope::arm("store.io.transient=off");
+        ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).run()
+    };
+
+    let dir = scratch_dir("transient");
+    let store = Store::open(&dir).unwrap();
+    let default_budget = store.io_retries();
+    let results = {
+        let _armed = FaultScope::arm("store.io.transient=once");
+        ExperimentPlan::over(&corpus)
+            .formats(&formats)
+            .config(cfg.clone())
+            .retry(4)
+            .store(&store)
+            .run()
+    };
+    assert!(!results.is_degraded(), "a retried transient fault must not degrade the grid");
+    assert_eq!(
+        serde_json::to_string(&baseline).unwrap(),
+        serde_json::to_string(&results).unwrap()
+    );
+    assert_eq!(store.io_retries(), default_budget, "RetryGuard restores the budget");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,15 +1,20 @@
 //! Store administration CLI.
 //!
 //! ```text
-//! lpa-store stats  <dir>                 per-kind artifact counts and bytes
-//! lpa-store verify <dir>                 re-hash and check every artifact
+//! lpa-store stats  <dir>                 per-kind artifact counts, bytes, quarantine
+//! lpa-store verify <dir> [--repair]      re-hash and check every artifact
 //! lpa-store gc     <dir> [--max-bytes N] [--max-age-secs S]
 //! ```
 //!
 //! `gc` needs at least one limit; when both are given, artifacts older
 //! than `--max-age-secs` are deleted first, then the oldest survivors
-//! until the store fits `--max-bytes`. `verify` exits non-zero if any
-//! artifact fails validation, so CI can use it as an assertion.
+//! until the store fits `--max-bytes`.
+//!
+//! Exit codes: 0 clean, 1 corruption found (or the operation failed),
+//! 2 usage error — so CI can use `verify` as an assertion and scripts
+//! can tell "store is damaged" from "I called it wrong".
+//! `verify --repair` additionally moves every corrupt file into
+//! `<dir>/quarantine/` and prints a greppable `repair:` summary.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -19,7 +24,7 @@ use lpa_store::admin;
 use lpa_store::ArtifactKind;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: lpa-store <stats|verify|gc> <dir> [--max-bytes N] [--max-age-secs S]");
+    eprintln!("usage: lpa-store <stats|verify|gc> <dir> [--repair] [--max-bytes N] [--max-age-secs S]");
     ExitCode::from(2)
 }
 
@@ -31,11 +36,18 @@ fn main() -> ExitCode {
     let root = Path::new(dir);
     if !root.is_dir() {
         eprintln!("lpa-store: {dir} is not a directory");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     }
     match command.as_str() {
         "stats" => stats(root),
-        "verify" => verify(root),
+        "verify" => match args.get(3).map(String::as_str) {
+            None => verify(root),
+            Some("--repair") if args.len() == 4 => repair(root),
+            Some(other) => {
+                eprintln!("lpa-store verify: unknown flag {other}");
+                ExitCode::from(2)
+            }
+        },
         "gc" => {
             let mut policy = admin::GcPolicy::default();
             let mut i = 3;
@@ -94,6 +106,8 @@ fn stats(root: &Path) -> ExitCode {
             if report.invalid > 0 {
                 println!("  invalid    {:>8} files (run `lpa-store verify` for details)", report.invalid);
             }
+            let (q_count, q_bytes) = report.quarantine;
+            println!("  {:<10} {:>8} files      {:>12} bytes", "quarantine", q_count, q_bytes);
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -103,18 +117,31 @@ fn stats(root: &Path) -> ExitCode {
     }
 }
 
+/// `(reference=A outcome=B unknown=C)` from a per-kind corrupt count array.
+fn per_kind_summary(counts: &[usize; ArtifactKind::COUNT + 1]) -> String {
+    let mut parts: Vec<String> =
+        ArtifactKind::ALL.iter().map(|k| format!("{}={}", k.name(), counts[*k as usize])).collect();
+    parts.push(format!("unknown={}", counts[ArtifactKind::COUNT]));
+    parts.join(" ")
+}
+
+fn print_verify(report: &admin::VerifyReport) {
+    println!(
+        "verified {} artifacts ({} bytes): {} corrupt ({})",
+        report.ok,
+        report.bytes,
+        report.corrupt.len(),
+        per_kind_summary(&report.corrupt_per_kind),
+    );
+    for (path, reason) in &report.corrupt {
+        eprintln!("  CORRUPT {}: {reason}", path.display());
+    }
+}
+
 fn verify(root: &Path) -> ExitCode {
     match admin::verify(root) {
         Ok(report) => {
-            println!(
-                "verified {} artifacts ({} bytes): {} corrupt",
-                report.ok,
-                report.bytes,
-                report.corrupt.len()
-            );
-            for (path, reason) in &report.corrupt {
-                eprintln!("  CORRUPT {}: {reason}", path.display());
-            }
+            print_verify(&report);
             if report.corrupt.is_empty() {
                 ExitCode::SUCCESS
             } else {
@@ -123,6 +150,28 @@ fn verify(root: &Path) -> ExitCode {
         }
         Err(e) => {
             eprintln!("lpa-store verify: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn repair(root: &Path) -> ExitCode {
+    match admin::repair(root) {
+        Ok(report) => {
+            print_verify(&report.verify);
+            println!(
+                "repair: quarantined {} corrupt files ({})",
+                report.quarantined,
+                per_kind_summary(&report.verify.corrupt_per_kind),
+            );
+            if report.verify.corrupt.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lpa-store verify --repair: {e}");
             ExitCode::FAILURE
         }
     }

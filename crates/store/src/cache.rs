@@ -37,7 +37,10 @@ impl ShardedCache {
     /// byte keeps disk layout and lock contention decorrelated.
     pub(crate) fn slot(&self, key: Key) -> Slot {
         let shard = &self.shards[key.0[8] as usize % SHARD_COUNT];
-        let mut map = shard.lock().expect("cache shard mutex poisoned");
+        // Survive poison: the map holds only complete entries (insertion is
+        // a single `entry().or_default()`), so a panic elsewhere in the
+        // process never leaves it in a broken state worth propagating.
+        let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
         map.entry(key).or_default().clone()
     }
 
@@ -46,7 +49,7 @@ impl ShardedCache {
     /// payload memory is freed when the last of them drops it.
     pub(crate) fn remove(&self, key: Key) {
         let shard = &self.shards[key.0[8] as usize % SHARD_COUNT];
-        let mut map = shard.lock().expect("cache shard mutex poisoned");
+        let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
         map.remove(&key);
     }
 }

@@ -35,4 +35,4 @@ pub mod store;
 pub use codec::{CodecError, Decoder, Encoder, CODEC_VERSION};
 pub use hash::{hash128, Hasher128, Key};
 pub use stats::{CountersSnapshot, StoreStats};
-pub use store::{Artifact, ArtifactKind, Store};
+pub use store::{Artifact, ArtifactKind, Store, StoreError, QUARANTINE_DIR};

@@ -18,6 +18,10 @@ pub struct KindCounters {
     misses: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    /// On-disk artifacts of this kind rejected at decode time.
+    corrupt: AtomicU64,
+    /// Rejected artifacts successfully moved to `quarantine/`.
+    quarantined: AtomicU64,
 }
 
 impl KindCounters {
@@ -41,7 +45,8 @@ impl KindCounters {
 pub struct StoreStats {
     kinds: [KindCounters; ArtifactKind::COUNT],
     /// Artifacts found on disk but rejected (bad magic/version/checksum);
-    /// each is treated as a miss and rewritten.
+    /// each is treated as a miss and rewritten. Sum over the per-kind
+    /// `corrupt` counters, kept as its own tally for cheap health checks.
     corrupt: AtomicU64,
 }
 
@@ -50,8 +55,13 @@ impl StoreStats {
         &self.kinds[kind as usize]
     }
 
-    pub(crate) fn record_corrupt(&self) {
+    pub(crate) fn record_corrupt(&self, kind: ArtifactKind) {
         self.corrupt.fetch_add(1, Ordering::Relaxed);
+        self.kind(kind).corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_quarantined(&self, kind: ArtifactKind) {
+        self.kind(kind).quarantined.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Point-in-time copy of one kind's counters.
@@ -63,6 +73,8 @@ impl StoreStats {
             misses: k.misses.load(Ordering::Relaxed),
             bytes_read: k.bytes_read.load(Ordering::Relaxed),
             bytes_written: k.bytes_written.load(Ordering::Relaxed),
+            corrupt: k.corrupt.load(Ordering::Relaxed),
+            quarantined: k.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -79,6 +91,8 @@ pub struct CountersSnapshot {
     pub misses: u64,
     pub bytes_read: u64,
     pub bytes_written: u64,
+    pub corrupt: u64,
+    pub quarantined: u64,
 }
 
 impl CountersSnapshot {
@@ -95,6 +109,8 @@ impl CountersSnapshot {
             misses: self.misses - earlier.misses,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            corrupt: self.corrupt - earlier.corrupt,
+            quarantined: self.quarantined - earlier.quarantined,
         }
     }
 }
@@ -119,5 +135,12 @@ mod tests {
         let delta = later.since(&r);
         assert_eq!((delta.hits_disk, delta.misses, delta.bytes_read), (1, 0, 7));
         assert_eq!(stats.corrupt(), 0);
+
+        stats.record_corrupt(ArtifactKind::Outcome);
+        stats.record_quarantined(ArtifactKind::Outcome);
+        assert_eq!(stats.corrupt(), 1);
+        let o2 = stats.snapshot(ArtifactKind::Outcome);
+        assert_eq!((o2.corrupt, o2.quarantined), (1, 1));
+        assert_eq!(stats.snapshot(ArtifactKind::Reference).corrupt, 0);
     }
 }

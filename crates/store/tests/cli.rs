@@ -72,8 +72,52 @@ fn verify_fails_on_corruption() {
     std::fs::write(&victim, bytes).unwrap();
 
     let out = cli(&["verify", dir.to_str().unwrap()]);
-    assert!(!out.status.success(), "corruption must fail verify");
+    assert_eq!(out.status.code(), Some(1), "corruption is exit 1, not usage");
+    // Per-kind breakdown: cli-artifact-1 is an Outcome.
+    let text = stdout(&out);
+    assert!(text.contains("1 corrupt"), "{text}");
+    assert!(text.contains("outcome=1"), "{text}");
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn repair_quarantines_and_reports() {
+    let (dir, store) = scratch_store("repair");
+    fill(&store, 4);
+    let victim = store.path_of(hash128(b"cli-artifact-2"));
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[50] ^= 0xff;
+    std::fs::write(&victim, bytes).unwrap();
+    let dir_str = dir.to_str().unwrap();
+
+    // Repair finds the damage (exit 1), moves it aside, reports greppably.
+    let out = cli(&["verify", dir_str, "--repair"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("repair: quarantined 1 corrupt files"), "{text}");
+    assert!(text.contains("reference=1"), "{text}");
+    assert!(!victim.exists(), "damaged file moved to quarantine");
+
+    // The store is clean now; stats shows the quarantined file.
+    let out = cli(&["verify", dir_str]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("verified 3 artifacts"), "{}", stdout(&out));
+    let out = cli(&["stats", dir_str]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("quarantine"), "{text}");
+    assert!(text.contains("1 files"), "{text}");
+
+    // Unknown verify flag is a usage error.
+    let out = cli(&["verify", dir_str, "--heal"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_store_directory_is_a_usage_error() {
+    let out = cli(&["verify", "/definitely/not/a/real/store/dir"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
 
 #[test]

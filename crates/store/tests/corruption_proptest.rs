@@ -1,0 +1,172 @@
+//! Fault-model property coverage for the on-disk artifact frames: random
+//! truncation or bit-flips of any stored file must never panic a read,
+//! corrupt frames heal through single-flight recompute with byte-identical
+//! payloads, and `repair` quarantines exactly the damaged files while
+//! leaving the healthy ones in place.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lpa_store::{admin, ArtifactKind, Key, Store, QUARANTINE_DIR};
+use proptest::prelude::*;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lpa-corruption-prop-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic payload bytes for artifact `i` (never empty).
+fn payload(seed: u64, i: u64) -> Vec<u8> {
+    let len = 16 + ((seed ^ i.wrapping_mul(0x9E37)) % 200) as usize;
+    (0..len).map(|j| ((seed.wrapping_mul(31) + i * 7 + j as u64) % 251) as u8).collect()
+}
+
+fn key_of(i: u64) -> Key {
+    let mut k = [0u8; 16];
+    k[..8].copy_from_slice(&i.to_le_bytes());
+    k[8] = 0xAB;
+    Key(k)
+}
+
+const KINDS: [ArtifactKind; 2] = [ArtifactKind::Reference, ArtifactKind::Outcome];
+
+/// Populate a store with `count` artifacts and return their disk paths
+/// (via a filesystem walk, so the test does not depend on the sharding
+/// scheme).
+fn populate(dir: &PathBuf, seed: u64, count: u64) -> Vec<PathBuf> {
+    let store = Store::open(dir).expect("open scratch store");
+    for i in 0..count {
+        store.put(KINDS[(i % 2) as usize], key_of(i), payload(seed, i)).expect("put artifact");
+    }
+    let mut files = Vec::new();
+    for shard in std::fs::read_dir(dir).expect("read store root") {
+        let shard = shard.expect("dir entry").path();
+        let name = shard.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+        if !shard.is_dir() || name == QUARANTINE_DIR || name.starts_with('.') {
+            continue;
+        }
+        for f in std::fs::read_dir(&shard).expect("read shard") {
+            files.push(f.expect("file entry").path());
+        }
+    }
+    files.sort();
+    assert_eq!(files.len(), count as usize);
+    files
+}
+
+/// Damage one file: bit-flip at `pos` or truncate to `pos` bytes.
+fn damage(path: &PathBuf, pos: usize, truncate: bool) {
+    let mut bytes = std::fs::read(path).expect("read victim");
+    if truncate {
+        bytes.truncate(pos % bytes.len());
+    } else {
+        let at = pos % bytes.len();
+        bytes[at] ^= 1 << (pos % 8);
+    }
+    std::fs::write(path, bytes).expect("rewrite victim");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any single-file damage is detected on read (no panic, no garbage
+    /// payload), the damaged cell recomputes byte-identically, and every
+    /// other artifact still reads back exactly.
+    #[test]
+    fn damaged_reads_never_panic_and_recompute_byte_identically(
+        seed in any::<u64>(),
+        victim in any::<u8>(),
+        pos in any::<u16>(),
+        truncate in any::<bool>(),
+    ) {
+        let dir = scratch_dir();
+        let count = 4u64;
+        let files = populate(&dir, seed, count);
+        let victim_i = (victim as u64) % count;
+        let victim_kind = KINDS[(victim_i % 2) as usize];
+        // Derive the victim's path from its key rather than the walk
+        // order, so the damage provably lands on the intended artifact.
+        let hex = key_of(victim_i).to_hex();
+        let victim_path = files
+            .iter()
+            .find(|p| p.to_string_lossy().contains(&hex))
+            .expect("victim file present")
+            .clone();
+        damage(&victim_path, pos as usize, truncate);
+
+        // A fresh handle (cold in-memory cache) must survive reading every
+        // artifact: the damaged one heals to `None` + quarantine, the rest
+        // are byte-identical.
+        let store = Store::open(&dir).expect("reopen store");
+        for i in 0..count {
+            let kind = KINDS[(i % 2) as usize];
+            let got = store.get(kind, key_of(i)).expect("read never errors on corruption");
+            if i == victim_i {
+                prop_assert!(got.is_none(), "damaged artifact served as valid");
+            } else {
+                let got = got.expect("healthy artifact present");
+                let want = payload(seed, i);
+                prop_assert_eq!(got.as_slice(), want.as_slice());
+            }
+        }
+        prop_assert!(store.get(victim_kind, key_of(victim_i)).unwrap().is_none());
+
+        // Single-flight recompute heals the cell byte-identically...
+        let healed = store
+            .get_or_compute(victim_kind, key_of(victim_i), || payload(seed, victim_i))
+            .expect("recompute persists");
+        let want = payload(seed, victim_i);
+        prop_assert_eq!(healed.as_slice(), want.as_slice());
+        // ...and the healed bytes are served from disk by yet another handle.
+        let fresh = Store::open(&dir).expect("third handle");
+        let back = fresh.get(victim_kind, key_of(victim_i)).unwrap().expect("healed on disk");
+        prop_assert_eq!(back.as_slice(), want.as_slice());
+
+        // The corrupt original was quarantined, not deleted.
+        let quarantine = dir.join(QUARANTINE_DIR);
+        prop_assert!(quarantine.is_dir(), "quarantine dir created");
+        prop_assert_eq!(std::fs::read_dir(&quarantine).unwrap().count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `repair` quarantines exactly the damaged files: one pass moves the
+    /// victim and nothing else, a second pass finds a clean store.
+    #[test]
+    fn repair_quarantines_exactly_the_damaged_files(
+        seed in any::<u64>(),
+        victim in any::<u8>(),
+        pos in any::<u16>(),
+        truncate in any::<bool>(),
+    ) {
+        let dir = scratch_dir();
+        let count = 4u64;
+        let files = populate(&dir, seed, count);
+        let victim_i = (victim as u64) % count;
+        let hex = key_of(victim_i).to_hex();
+        let victim_path = files
+            .iter()
+            .find(|p| p.to_string_lossy().contains(&hex))
+            .expect("victim file present")
+            .clone();
+        damage(&victim_path, pos as usize, truncate);
+
+        let report = admin::repair(&dir).expect("repair sweep");
+        prop_assert_eq!(report.quarantined, 1, "{:?}", report.verify.corrupt);
+        prop_assert_eq!(report.verify.corrupt.len(), 1);
+        prop_assert_eq!(&report.verify.corrupt[0].0, &victim_path);
+        prop_assert!(!victim_path.exists(), "victim moved out of the data tree");
+        prop_assert_eq!(report.verify.ok, (count - 1) as usize);
+
+        let second = admin::repair(&dir).expect("idempotent repair");
+        prop_assert_eq!(second.quarantined, 0);
+        prop_assert!(second.verify.corrupt.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -85,6 +85,10 @@ fn main() {
                 ),
                 Outcome::NotConverged => println!("{:<12} {:>22} {:>22}", tag.name(), "∞ω", "∞ω"),
                 Outcome::RangeExceeded => println!("{:<12} {:>22} {:>22}", tag.name(), "∞σ", "∞σ"),
+                // Ephemeral outcomes only appear when a fault or deadline is armed.
+                Outcome::Crashed { .. } | Outcome::TimedOut => {
+                    println!("{:<12} {:>22} {:>22}", tag.name(), "crashed", "crashed")
+                }
             }
         }
     }

@@ -72,6 +72,8 @@ fn main() {
                 }
                 Outcome::NotConverged => not_converged += 1,
                 Outcome::RangeExceeded => range_exceeded += 1,
+                // Ephemeral outcomes only appear when a fault or deadline is armed.
+                Outcome::Crashed { .. } | Outcome::TimedOut => not_converged += 1,
             }
         }
         println!(
