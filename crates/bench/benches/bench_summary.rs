@@ -9,10 +9,14 @@
 //! against `posit32_scalar` for the engine's before/after), the
 //! end-to-end wall time of a Figure-1 style experiment run, and the
 //! cold-vs-warm cost of the same run through the persistent `lpa-store`
-//! (the `store` block: hit/miss counters and wall times).
+//! (the `store` block: hit/miss counters and wall times), and the
+//! disarmed-span overhead pair (`<format>_obs`: the decoded dot with and
+//! without an `lpa_obs::span` in the loop body).
 //!
 //! The file gives future PRs a perf trajectory to compare against; keep the
-//! schema (`lpa-bench-micro/v5`) stable or bump the version.  CI
+//! schema (`lpa-bench-micro/v6`) stable or bump the version.  The config
+//! block records the `LPA_FAULTS` and `LPA_OBS` states next to the numbers
+//! — perf is only comparable between runs with matching gate states.  CI
 //! regenerates the file and prints greppable `bench-delta:` lines against
 //! the committed copy (see the `bench_delta` binary).
 
@@ -184,6 +188,37 @@ fn scalar_baseline_entry<T: BatchReal>(a64: &CsrMatrix<f64>) -> (String, Value) 
     (format!("{}_scalar", json_name(T::NAME)), Value::Map(map))
 }
 
+/// Disarmed-span overhead pair (`<format>_obs`): the identical decoded-dot
+/// loop with and without an `lpa_obs::span` opened per call. While `LPA_OBS`
+/// is unset the span costs one relaxed atomic load and a branch; the
+/// `bench-delta:` CI guard compares both keys against the committed
+/// baseline so a regression in the disarmed path cannot land silently.
+fn obs_span_entry<T: BatchReal>() -> (String, Value) {
+    let (x, y) = dot_operands::<T>();
+    let (xd, yd) = (batch::decode_slice(&x), batch::decode_slice(&y));
+    let dot = |xd: &[T::Dec], yd: &[T::Dec]| {
+        let mut acc = T::zero().dec();
+        for (a, b) in xd.iter().zip(yd) {
+            acc = T::dec_add(acc, T::dec_mul(*a, *b));
+        }
+        T::undec(acc)
+    };
+    let with_span = median_ns_per_call(|| {
+        let _span = lpa_obs::span(lpa_obs::STORE_GET);
+        std::hint::black_box(dot(std::hint::black_box(&xd), &yd));
+    }) / DOT_LEN as f64;
+    let without_span = median_ns_per_call(|| {
+        std::hint::black_box(dot(std::hint::black_box(&xd), &yd));
+    }) / DOT_LEN as f64;
+    (
+        format!("{}_obs", json_name(T::NAME)),
+        Value::Map(vec![
+            ("dot_with_disarmed_span".to_string(), Value::Num(with_span)),
+            ("dot_without_span".to_string(), Value::Num(without_span)),
+        ]),
+    )
+}
+
 /// JSON-friendly format keys ("OFP8 E4M3" → "ofp8_e4m3").
 fn json_name(name: &str) -> String {
     name.to_lowercase().replace([' ', '(', ')', '='], "_").replace("__", "_")
@@ -253,6 +288,10 @@ fn main() {
     formats.push(scalar_baseline_entry::<Takum16>(&a64));
     formats.push(scalar_baseline_entry::<Posit32>(&a64));
     formats.push(scalar_baseline_entry::<Takum32>(&a64));
+    // Disarmed tracing-span overhead pairs (the obs analogue of the
+    // fault-point pair in `micro_kernels`).
+    formats.push(obs_span_entry::<Posit32>());
+    formats.push(obs_span_entry::<Takum32>());
 
     for (name, entry) in &formats {
         if let Value::Map(ops) = entry {
@@ -323,7 +362,7 @@ fn main() {
     };
 
     let summary = Value::Map(vec![
-        ("schema".to_string(), Value::Str("lpa-bench-micro/v5".to_string())),
+        ("schema".to_string(), Value::Str("lpa-bench-micro/v6".to_string())),
         (
             "config".to_string(),
             Value::Map(vec![
@@ -352,6 +391,9 @@ fn main() {
                     "faults".to_string(),
                     Value::Str(lpa_faults::active_spec().unwrap_or_else(|| "disarmed".to_string())),
                 ),
+                // Same comparability rule for the tracing gate: an armed
+                // LPA_OBS run self-identifies next to its numbers.
+                ("obs".to_string(), Value::Str(lpa_obs::state_name().to_string())),
             ]),
         ),
         ("ns_per_op".to_string(), Value::Map(formats)),

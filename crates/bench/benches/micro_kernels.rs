@@ -176,6 +176,40 @@ fn bench_fault_point_overhead(c: &mut Criterion) {
     run::<Takum32>(c, "takum32");
 }
 
+/// The disarmed tracing-span overhead, same shape as the fault-point pair:
+/// a decoded-dot loop whose body opens an `lpa_obs::span` (one relaxed
+/// atomic load and a branch while `LPA_OBS` is unset) against the identical
+/// loop without the span. The `bench-delta:` guard in CI asserts the pair
+/// stays within noise of each other.
+fn bench_obs_span_overhead(c: &mut Criterion) {
+    fn run<T: BatchReal>(c: &mut Criterion, label: &str) {
+        let n = 1024;
+        let x: Vec<T> = (0..n)
+            .map(|i| T::from_f64((0.6 + (i % 7) as f64 * 0.09) * if i % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        let y: Vec<T> = (0..n).map(|i| T::from_f64(0.4 + (i % 11) as f64 * 0.07)).collect();
+        let (xd, yd) = (batch::decode_slice(&x), batch::decode_slice(&y));
+        let dot = |xd: &[T::Dec], yd: &[T::Dec]| {
+            let mut acc = T::zero().dec();
+            for (a, b) in xd.iter().zip(yd) {
+                acc = T::dec_add(acc, T::dec_mul(*a, *b));
+            }
+            T::undec(acc)
+        };
+        c.bench_function(&format!("obs/{label}/dot_with_disarmed_span"), |b| {
+            b.iter(|| {
+                let _span = lpa_obs::span(lpa_obs::STORE_GET);
+                black_box(dot(black_box(&xd), &yd))
+            })
+        });
+        c.bench_function(&format!("obs/{label}/dot_without_span"), |b| {
+            b.iter(|| black_box(dot(black_box(&xd), &yd)))
+        });
+    }
+    run::<Posit32>(c, "posit32");
+    run::<Takum32>(c, "takum32");
+}
+
 fn bench_spmv(c: &mut Criterion) {
     let a64 = general::laplacian_2d(24, 24, 1.0);
     fn run<T: lpa_arith::BatchReal>(c: &mut Criterion, a64: &CsrMatrix<f64>, label: &str) {
@@ -268,6 +302,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_scalars, bench_lut_vs_softfloat, bench_batch_vs_scalar, bench_fault_point_overhead, bench_spmv, bench_arnoldi, bench_experiment_grid, bench_hungarian
+    targets = bench_scalars, bench_lut_vs_softfloat, bench_batch_vs_scalar, bench_fault_point_overhead, bench_obs_span_overhead, bench_spmv, bench_arnoldi, bench_experiment_grid, bench_hungarian
 }
 criterion_main!(benches);

@@ -4,7 +4,8 @@
 //! cargo run --release -p lpa-bench --bin reproduce -- \
 //!     [--experiment figureN|table1|all] [--scale K] [--size-max N] [--matrices M] \
 //!     [--store DIR] [--threads T] [--arith-tier unpack|softfloat] \
-//!     [--kernel-batch batch|scalar] [--retry N] [--cell-deadline-ms MS]
+//!     [--kernel-batch batch|scalar] [--retry N] [--cell-deadline-ms MS] \
+//!     [--obs on|off] [--manifest-out FILE]
 //! ```
 //!
 //! CSV artifacts are written to `out/`. Every flag builds a
@@ -68,6 +69,13 @@ fn main() {
             "--kernel-batch" => overrides.kernel_batch = Some(parsed_flag(&args, i)),
             "--retry" => overrides.retry = Some(parsed_flag(&args, i)),
             "--cell-deadline-ms" => overrides.cell_deadline_ms = Some(parsed_flag(&args, i)),
+            "--obs" => {
+                let raw = flag_value(&args, i);
+                overrides.observability = Some(lpa_obs::parse_switch(&raw).unwrap_or_else(|| {
+                    usage_error(&format!("--obs got invalid value {raw:?}"))
+                }));
+            }
+            "--manifest-out" => overrides.manifest_out = Some(flag_value(&args, i).into()),
             "--help" | "-h" => {
                 println!("{}", usage_text());
                 return;

@@ -106,6 +106,9 @@ pub fn partial_schur<T: BatchReal, Op: BatchOperator<T> + ?Sized>(
         // Fault point: makes "a cell that hangs" injectable so the
         // harness's deadline machinery can be exercised deterministically.
         lpa_faults::stall(lpa_faults::SOLVER_STALL);
+        // Tracing span per restart iteration (expansion + projected Schur);
+        // disarmed cost is one relaxed atomic load.
+        let _restart_span = lpa_obs::span(lpa_obs::ARNOLDI_RESTART);
         // --- Expansion from k to m ------------------------------------
         for j in k..m {
             // Cooperative deadline, checked at expansion-step granularity:

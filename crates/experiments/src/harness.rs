@@ -21,12 +21,15 @@
 //! | thread budget  | `--threads`       | `RAYON_NUM_THREADS`  | cores   |
 //! | I/O retries    | `--retry`         | `LPA_RETRY`          | 2       |
 //! | cell deadline  | `--cell-deadline-ms` | `LPA_CELL_DEADLINE_MS` | off |
+//! | observability  | `--obs`           | `LPA_OBS`            | disarmed |
+//! | manifest path  | `--manifest-out`  | `LPA_MANIFEST_OUT`   | none    |
 //! | fault spec     | *(env-only)*      | `LPA_FAULTS`         | disarmed |
 //!
-//! Three variables are owned by lower layers and only *flow through* here
+//! Four variables are owned by lower layers and only *flow through* here
 //! so the precedence stays uniform: `LPA_ARITH_TIER` is read by
 //! [`lpa_arith::env_dec16_tier`], `LPA_KERNEL_BATCH` by
-//! [`lpa_arith::env_kernel_batch`] (each module keeps its only `std::env`
+//! [`lpa_arith::env_kernel_batch`], `LPA_OBS` by
+//! [`lpa_obs::env_observability`] (each module keeps its only `std::env`
 //! read) and `RAYON_NUM_THREADS` by the rayon shim — a CLI thread budget
 //! simply outranks it by being pinned on the plan, and no
 //! process-environment mutation (`std::env::set_var`) is needed anywhere.
@@ -119,6 +122,18 @@ pub const ENV_DOCS: &[EnvDoc] = &[
         help: "cooperative per-cell solve deadline in ms (0 = off, default)",
     },
     EnvDoc {
+        var: "LPA_OBS",
+        flag: "--obs",
+        value: "on|off",
+        help: "arm lpa-obs tracing spans for the run (read by lpa-obs; default off)",
+    },
+    EnvDoc {
+        var: "LPA_MANIFEST_OUT",
+        flag: "--manifest-out",
+        value: "FILE",
+        help: "write the run_manifest/v1 JSON artifact of the run to FILE (default none)",
+    },
+    EnvDoc {
         var: "LPA_FAULTS",
         flag: "",
         value: "SPEC",
@@ -168,6 +183,10 @@ pub struct HarnessEnv {
     pub retry: Option<u32>,
     /// `LPA_CELL_DEADLINE_MS`
     pub cell_deadline_ms: Option<u64>,
+    /// `LPA_OBS`, via [`lpa_obs::env_observability`]
+    pub observability: Option<bool>,
+    /// `LPA_MANIFEST_OUT` (empty value = unset)
+    pub manifest_out: Option<PathBuf>,
 }
 
 impl HarnessEnv {
@@ -176,25 +195,30 @@ impl HarnessEnv {
         HarnessEnv {
             arith_tier: lpa_arith::env_dec16_tier(),
             kernel_batch: lpa_arith::env_kernel_batch(),
+            observability: lpa_obs::env_observability(),
             ..Self::from_lookup(|name| std::env::var(name).ok())
         }
     }
 
-    /// Parse the `LPA_BENCH_*` / `LPA_STORE` variables through `lookup`
-    /// (injectable for tests; `arith_tier` and `kernel_batch` stay `None`
-    /// because their environment reads belong to `lpa_arith`).
+    /// Parse the `LPA_BENCH_*` / `LPA_STORE` / `LPA_MANIFEST_OUT` variables
+    /// through `lookup` (injectable for tests; `arith_tier`,
+    /// `kernel_batch` and `observability` stay `None` because their
+    /// environment reads belong to `lpa_arith` / `lpa_obs`).
     pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> HarnessEnv {
         let parsed = |name: &str| lookup(name).and_then(|v| v.parse().ok());
-        let store_dir = lookup("LPA_STORE").filter(|v| !v.is_empty()).map(PathBuf::from);
+        let path_of =
+            |name: &str| lookup(name).filter(|v| !v.is_empty()).map(PathBuf::from);
         HarnessEnv {
             scale: parsed("LPA_BENCH_SCALE"),
             size_max: parsed("LPA_BENCH_SIZE_MAX"),
             matrices: parsed("LPA_BENCH_MATRICES"),
-            store_dir,
+            store_dir: path_of("LPA_STORE"),
             arith_tier: None,
             kernel_batch: None,
             retry: lookup("LPA_RETRY").and_then(|v| v.parse().ok()),
             cell_deadline_ms: lookup("LPA_CELL_DEADLINE_MS").and_then(|v| v.parse().ok()),
+            observability: None,
+            manifest_out: path_of("LPA_MANIFEST_OUT"),
         }
     }
 }
@@ -212,6 +236,8 @@ pub struct PlanOverrides {
     pub threads: Option<usize>,
     pub retry: Option<u32>,
     pub cell_deadline_ms: Option<u64>,
+    pub observability: Option<bool>,
+    pub manifest_out: Option<PathBuf>,
 }
 
 impl PlanOverrides {
@@ -235,6 +261,8 @@ impl PlanOverrides {
                 .or(env.cell_deadline_ms)
                 .filter(|&ms| ms > 0)
                 .map(std::time::Duration::from_millis),
+            observability: self.observability.or(env.observability),
+            manifest_out: self.manifest_out.clone().or_else(|| env.manifest_out.clone()),
         }
     }
 }
@@ -260,6 +288,10 @@ pub struct HarnessSettings {
     pub retry: Option<u32>,
     /// Cooperative per-cell solve deadline (`None` = off).
     pub cell_deadline: Option<std::time::Duration>,
+    /// Forced `lpa-obs` span-gate state (`None` = ambient, i.e. `LPA_OBS`).
+    pub observability: Option<bool>,
+    /// Path of the `run_manifest/v1` artifact to emit (`None` = none).
+    pub manifest_out: Option<PathBuf>,
 }
 
 impl HarnessSettings {
@@ -300,6 +332,33 @@ mod tests {
         assert_eq!(settings.threads, None);
         assert_eq!(settings.retry, None);
         assert_eq!(settings.cell_deadline, None);
+        assert_eq!(settings.observability, None);
+        assert_eq!(settings.manifest_out, None);
+    }
+
+    #[test]
+    fn observability_and_manifest_path_resolve_with_cli_precedence() {
+        // LPA_OBS itself is read by lpa_obs (capture()); from_lookup keeps
+        // the field None, so only the CLI layer can set it here.
+        let env = env_of(&[("LPA_OBS", "on"), ("LPA_MANIFEST_OUT", "/tmp/m.json")]);
+        assert_eq!(env.observability, None);
+        assert_eq!(env.manifest_out, Some(PathBuf::from("/tmp/m.json")));
+        let settings = PlanOverrides::default().resolve(&env);
+        assert_eq!(settings.observability, None);
+        assert_eq!(settings.manifest_out, Some(PathBuf::from("/tmp/m.json")));
+
+        let cli = PlanOverrides {
+            observability: Some(false),
+            manifest_out: Some(PathBuf::from("/tmp/cli.json")),
+            ..Default::default()
+        };
+        let settings = cli.resolve(&env);
+        assert_eq!(settings.observability, Some(false));
+        assert_eq!(settings.manifest_out, Some(PathBuf::from("/tmp/cli.json")));
+
+        // An empty LPA_MANIFEST_OUT disables the artifact, same as unset.
+        let env = env_of(&[("LPA_MANIFEST_OUT", "")]);
+        assert_eq!(env.manifest_out, None);
     }
 
     #[test]
@@ -395,9 +454,11 @@ mod tests {
             threads: _,
             retry: _,
             cell_deadline_ms: _,
+            observability: _,
+            manifest_out: _,
         } = PlanOverrides::default();
-        // 9 override fields + the env-only LPA_FAULTS row.
-        assert_eq!(ENV_DOCS.len(), 10, "one doc row per knob");
+        // 11 override fields + the env-only LPA_FAULTS row.
+        assert_eq!(ENV_DOCS.len(), 12, "one doc row per knob");
 
         let table = env_docs_table();
         for doc in ENV_DOCS {

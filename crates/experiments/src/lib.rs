@@ -53,6 +53,7 @@
 pub mod driver;
 pub mod formats;
 pub mod harness;
+pub mod manifest;
 pub mod outcome;
 pub mod persist;
 pub mod pipeline;
@@ -63,6 +64,7 @@ pub mod session;
 #[allow(deprecated)]
 pub use driver::{run_experiment, run_experiment_with_store};
 pub use formats::FormatTag;
+pub use manifest::{RunManifest, RUN_MANIFEST_SCHEMA};
 pub use outcome::{EigenErrors, Outcome};
 pub use pipeline::{
     compare_to_reference, compute_reference, cosine_similarity_matrix, run_format,

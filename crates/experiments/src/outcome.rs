@@ -77,6 +77,18 @@ impl Outcome {
     pub fn is_ephemeral(&self) -> bool {
         matches!(self, Outcome::Crashed { .. } | Outcome::TimedOut)
     }
+
+    /// Stable kebab-case label of the variant — the vocabulary of the run
+    /// manifest's cell records and the `session.cell.*` counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Errors(_) => "errors",
+            Outcome::NotConverged => "not-converged",
+            Outcome::RangeExceeded => "range-exceeded",
+            Outcome::Crashed { .. } => "crashed",
+            Outcome::TimedOut => "timed-out",
+        }
+    }
 }
 
 // Manual serde impls (the derive convention by hand): the vendored derive

@@ -45,8 +45,9 @@
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -57,7 +58,10 @@ use lpa_arith::{
 use lpa_datagen::TestMatrix;
 use lpa_store::{ArtifactKind, Store};
 
+use serde::Value;
+
 use crate::formats::FormatTag;
+use crate::manifest::{RunManifest, RUN_MANIFEST_SCHEMA};
 use crate::outcome::Outcome;
 use crate::persist;
 use crate::pipeline::{compute_reference, run_format, ExperimentConfig, Reference};
@@ -256,6 +260,8 @@ pub struct ExperimentPlan<'a> {
     threads: Option<usize>,
     retry: Option<u32>,
     cell_deadline: Option<Duration>,
+    observability: Option<bool>,
+    manifest_out: Option<PathBuf>,
     observer: Option<&'a dyn ProgressObserver>,
 }
 
@@ -272,6 +278,8 @@ impl<'a> ExperimentPlan<'a> {
             threads: None,
             retry: None,
             cell_deadline: None,
+            observability: None,
+            manifest_out: None,
             observer: None,
         }
     }
@@ -346,6 +354,24 @@ impl<'a> ExperimentPlan<'a> {
         self
     }
 
+    /// Arm (or disarm) the `lpa-obs` tracing spans for the duration of the
+    /// run (default: the ambient gate — `LPA_OBS` or disarmed), with the
+    /// previous state restored when the run ends, like
+    /// [`ExperimentPlan::arith_tier`]. Spans never affect computed results;
+    /// this only selects whether the session records them.
+    pub fn observability(mut self, armed: bool) -> Self {
+        self.observability = Some(armed);
+        self
+    }
+
+    /// Write the run's `run_manifest/v1` JSON artifact to `path` when the
+    /// session finishes (default: no artifact). The manifest is also
+    /// returned by [`Session::run_with_manifest`] regardless of this knob.
+    pub fn manifest_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.manifest_out = Some(path.into());
+        self
+    }
+
     /// Stream [`ProgressEvent`]s of the run to `observer`.
     pub fn observer(mut self, observer: &'a dyn ProgressObserver) -> Self {
         self.observer = Some(observer);
@@ -372,6 +398,12 @@ impl<'a> ExperimentPlan<'a> {
         }
         if let Some(deadline) = settings.cell_deadline {
             self = self.cell_deadline(deadline);
+        }
+        if let Some(armed) = settings.observability {
+            self = self.observability(armed);
+        }
+        if let Some(path) = &settings.manifest_out {
+            self = self.manifest_out(path.clone());
         }
         self
     }
@@ -418,7 +450,30 @@ impl Session<'_> {
     /// per-run seeded RNG) and results are reassembled in corpus order, so
     /// the output — including its serialization — is identical for any
     /// thread count, store state and observer.
+    ///
+    /// When [`ExperimentPlan::manifest_out`] is set, the run's
+    /// `run_manifest/v1` artifact is written there before returning.
     pub fn run(&self) -> ExperimentResults {
+        self.run_with_manifest().0
+    }
+
+    /// [`Session::run`], also returning the run's manifest (written to the
+    /// plan's `manifest_out` path too, when one is set).
+    pub fn run_with_manifest(&self) -> (ExperimentResults, RunManifest) {
+        let (results, manifest) = self.run_inner();
+        if let Some(path) = &self.plan.manifest_out {
+            manifest
+                .write(path)
+                .unwrap_or_else(|e| panic!("manifest {}: {e}", path.display()));
+        }
+        (results, manifest)
+    }
+
+    fn run_inner(&self) -> (ExperimentResults, RunManifest) {
+        // Restore guards, outermost first: the obs gate (span recording),
+        // the arithmetic tier, the kernel engine and the store's retry
+        // budget are all process-/handle-global knobs scoped to this run.
+        let _obs = self.plan.observability.map(ObsGuard::force);
         let _tier = self.plan.arith_tier.map(TierGuard::force);
         let _engine = self.plan.kernel_batch.map(BatchGuard::force);
         // Scope the I/O retry budget to this run (same restore-guard
@@ -428,13 +483,21 @@ impl Session<'_> {
             (Some(retries), Some(store)) => Some(RetryGuard::set(store, retries)),
             _ => None,
         };
-        match self.plan.threads {
+        // Pre-run snapshots, so the manifest reports this run's deltas
+        // rather than process-lifetime totals.
+        let store_before = self.plan.store.map(|s| s.stats().registry().counters_snapshot());
+        let spans_before = lpa_obs::span::aggregates();
+        let started = Instant::now();
+        let grid = match self.plan.threads {
             Some(n) => rayon::with_num_threads(n, || self.run_grid()),
             None => self.run_grid(),
-        }
+        };
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let manifest = self.build_manifest(&grid, wall_ns, store_before, spans_before);
+        (grid.results, manifest)
     }
 
-    fn run_grid(&self) -> ExperimentResults {
+    fn run_grid(&self) -> GridRun {
         let corpus = self.plan.corpus;
         let formats = self.formats();
         // The plan-level deadline overrides the config's own (both are
@@ -453,11 +516,16 @@ impl Session<'_> {
         // Stage 1: one reference per matrix, fanned out over the corpus.
         let slots: Vec<usize> = (0..corpus.len()).collect();
         let sequencer = Sequencer::new(observer);
-        let references: Vec<Result<Option<Reference>, CellError>> = slots
+        let references: Vec<(Result<Option<Reference>, CellError>, bool, u64)> = slots
             .par_iter()
             .map(|&i| {
                 let tm = &corpus[i];
-                let (reference, from_store) = resolve_reference(tm, cfg, store);
+                let started = Instant::now();
+                let (reference, from_store) = {
+                    let _span = lpa_obs::span(lpa_obs::REFERENCE_SOLVE);
+                    resolve_reference(tm, cfg, store)
+                };
+                let wall_ns = started.elapsed().as_nanos() as u64;
                 sequencer.submit(i, |events| {
                     events.push(ProgressEvent::ReferenceStarted { index: i, matrix: tm.name.clone() });
                     events.push(match &reference {
@@ -477,7 +545,7 @@ impl Session<'_> {
                         },
                     });
                 });
-                reference
+                (reference, from_store, wall_ns)
             })
             .collect();
 
@@ -487,21 +555,25 @@ impl Session<'_> {
         let jobs: Vec<(usize, FormatTag)> = corpus
             .iter()
             .enumerate()
-            .filter(|(i, _)| matches!(references[*i], Ok(Some(_))))
+            .filter(|(i, _)| matches!(references[*i].0, Ok(Some(_))))
             .flat_map(|(i, _)| formats.iter().map(move |&f| (i, f)))
             .collect();
         let slots: Vec<usize> = (0..jobs.len()).collect();
         let sequencer = Sequencer::new(observer);
-        let outcomes: Vec<Outcome> = slots
+        let outcomes: Vec<(Outcome, bool, u64)> = slots
             .par_iter()
             .map(|&slot| {
                 let (i, f) = jobs[slot];
-                let reference = match &references[i] {
+                let reference = match &references[i].0 {
                     Ok(Some(r)) => r,
                     _ => unreachable!("only solved matrices are in the grid"),
                 };
-                let (outcome, from_store) =
-                    resolve_outcome(&corpus[i], reference, f, cfg, store);
+                let started = Instant::now();
+                let (outcome, from_store) = {
+                    let _span = lpa_obs::span(lpa_obs::CELL_SOLVE);
+                    resolve_outcome(&corpus[i], reference, f, cfg, store)
+                };
+                let wall_ns = started.elapsed().as_nanos() as u64;
                 sequencer.submit(slot, |events| {
                     events.push(match &outcome {
                         Outcome::Crashed { reason } => ProgressEvent::CellFailed {
@@ -524,17 +596,33 @@ impl Session<'_> {
                         },
                     });
                 });
-                outcome
+                (outcome, from_store, wall_ns)
             })
             .collect();
 
         // Reassemble in corpus order: jobs were generated matrix-major, so
-        // the outcomes of each kept matrix form one contiguous chunk.
+        // the outcomes of each kept matrix form one contiguous chunk. The
+        // per-reference/per-cell manifest records are built in the same
+        // deterministic order (corpus order; cells matrix-major in plan
+        // format order).
         let mut matrices = Vec::new();
         let mut skipped = Vec::new();
         let mut crashed = Vec::new();
+        let mut ref_records = Vec::with_capacity(corpus.len());
         let mut chunks = outcomes.chunks_exact(formats.len().max(1));
-        for (tm, reference) in corpus.iter().zip(&references) {
+        for (tm, (reference, from_store, wall_ns)) in corpus.iter().zip(&references) {
+            let status = match reference {
+                Ok(Some(_)) => "solved",
+                Ok(None) => "skipped",
+                Err(CellError::Crashed(_)) => "crashed",
+                Err(CellError::TimedOut) => "timed-out",
+            };
+            ref_records.push(RefRecord {
+                matrix: tm.name.clone(),
+                status,
+                from_store: *from_store,
+                wall_ns: *wall_ns,
+            });
             match reference {
                 Ok(Some(_)) => {}
                 Ok(None) => {
@@ -556,9 +644,24 @@ impl Session<'_> {
                 category: tm.category.clone(),
                 n: tm.n(),
                 nnz: tm.nnz(),
-                outcomes: formats.iter().copied().zip(chunk.iter().cloned()).collect(),
+                outcomes: formats
+                    .iter()
+                    .copied()
+                    .zip(chunk.iter().map(|(o, _, _)| o.clone()))
+                    .collect(),
             });
         }
+        let cell_records = jobs
+            .iter()
+            .zip(&outcomes)
+            .map(|(&(i, f), (outcome, from_store, wall_ns))| CellRecord {
+                matrix: corpus[i].name.clone(),
+                format: f,
+                outcome: outcome.label(),
+                from_store: *from_store,
+                wall_ns: *wall_ns,
+            })
+            .collect();
         emit(
             observer,
             || ProgressEvent::GridFinished {
@@ -567,8 +670,223 @@ impl Session<'_> {
                 outcomes: outcomes.len(),
             },
         );
-        ExperimentResults { formats: formats.to_vec(), matrices, skipped, crashed }
+        GridRun {
+            results: ExperimentResults { formats: formats.to_vec(), matrices, skipped, crashed },
+            references: ref_records,
+            cells: cell_records,
+        }
     }
+
+    /// Assemble the `run_manifest/v1` tree (layout: [`crate::manifest`]).
+    ///
+    /// The session counters are tallied here from the grid's own records
+    /// and the *same values* are added to the process-global `lpa-obs`
+    /// registry — one code path, so the registry delta and the manifest's
+    /// `session` section agree by construction.
+    fn build_manifest(
+        &self,
+        grid: &GridRun,
+        wall_ns: u64,
+        store_before: Option<Vec<(String, u64)>>,
+        spans_before: Vec<lpa_obs::SpanAggregate>,
+    ) -> RunManifest {
+        let cfg = self.config();
+        let plan = Value::Map(vec![
+            (
+                "formats".to_string(),
+                Value::Seq(self.plan.formats.iter().map(Serialize::to_value).collect()),
+            ),
+            (
+                "config".to_string(),
+                Value::Map(vec![
+                    ("eigenvalue_count".to_string(), Value::Num(cfg.eigenvalue_count as f64)),
+                    (
+                        "eigenvalue_buffer_count".to_string(),
+                        Value::Num(cfg.eigenvalue_buffer_count as f64),
+                    ),
+                    ("which".to_string(), Value::Str(format!("{:?}", cfg.which))),
+                    ("reference_tol".to_string(), Value::Num(cfg.reference_tol)),
+                    ("max_restarts".to_string(), Value::Num(cfg.max_restarts as f64)),
+                    ("seed".to_string(), Value::Num(cfg.seed as f64)),
+                ]),
+            ),
+            ("corpus".to_string(), Value::Num(self.plan.corpus.len() as f64)),
+            (
+                "faults".to_string(),
+                Value::Str(lpa_faults::active_spec().unwrap_or_else(|| "disarmed".to_string())),
+            ),
+        ]);
+
+        // Session counters: tallied from the records, then added to the
+        // global registry (always, so the counter names register even at
+        // zero) and rendered into the manifest.
+        let mut reference_computed = 0u64;
+        let mut reference_hit = 0u64;
+        let mut reference_skipped = 0u64;
+        let mut reference_lost = 0u64;
+        for r in &grid.references {
+            match r.status {
+                "crashed" | "timed-out" => reference_lost += 1,
+                "skipped" => reference_skipped += 1,
+                _ if r.from_store => reference_hit += 1,
+                _ => reference_computed += 1,
+            }
+        }
+        let mut cell_computed = 0u64;
+        let mut cell_hit = 0u64;
+        let mut cell_crashed = 0u64;
+        let mut cell_timed_out = 0u64;
+        for c in &grid.cells {
+            match c.outcome {
+                "crashed" => cell_crashed += 1,
+                "timed-out" => cell_timed_out += 1,
+                _ if c.from_store => cell_hit += 1,
+                _ => cell_computed += 1,
+            }
+        }
+        let session_counters: Vec<(String, u64)> = [
+            ("session.reference.computed", reference_computed),
+            ("session.reference.hit", reference_hit),
+            ("session.reference.skipped", reference_skipped),
+            ("session.reference.lost", reference_lost),
+            ("session.cell.computed", cell_computed),
+            ("session.cell.hit", cell_hit),
+            ("session.cell.crashed", cell_crashed),
+            ("session.cell.timed_out", cell_timed_out),
+        ]
+        .into_iter()
+        .map(|(name, value)| {
+            lpa_obs::global().counter(name).add(value);
+            (name.to_string(), value)
+        })
+        .collect();
+
+        // Store counters: this run's delta over the pre-run snapshot.
+        let store_section = match (store_before, self.plan.store) {
+            (Some(before), Some(s)) => {
+                let before: BTreeMap<String, u64> = before.into_iter().collect();
+                let deltas: Vec<(String, u64)> = s
+                    .stats()
+                    .registry()
+                    .counters_snapshot()
+                    .into_iter()
+                    .map(|(name, after)| {
+                        let base = before.get(&name).copied().unwrap_or(0);
+                        (name, after - base)
+                    })
+                    .collect();
+                lpa_obs::counters_value(&deltas)
+            }
+            _ => Value::Null,
+        };
+
+        // Span aggregates: count/total deltas over the pre-run snapshot
+        // (exact even when other spans ran earlier in the process); max_ns
+        // is the running maximum. Names untouched by this run are skipped.
+        let before: BTreeMap<&str, (u64, u64)> =
+            spans_before.iter().map(|a| (a.name, (a.count, a.total_ns))).collect();
+        let spans: Vec<Value> = lpa_obs::span::aggregates()
+            .iter()
+            .filter_map(|a| {
+                let (base_count, base_total) = before.get(a.name).copied().unwrap_or((0, 0));
+                let count = a.count - base_count;
+                if count == 0 {
+                    return None;
+                }
+                Some(Value::Map(vec![
+                    ("name".to_string(), Value::Str(a.name.to_string())),
+                    ("count".to_string(), Value::Num(count as f64)),
+                    ("total_ns".to_string(), Value::Num((a.total_ns - base_total) as f64)),
+                    ("max_ns".to_string(), Value::Num(a.max_ns as f64)),
+                ]))
+            })
+            .collect();
+
+        let ms = |ns: u64| Value::Num(ns as f64 / 1e6);
+        let references: Vec<Value> = grid
+            .references
+            .iter()
+            .map(|r| {
+                Value::Map(vec![
+                    ("matrix".to_string(), Value::Str(r.matrix.clone())),
+                    ("status".to_string(), Value::Str(r.status.to_string())),
+                    ("from_store".to_string(), Value::Bool(r.from_store)),
+                    ("wall_ms".to_string(), ms(r.wall_ns)),
+                ])
+            })
+            .collect();
+        let cells: Vec<Value> = grid
+            .cells
+            .iter()
+            .map(|c| {
+                Value::Map(vec![
+                    ("matrix".to_string(), Value::Str(c.matrix.clone())),
+                    ("format".to_string(), c.format.to_value()),
+                    ("outcome".to_string(), Value::Str(c.outcome.to_string())),
+                    ("from_store".to_string(), Value::Bool(c.from_store)),
+                    ("wall_ms".to_string(), ms(c.wall_ns)),
+                ])
+            })
+            .collect();
+
+        // Knob provenance is read while the run's restore guards are still
+        // alive, so the manifest reports the *effective* tier and engine.
+        let run = Value::Map(vec![
+            ("threads".to_string(), Value::Num(self.threads() as f64)),
+            ("arith_tier".to_string(), Value::Str(format!("{:?}", dec16_tier()))),
+            ("kernel_batch".to_string(), Value::Str(format!("{:?}", kernel_batch()))),
+            (
+                "retry".to_string(),
+                self.plan.retry.map_or(Value::Null, |r| Value::Num(r as f64)),
+            ),
+            (
+                "cell_deadline_ms".to_string(),
+                self.plan
+                    .cell_deadline
+                    .or(cfg.cell_deadline)
+                    .map_or(Value::Null, |d| Value::Num(d.as_millis() as f64)),
+            ),
+            ("observability".to_string(), Value::Str(lpa_obs::state_name().to_string())),
+            ("wall_ms".to_string(), ms(wall_ns)),
+            ("references".to_string(), Value::Seq(references)),
+            ("cells".to_string(), Value::Seq(cells)),
+            ("store".to_string(), store_section),
+            ("session".to_string(), lpa_obs::counters_value(&session_counters)),
+            ("spans".to_string(), Value::Seq(spans)),
+        ]);
+
+        RunManifest::new(Value::Map(vec![
+            ("schema".to_string(), Value::Str(RUN_MANIFEST_SCHEMA.to_string())),
+            ("plan".to_string(), plan),
+            ("grid".to_string(), Serialize::to_value(&grid.results)),
+            ("run".to_string(), run),
+        ]))
+    }
+}
+
+/// Everything one grid execution produced: the public results plus the
+/// per-reference/per-cell records the run manifest reports.
+struct GridRun {
+    results: ExperimentResults,
+    references: Vec<RefRecord>,
+    cells: Vec<CellRecord>,
+}
+
+/// One stage-1 (reference) record, in corpus order.
+struct RefRecord {
+    matrix: String,
+    status: &'static str,
+    from_store: bool,
+    wall_ns: u64,
+}
+
+/// One stage-2 (matrix, format) record, matrix-major in plan format order.
+struct CellRecord {
+    matrix: String,
+    format: FormatTag,
+    outcome: &'static str,
+    from_store: bool,
+    wall_ns: u64,
 }
 
 /// A per-run cell failure the driver isolated: says nothing about the
@@ -764,6 +1082,24 @@ impl<'a> RetryGuard<'a> {
 impl Drop for RetryGuard<'_> {
     fn drop(&mut self) {
         self.store.set_io_retries(self.previous);
+    }
+}
+
+/// Arms (or disarms) the `lpa-obs` span gate for a scope and restores the
+/// previous state on drop (the tier/engine restore-guard pattern; the gate
+/// only selects whether spans are recorded, never what is computed, so
+/// overlapping guards are benign).
+struct ObsGuard(bool);
+
+impl ObsGuard {
+    fn force(armed: bool) -> ObsGuard {
+        ObsGuard(lpa_obs::force(armed))
+    }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        lpa_obs::force(self.0);
     }
 }
 

@@ -1,0 +1,273 @@
+//! The metrics registry: named counters, gauges and fixed-bucket latency
+//! histograms with a lock-free atomic hot path.
+//!
+//! A [`Registry`] is instantiable — the store owns one per handle so
+//! parallel tests stay isolated — and [`global`] is the process-wide
+//! instance the session tallies cell outcomes on. Registration (the name →
+//! handle lookup) takes a mutex once; the returned [`Counter`] /
+//! [`Gauge`] / [`Histogram`] handles are plain relaxed atomics, so the
+//! record path never locks.
+//!
+//! [`Registry::to_value`] and [`counters_value`] render the one canonical
+//! JSON shape (`lpa-obs-registry/v1`, name-sorted maps) shared by the run
+//! manifest, `lpa-store stats --json` / `verify --json`, and tests — one
+//! schema instead of parallel ad-hoc tallies.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use serde::Value;
+
+/// Schema tag of every registry JSON rendering.
+pub const REGISTRY_SCHEMA: &str = "lpa-obs-registry/v1";
+
+/// Number of histogram buckets: bucket `i` counts samples below
+/// `256 << (2 * i)` ns (~256 ns, ~1 µs, ~4 µs, … ~4.6 s), the last bucket
+/// is unbounded.
+pub const HISTOGRAM_BUCKETS: usize = 12;
+
+/// A monotone named tally.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-write-wins value.
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram (nanosecond samples, power-of-4
+/// bucket bounds). Recording is two relaxed atomic adds; there is no
+/// dynamic allocation after registration.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Upper bound (exclusive) of bucket `i`; the last bucket has none.
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        (i + 1 < HISTOGRAM_BUCKETS).then(|| 256u64 << (2 * i))
+    }
+
+    pub fn record(&self, ns: u64) {
+        let idx = (0..HISTOGRAM_BUCKETS - 1)
+            .find(|&i| ns < Self::bucket_bound(i).unwrap())
+            .unwrap_or(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// A named-metric registry. `BTreeMap` keeps every snapshot and JSON view
+/// name-sorted, so renderings are deterministic byte-for-byte.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register-or-fetch a counter handle. Callers keep the `Arc` so the
+    /// hot path is a relaxed atomic add, not a map lookup.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        lock(&self.counters).entry(name.to_string()).or_default().clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        lock(&self.gauges).entry(name.to_string()).or_default().clone()
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        lock(&self.histograms).entry(name.to_string()).or_default().clone()
+    }
+
+    /// Current value of a counter; 0 when it was never registered.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        lock(&self.counters).get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Name-sorted point-in-time copy of every counter.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        lock(&self.counters).iter().map(|(name, c)| (name.clone(), c.get())).collect()
+    }
+
+    /// The canonical `lpa-obs-registry/v1` rendering: name-sorted maps for
+    /// counters and gauges, per-histogram `{count, total_ns, buckets}`.
+    pub fn to_value(&self) -> Value {
+        let counters = lock(&self.counters)
+            .iter()
+            .map(|(name, c)| (name.clone(), Value::Num(c.get() as f64)))
+            .collect();
+        let gauges = lock(&self.gauges)
+            .iter()
+            .map(|(name, g)| (name.clone(), Value::Num(g.get() as f64)))
+            .collect();
+        let histograms = lock(&self.histograms)
+            .iter()
+            .map(|(name, h)| {
+                let buckets =
+                    h.bucket_counts().iter().map(|&n| Value::Num(n as f64)).collect();
+                (
+                    name.clone(),
+                    Value::Map(vec![
+                        ("count".to_string(), Value::Num(h.count() as f64)),
+                        ("total_ns".to_string(), Value::Num(h.total_ns() as f64)),
+                        ("buckets".to_string(), Value::Seq(buckets)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Map(vec![
+            ("schema".to_string(), Value::Str(REGISTRY_SCHEMA.to_string())),
+            ("counters".to_string(), Value::Map(counters)),
+            ("gauges".to_string(), Value::Map(gauges)),
+            ("histograms".to_string(), Value::Map(histograms)),
+        ])
+    }
+}
+
+/// The process-global registry (session cell-outcome tallies and span
+/// latency histograms live here).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Render a synthesized counter set (e.g. the store CLI's on-disk stats)
+/// in the same `lpa-obs-registry/v1` shape a live [`Registry`] produces:
+/// name-sorted, counters only.
+pub fn counters_value(pairs: &[(String, u64)]) -> Value {
+    let mut sorted: Vec<(String, u64)> = pairs.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Map(vec![
+        ("schema".to_string(), Value::Str(REGISTRY_SCHEMA.to_string())),
+        (
+            "counters".to_string(),
+            Value::Map(sorted.into_iter().map(|(k, v)| (k, Value::Num(v as f64))).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let reg = Registry::new();
+        let a = reg.counter("x.hits");
+        let b = reg.counter("x.hits");
+        a.add(2);
+        b.incr();
+        assert_eq!(reg.counter_value("x.hits"), 3);
+        assert_eq!(reg.counter_value("never.registered"), 0);
+        reg.gauge("x.size").set(7);
+        assert_eq!(reg.gauge("x.size").get(), 7);
+    }
+
+    #[test]
+    fn snapshots_are_name_sorted() {
+        let reg = Registry::new();
+        reg.counter("z.last").incr();
+        reg.counter("a.first").add(5);
+        reg.counter("m.mid").add(2);
+        let snap = reg.counters_snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+        assert_eq!(snap[0].1, 5);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_latency_range() {
+        let h = Histogram::default();
+        h.record(100); // < 256 ns -> bucket 0
+        h.record(300); // < 1024 ns -> bucket 1
+        h.record(5_000_000_000); // beyond every bound -> last bucket
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.total_ns(), 100 + 300 + 5_000_000_000);
+        assert_eq!(Histogram::bucket_bound(0), Some(256));
+        assert_eq!(Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn json_views_share_the_registry_schema() {
+        let reg = Registry::new();
+        reg.counter("b").add(2);
+        reg.counter("a").add(1);
+        let live = reg.to_value();
+        assert_eq!(live.get("schema").and_then(|v| v.as_str()), Some(REGISTRY_SCHEMA));
+        let counters = live.get("counters").and_then(|v| v.as_map()).unwrap();
+        assert_eq!(counters[0].0, "a");
+        assert_eq!(counters[1].0, "b");
+
+        let synthesized =
+            counters_value(&[("b".to_string(), 2), ("a".to_string(), 1)]);
+        assert_eq!(
+            synthesized.get("schema").and_then(|v| v.as_str()),
+            Some(REGISTRY_SCHEMA)
+        );
+        let counters = synthesized.get("counters").and_then(|v| v.as_map()).unwrap();
+        assert_eq!(counters[0].0, "a", "synthesized views are name-sorted too");
+    }
+}

@@ -108,6 +108,31 @@ fn count_per_kind(corrupt: &InvalidFiles) -> [usize; ArtifactKind::COUNT + 1] {
     counts
 }
 
+impl VerifyReport {
+    /// The report as named counters, for rendering in the shared
+    /// `lpa-obs-registry/v1` schema (`lpa-store verify --json`). The
+    /// `store.<kind>.corrupt` names match the live [`crate::StoreStats`]
+    /// registry; scan-only facts get their own `store.verify.*` namespace.
+    pub fn to_counters(&self) -> Vec<(String, u64)> {
+        let mut counters = vec![
+            ("store.verify.ok".to_string(), self.ok as u64),
+            ("store.verify.bytes".to_string(), self.bytes),
+            ("store.verify.corrupt".to_string(), self.corrupt.len() as u64),
+        ];
+        for kind in ArtifactKind::ALL {
+            counters.push((
+                format!("store.{}.corrupt", kind.name()),
+                self.corrupt_per_kind[kind as usize] as u64,
+            ));
+        }
+        counters.push((
+            "store.unknown.corrupt".to_string(),
+            self.corrupt_per_kind[ArtifactKind::COUNT] as u64,
+        ));
+        counters
+    }
+}
+
 /// Re-hash and structurally check every artifact in the store.
 pub fn verify(root: &Path) -> io::Result<VerifyReport> {
     let (ok, corrupt) = scan(root)?;
@@ -178,6 +203,21 @@ impl StatsReport {
 
     pub fn total_bytes(&self) -> u64 {
         self.per_kind.iter().map(|(_, b)| b).sum()
+    }
+
+    /// The report as named counters, for rendering in the shared
+    /// `lpa-obs-registry/v1` schema (`lpa-store stats --json`).
+    pub fn to_counters(&self) -> Vec<(String, u64)> {
+        let mut counters = Vec::new();
+        for kind in ArtifactKind::ALL {
+            let (count, bytes) = self.per_kind[kind as usize];
+            counters.push((format!("store.{}.artifacts", kind.name()), count));
+            counters.push((format!("store.{}.bytes", kind.name()), bytes));
+        }
+        counters.push(("store.invalid".to_string(), self.invalid as u64));
+        counters.push(("store.quarantine.files".to_string(), self.quarantine.0));
+        counters.push(("store.quarantine.bytes".to_string(), self.quarantine.1));
+        counters
     }
 }
 

@@ -1,10 +1,14 @@
 //! Store administration CLI.
 //!
 //! ```text
-//! lpa-store stats  <dir>                 per-kind artifact counts, bytes, quarantine
-//! lpa-store verify <dir> [--repair]      re-hash and check every artifact
+//! lpa-store stats  <dir> [--json]            per-kind artifact counts, bytes, quarantine
+//! lpa-store verify <dir> [--repair|--json]   re-hash and check every artifact
 //! lpa-store gc     <dir> [--max-bytes N] [--max-age-secs S]
 //! ```
+//!
+//! `--json` renders the same numbers in the `lpa-obs-registry/v1` counter
+//! schema that the run manifest's store section uses, so scripts parse one
+//! shape everywhere.
 //!
 //! `gc` needs at least one limit; when both are given, artifacts older
 //! than `--max-age-secs` are deleted first, then the oldest survivors
@@ -24,8 +28,15 @@ use lpa_store::admin;
 use lpa_store::ArtifactKind;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: lpa-store <stats|verify|gc> <dir> [--repair] [--max-bytes N] [--max-age-secs S]");
+    eprintln!("usage: lpa-store <stats|verify|gc> <dir> [--json] [--repair] [--max-bytes N] [--max-age-secs S]");
     ExitCode::from(2)
+}
+
+/// Pretty-print a counter set in the shared `lpa-obs-registry/v1` shape.
+fn print_counters(counters: &[(String, u64)]) {
+    let rendered = serde_json::to_string_pretty(&lpa_obs::counters_value(counters))
+        .expect("registry counter values always serialize");
+    println!("{rendered}");
 }
 
 fn main() -> ExitCode {
@@ -39,9 +50,17 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     match command.as_str() {
-        "stats" => stats(root),
+        "stats" => match args.get(3).map(String::as_str) {
+            None => stats(root, false),
+            Some("--json") if args.len() == 4 => stats(root, true),
+            Some(other) => {
+                eprintln!("lpa-store stats: unknown flag {other}");
+                ExitCode::from(2)
+            }
+        },
         "verify" => match args.get(3).map(String::as_str) {
-            None => verify(root),
+            None => verify(root, false),
+            Some("--json") if args.len() == 4 => verify(root, true),
             Some("--repair") if args.len() == 4 => repair(root),
             Some(other) => {
                 eprintln!("lpa-store verify: unknown flag {other}");
@@ -89,9 +108,13 @@ fn main() -> ExitCode {
     }
 }
 
-fn stats(root: &Path) -> ExitCode {
+fn stats(root: &Path, json: bool) -> ExitCode {
     match admin::stats_report(root) {
         Ok(report) => {
+            if json {
+                print_counters(&report.to_counters());
+                return ExitCode::SUCCESS;
+            }
             println!("store: {}", root.display());
             for kind in ArtifactKind::ALL {
                 let (count, bytes) = report.per_kind[kind as usize];
@@ -138,10 +161,14 @@ fn print_verify(report: &admin::VerifyReport) {
     }
 }
 
-fn verify(root: &Path) -> ExitCode {
+fn verify(root: &Path, json: bool) -> ExitCode {
     match admin::verify(root) {
         Ok(report) => {
-            print_verify(&report);
+            if json {
+                print_counters(&report.to_counters());
+            } else {
+                print_verify(&report);
+            }
             if report.corrupt.is_empty() {
                 ExitCode::SUCCESS
             } else {

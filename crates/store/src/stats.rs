@@ -1,85 +1,125 @@
 //! Hit/miss/byte counters, kept per artifact kind so a harness can prove
 //! statements like "the warm run performed zero double-double reference
 //! solves" directly from the store.
+//!
+//! Since PR 7 these are no longer a private tally: every counter is a
+//! named [`lpa_obs::Counter`] on a per-store [`lpa_obs::Registry`]
+//! (`store.<kind>.<field>`, plus the `store.corrupt` health tally), so
+//! `print_store_counters`, the run manifest's store section and
+//! `lpa-store stats --json` are all views over the same registry. The
+//! registry is per-store-instance — not the process-global one — so
+//! parallel tests with scratch stores stay isolated.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lpa_obs::{Counter, Registry};
 
 use crate::store::ArtifactKind;
 
-/// Counters for one artifact kind. All updates are `Relaxed`: the counters
-/// are monotone tallies read after the parallel section, not synchronization.
-#[derive(Default)]
+/// Counter handles for one artifact kind. All updates are `Relaxed`
+/// atomics: the counters are monotone tallies read after the parallel
+/// section, not synchronization.
 pub struct KindCounters {
     /// Served from the in-process cache.
-    hits_mem: AtomicU64,
+    hits_mem: Arc<Counter>,
     /// Served from disk (another run — or another process — computed it).
-    hits_disk: AtomicU64,
+    hits_disk: Arc<Counter>,
     /// The compute closure ran.
-    misses: AtomicU64,
-    bytes_read: AtomicU64,
-    bytes_written: AtomicU64,
+    misses: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
     /// On-disk artifacts of this kind rejected at decode time.
-    corrupt: AtomicU64,
+    corrupt: Arc<Counter>,
     /// Rejected artifacts successfully moved to `quarantine/`.
-    quarantined: AtomicU64,
+    quarantined: Arc<Counter>,
 }
 
 impl KindCounters {
+    fn register(registry: &Registry, kind: ArtifactKind) -> KindCounters {
+        let named = |field: &str| registry.counter(&format!("store.{}.{field}", kind.name()));
+        KindCounters {
+            hits_mem: named("hits_mem"),
+            hits_disk: named("hits_disk"),
+            misses: named("misses"),
+            bytes_read: named("bytes_read"),
+            bytes_written: named("bytes_written"),
+            corrupt: named("corrupt"),
+            quarantined: named("quarantined"),
+        }
+    }
+
     pub(crate) fn record_hit_mem(&self) {
-        self.hits_mem.fetch_add(1, Ordering::Relaxed);
+        self.hits_mem.incr();
     }
 
     pub(crate) fn record_hit_disk(&self, bytes: u64) {
-        self.hits_disk.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.hits_disk.incr();
+        self.bytes_read.add(bytes);
     }
 
     pub(crate) fn record_miss(&self, bytes_written: u64) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes_written, Ordering::Relaxed);
+        self.misses.incr();
+        self.bytes_written.add(bytes_written);
     }
 }
 
-/// All counters of one [`crate::Store`].
-#[derive(Default)]
+/// All counters of one [`crate::Store`], backed by its metrics registry.
 pub struct StoreStats {
+    registry: Registry,
     kinds: [KindCounters; ArtifactKind::COUNT],
     /// Artifacts found on disk but rejected (bad magic/version/checksum);
     /// each is treated as a miss and rewritten. Sum over the per-kind
-    /// `corrupt` counters, kept as its own tally for cheap health checks.
-    corrupt: AtomicU64,
+    /// `corrupt` counters, kept as its own tally (`store.corrupt`) for
+    /// cheap health checks.
+    corrupt: Arc<Counter>,
+}
+
+impl Default for StoreStats {
+    fn default() -> StoreStats {
+        let registry = Registry::new();
+        let kinds =
+            std::array::from_fn(|i| KindCounters::register(&registry, ArtifactKind::ALL[i]));
+        let corrupt = registry.counter("store.corrupt");
+        StoreStats { registry, kinds, corrupt }
+    }
 }
 
 impl StoreStats {
+    /// The registry every counter lives on. `lpa-store stats --json`, the
+    /// run manifest and the registry-drift regression tests read this.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     pub(crate) fn kind(&self, kind: ArtifactKind) -> &KindCounters {
         &self.kinds[kind as usize]
     }
 
     pub(crate) fn record_corrupt(&self, kind: ArtifactKind) {
-        self.corrupt.fetch_add(1, Ordering::Relaxed);
-        self.kind(kind).corrupt.fetch_add(1, Ordering::Relaxed);
+        self.corrupt.incr();
+        self.kind(kind).corrupt.incr();
     }
 
     pub(crate) fn record_quarantined(&self, kind: ArtifactKind) {
-        self.kind(kind).quarantined.fetch_add(1, Ordering::Relaxed);
+        self.kind(kind).quarantined.incr();
     }
 
     /// Point-in-time copy of one kind's counters.
     pub fn snapshot(&self, kind: ArtifactKind) -> CountersSnapshot {
         let k = self.kind(kind);
         CountersSnapshot {
-            hits_mem: k.hits_mem.load(Ordering::Relaxed),
-            hits_disk: k.hits_disk.load(Ordering::Relaxed),
-            misses: k.misses.load(Ordering::Relaxed),
-            bytes_read: k.bytes_read.load(Ordering::Relaxed),
-            bytes_written: k.bytes_written.load(Ordering::Relaxed),
-            corrupt: k.corrupt.load(Ordering::Relaxed),
-            quarantined: k.quarantined.load(Ordering::Relaxed),
+            hits_mem: k.hits_mem.get(),
+            hits_disk: k.hits_disk.get(),
+            misses: k.misses.get(),
+            bytes_read: k.bytes_read.get(),
+            bytes_written: k.bytes_written.get(),
+            corrupt: k.corrupt.get(),
+            quarantined: k.quarantined.get(),
         }
     }
 
     pub fn corrupt(&self) -> u64 {
-        self.corrupt.load(Ordering::Relaxed)
+        self.corrupt.get()
     }
 }
 
@@ -142,5 +182,29 @@ mod tests {
         let o2 = stats.snapshot(ArtifactKind::Outcome);
         assert_eq!((o2.corrupt, o2.quarantined), (1, 1));
         assert_eq!(stats.snapshot(ArtifactKind::Reference).corrupt, 0);
+    }
+
+    #[test]
+    fn snapshot_is_a_registry_view() {
+        let stats = StoreStats::default();
+        stats.kind(ArtifactKind::Reference).record_miss(64);
+        stats.kind(ArtifactKind::Reference).record_hit_mem();
+        stats.record_corrupt(ArtifactKind::Reference);
+
+        let reg = stats.registry();
+        assert_eq!(reg.counter_value("store.reference.misses"), 1);
+        assert_eq!(reg.counter_value("store.reference.bytes_written"), 64);
+        assert_eq!(reg.counter_value("store.reference.hits_mem"), 1);
+        assert_eq!(reg.counter_value("store.corrupt"), stats.corrupt());
+        assert_eq!(
+            reg.counter_value("store.reference.corrupt"),
+            stats.snapshot(ArtifactKind::Reference).corrupt
+        );
+        // Every kind registers its full counter set up front, so JSON views
+        // list identical keys for cold and warm stores.
+        let names: Vec<String> =
+            reg.counters_snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 2 * 7 + 1);
+        assert!(names.contains(&"store.outcome.quarantined".to_string()));
     }
 }

@@ -349,6 +349,7 @@ impl Store {
     /// means not present; corrupt on-disk artifacts also read as absent
     /// (and are quarantined).
     pub fn get(&self, kind: ArtifactKind, key: Key) -> io::Result<Option<Arc<Vec<u8>>>> {
+        let _span = lpa_obs::span(lpa_obs::STORE_GET);
         let slot = self.cache.slot(key);
         let _cleanup = SlotCleanup { cache: &self.cache, key };
         let mut filled = lock_slot(&slot);
@@ -367,6 +368,7 @@ impl Store {
     /// Insert an artifact unconditionally (atomic write, counted as a
     /// miss/recompute).
     pub fn put(&self, kind: ArtifactKind, key: Key, payload: Vec<u8>) -> io::Result<Arc<Vec<u8>>> {
+        let _span = lpa_obs::span(lpa_obs::STORE_PUT);
         let slot = self.cache.slot(key);
         let _cleanup = SlotCleanup { cache: &self.cache, key };
         let mut filled = lock_slot(&slot);
@@ -421,18 +423,25 @@ impl Store {
         // an I/O failure leaves the key retryable.
         let _cleanup = SlotCleanup { cache: &self.cache, key };
         let mut filled = lock_slot(&slot);
-        if let Some(payload) = filled.as_ref() {
-            self.stats.kind(kind).record_hit_mem();
-            return Ok(Ok(payload.clone()));
-        }
-        if let Some(payload) = self.read_disk(kind, key)? {
-            self.stats.kind(kind).record_hit_disk(payload.len() as u64);
-            *filled = Some(payload.clone());
-            return Ok(Ok(payload));
+        // The `store.get` span covers only the lookup side (cache check +
+        // disk read) so it never swallows the compute closure's solve time;
+        // the persist side gets its own `store.put` span below.
+        {
+            let _span = lpa_obs::span(lpa_obs::STORE_GET);
+            if let Some(payload) = filled.as_ref() {
+                self.stats.kind(kind).record_hit_mem();
+                return Ok(Ok(payload.clone()));
+            }
+            if let Some(payload) = self.read_disk(kind, key)? {
+                self.stats.kind(kind).record_hit_disk(payload.len() as u64);
+                *filled = Some(payload.clone());
+                return Ok(Ok(payload));
+            }
         }
         match compute() {
             Err(e) => Ok(Err(e)),
             Ok(payload) => {
+                let _span = lpa_obs::span(lpa_obs::STORE_PUT);
                 let written = self.write_disk(kind, key, &payload)?;
                 self.stats.kind(kind).record_miss(written);
                 let payload = Arc::new(payload);

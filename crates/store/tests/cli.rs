@@ -115,6 +115,79 @@ fn repair_quarantines_and_reports() {
 }
 
 #[test]
+fn stats_json_emits_the_registry_schema() {
+    let (dir, store) = scratch_store("stats-json");
+    fill(&store, 4);
+    let out = cli(&["stats", dir.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "{out:?}");
+    let value: serde::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    assert_eq!(
+        value.get("schema").and_then(|v| v.as_str()),
+        Some(lpa_obs::REGISTRY_SCHEMA),
+        "stats --json uses the shared registry schema"
+    );
+    let counters = value.get("counters").and_then(|v| v.as_map()).unwrap();
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_num())
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert_eq!(counter("store.reference.artifacts"), 2.0);
+    assert_eq!(counter("store.outcome.artifacts"), 2.0);
+    assert_eq!(counter("store.invalid"), 0.0);
+    assert_eq!(counter("store.quarantine.files"), 0.0);
+    // Name-sorted map: scripts can diff two outputs textually.
+    let names: Vec<&String> = counters.iter().map(|(k, _)| k).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+
+    // Unknown extra flag is still a usage error.
+    let out = cli(&["stats", dir.to_str().unwrap(), "--yaml"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn verify_json_keeps_the_corruption_exit_code() {
+    let (dir, store) = scratch_store("verify-json");
+    fill(&store, 3);
+    let dir_str = dir.to_str().unwrap();
+
+    let out = cli(&["verify", dir_str, "--json"]);
+    assert!(out.status.success(), "{out:?}");
+    let value: serde::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    let counters = value.get("counters").and_then(|v| v.as_map()).unwrap();
+    let counter = |counters: &[(String, serde::Value)], name: &str| {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_num())
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert_eq!(counter(counters, "store.verify.ok"), 3.0);
+    assert_eq!(counter(counters, "store.verify.corrupt"), 0.0);
+
+    // Corrupt one artifact: --json still exits 1 so CI assertions hold.
+    let victim = store.path_of(hash128(b"cli-artifact-1"));
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 1;
+    std::fs::write(&victim, bytes).unwrap();
+    let out = cli(&["verify", dir_str, "--json"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let value: serde::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    let counters = value.get("counters").and_then(|v| v.as_map()).unwrap();
+    assert_eq!(counter(counters, "store.verify.ok"), 2.0);
+    assert_eq!(counter(counters, "store.verify.corrupt"), 1.0);
+    assert_eq!(counter(counters, "store.outcome.corrupt"), 1.0);
+    assert_eq!(counter(counters, "store.reference.corrupt"), 0.0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn missing_store_directory_is_a_usage_error() {
     let out = cli(&["verify", "/definitely/not/a/real/store/dir"]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");

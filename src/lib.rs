@@ -14,7 +14,9 @@
 //!   corpora,
 //! * [`experiments`] — the paper's experiment pipeline and reporting,
 //! * [`store`] — the persistent content-addressed experiment store that
-//!   makes harness runs resumable and warm-startable.
+//!   makes harness runs resumable and warm-startable,
+//! * [`obs`] — the observability layer: metrics registry, tracing spans,
+//!   and the `run_manifest/v1` JSON schema machinery.
 
 pub use lpa_arith as arith;
 pub use lpa_arnoldi as arnoldi;
@@ -22,6 +24,7 @@ pub use lpa_assign as assign;
 pub use lpa_datagen as datagen;
 pub use lpa_dense as dense;
 pub use lpa_experiments as experiments;
+pub use lpa_obs as obs;
 pub use lpa_sparse as sparse;
 pub use lpa_store as store;
 
