@@ -38,6 +38,7 @@ pub mod dd;
 pub mod ieee;
 pub mod info;
 pub mod lut;
+pub mod numerics_versions;
 pub mod posit;
 pub mod real;
 pub mod softfloat;

@@ -1,0 +1,25 @@
+//! Feature versions this arithmetic crate implements.
+//!
+//! Each version names the numerics contract of one differential-suite-backed
+//! subsystem. A PR that changes what a subsystem *computes* (not how fast)
+//! must bump its constant here and mirror the bump in
+//! `lpa_numerics::NumericsConfig::builtin`; the cross-check lives in
+//! `lpa_experiments::numerics` so a one-sided bump fails loudly instead of
+//! silently serving stale cached artifacts.
+
+/// The shared integer soft-float kernel (`softfloat` module) every emulated
+/// format rounds through.
+pub const SOFTFLOAT_KERNEL: u32 = 1;
+
+/// The unpack-once 16-bit decode tables (`unpacked` module, Lut16 tier).
+pub const DEC16_TABLES: u32 = 1;
+
+/// The decoded-operand batch kernel engine's value-level rounder
+/// (`batch` module).
+pub const BATCH_ROUND: u32 = 1;
+
+/// The 8-bit full-result lookup tables (`lut` module).
+pub const LUT8_TABLES: u32 = 1;
+
+/// The double-double reference arithmetic (`dd` module).
+pub const DD_REFERENCE: u32 = 1;

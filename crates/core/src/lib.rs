@@ -39,6 +39,12 @@ pub mod operator;
 pub mod options;
 pub mod result;
 
+/// Numerics-feature version of the Krylov–Schur restart iteration. A PR
+/// that changes the computed iteration (not just its speed) bumps this and
+/// mirrors the bump in `lpa_numerics::NumericsConfig::builtin`; the
+/// cross-check lives in `lpa_experiments::numerics`.
+pub const ARNOLDI_RESTART_VERSION: u32 = 1;
+
 pub use error::ArnoldiError;
 pub use krylov_schur::partial_schur;
 pub use operator::LinearOperator;

@@ -24,6 +24,7 @@
 //! | observability  | `--obs`           | `LPA_OBS`            | disarmed |
 //! | manifest path  | `--manifest-out`  | `LPA_MANIFEST_OUT`   | none    |
 //! | fault spec     | *(env-only)*      | `LPA_FAULTS`         | disarmed |
+//! | numerics bump  | *(env-only)*      | `LPA_NUMERICS_BUMP`  | builtin  |
 //!
 //! Four variables are owned by lower layers and only *flow through* here
 //! so the precedence stays uniform: `LPA_ARITH_TIER` is read by
@@ -138,6 +139,12 @@ pub const ENV_DOCS: &[EnvDoc] = &[
         flag: "",
         value: "SPEC",
         help: "fault-injection spec, e.g. store.read.corrupt=prob:0.2 (read by lpa-faults; default disarmed)",
+    },
+    EnvDoc {
+        var: "LPA_NUMERICS_BUMP",
+        flag: "",
+        value: "feature=V[,feature=V...]",
+        help: "override numerics feature versions, e.g. batch_round=2 (read by lpa-numerics; default builtin table)",
     },
 ];
 
@@ -457,8 +464,9 @@ mod tests {
             observability: _,
             manifest_out: _,
         } = PlanOverrides::default();
-        // 11 override fields + the env-only LPA_FAULTS row.
-        assert_eq!(ENV_DOCS.len(), 12, "one doc row per knob");
+        // 11 override fields + the env-only LPA_FAULTS and
+        // LPA_NUMERICS_BUMP rows.
+        assert_eq!(ENV_DOCS.len(), 13, "one doc row per knob");
 
         let table = env_docs_table();
         for doc in ENV_DOCS {

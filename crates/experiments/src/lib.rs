@@ -54,6 +54,7 @@ pub mod driver;
 pub mod formats;
 pub mod harness;
 pub mod manifest;
+pub mod numerics;
 pub mod outcome;
 pub mod persist;
 pub mod pipeline;

@@ -8,7 +8,8 @@
 //! ```json
 //! {
 //!   "schema": "run_manifest/v1",
-//!   "plan":  { "formats": [...], "config": {...}, "corpus": N, "faults": "..." },
+//!   "plan":  { "formats": [...], "config": {...}, "corpus": N, "faults": "...",
+//!              "numerics": { "<feature>": V, ... } },
 //!   "grid":  { ...the ExperimentResults serialization... },
 //!   "run":   { "threads": T, "arith_tier": "...", "kernel_batch": "...",
 //!              "retry": R, "cell_deadline_ms": D, "observability": "...",
@@ -115,7 +116,7 @@ pub fn timing_masked(manifest: &Value) -> Value {
                     .map(|(k, v)| {
                         let is_timing =
                             k.ends_with("_ms") || k.ends_with("_ns") || k == "threads";
-                        let masked = if is_timing && matches!(v, Value::Num(_)) {
+                        let masked = if is_timing && matches!(v, Value::Num(_) | Value::UInt(_)) {
                             Value::Num(0.0)
                         } else {
                             mask(v)
@@ -155,7 +156,7 @@ pub fn validate(manifest: &Value) -> Result<(), String> {
         None => return Err("manifest: schema is not a string".to_string()),
     }
     let plan = manifest.get("plan").unwrap();
-    expect_keys(plan, &["formats", "config", "corpus", "faults"], "plan")?;
+    expect_keys(plan, &["formats", "config", "corpus", "faults", "numerics"], "plan")?;
     expect_keys(
         plan.get("config").unwrap(),
         &["eigenvalue_count", "eigenvalue_buffer_count", "which", "reference_tol", "max_restarts", "seed"],
@@ -245,6 +246,10 @@ mod tests {
                     ),
                     ("corpus".to_string(), Value::Num(1.0)),
                     ("faults".to_string(), str_v("disarmed")),
+                    (
+                        "numerics".to_string(),
+                        Value::Map(vec![("dd_reference".to_string(), Value::UInt(1))]),
+                    ),
                 ]),
             ),
             (
@@ -351,5 +356,15 @@ mod tests {
         assert_eq!(span.get("max_ns").and_then(|v| v.as_num()), Some(0.0));
         // Null timing knobs stay null (they are already deterministic).
         assert!(matches!(run.get("cell_deadline_ms"), Some(Value::Null)));
+
+        // Exact-integer timing values (the registry renders UInt now) are
+        // masked the same way as float ones.
+        let uint_timing = Value::Map(vec![
+            ("io_ns".to_string(), Value::UInt(u64::MAX)),
+            ("calls".to_string(), Value::UInt(7)),
+        ]);
+        let masked = timing_masked(&uint_timing);
+        assert_eq!(masked.get("io_ns").and_then(|v| v.as_num()), Some(0.0));
+        assert_eq!(masked.get("calls").and_then(|v| v.as_u64()), Some(7));
     }
 }

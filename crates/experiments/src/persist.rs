@@ -9,7 +9,9 @@
 //!
 //! 1. a domain tag (`"lpa/ref"` vs `"lpa/outcome"`, so the two artifact
 //!    families can never collide),
-//! 2. [`CODE_VERSION_SALT`],
+//! 2. the [`NumericsConfig`] key material of the artifact's slice — the
+//!    versions of exactly the numerics features that can affect this
+//!    artifact's kind and format (see `lpa_numerics`),
 //! 3. every solver option of [`ExperimentConfig`] that reaches the solve
 //!    (pair counts, spectrum target, tolerance bits, restart budget, seed),
 //! 4. the matrix's exact CSR identity: dimensions, `row_ptr`, `col_idx`,
@@ -18,17 +20,21 @@
 //! Outcome keys additionally hash the format tag (and its per-width
 //! tolerance is derived from the tag, so it is covered).
 //!
-//! ## Salt policy
+//! ## Version policy (formerly the salt policy)
 //!
-//! [`CODE_VERSION_SALT`] **must be bumped in the same commit as any change
-//! that alters computed numerics** — arithmetic kernels, the Arnoldi
-//! iteration, eigenvector matching, the reference tolerance default, RNG
-//! streams, the codec schemas. Stale artifacts then simply miss and are
-//! recomputed; nothing ever needs manual invalidation. Changes that cannot
-//! affect results (reporting, CLI, docs) must *not* bump it, or every CI
-//! cache and local store warms from scratch for no reason.
+//! A change that alters computed numerics — arithmetic kernels, the
+//! Arnoldi iteration, eigenvector matching, the reference tolerance
+//! default, RNG streams, the codec schemas — **must bump the version of
+//! the feature it changed** in `lpa_numerics::NumericsConfig::builtin`,
+//! in the same commit. Only the (kind, format) slices that feature is
+//! relevant to then miss and recompute; every other cached artifact stays
+//! warm, and `lpa-store gc --stale-numerics` can drop the orphaned slice.
+//! Changes that cannot affect results (reporting, CLI, docs) must not
+//! bump anything. At the baseline table the key material is byte-for-byte
+//! the old monolithic salt, so pre-table stores stay fully warm.
 
 use lpa_arnoldi::Which;
+use lpa_numerics::{NumericsConfig, Slice};
 use lpa_sparse::CsrMatrix;
 use lpa_store::{CodecError, Decoder, Encoder, Hasher128, Key};
 
@@ -36,9 +42,14 @@ use crate::formats::FormatTag;
 use crate::outcome::{EigenErrors, Outcome};
 use crate::pipeline::{ExperimentConfig, Reference};
 
-/// Version salt folded into every key. Bump whenever computed numerics
-/// change (see the module docs for the policy).
-pub const CODE_VERSION_SALT: u64 = 0x6c70_6131_0000_0001;
+/// The historical monolithic version salt, kept only as a view over the
+/// numerics table's base value. Nothing derives keys from it directly
+/// anymore — keys hash [`NumericsConfig::key_material`], which *starts*
+/// with these bytes and stays byte-identical while the table is at
+/// baseline.
+#[deprecated(note = "keys hash per-slice NumericsConfig key material now; \
+                     bump the changed feature in NumericsConfig::builtin instead")]
+pub const CODE_VERSION_SALT: u64 = lpa_numerics::BASE_SALT;
 
 /// Stable wire id of a format tag. **Append-only**: these ids live inside
 /// persisted keys, so renumbering existing entries orphans every store.
@@ -73,7 +84,6 @@ fn which_id(which: Which) -> u8 {
 
 /// Hash the solver options that reach a solve.
 fn hash_config(h: &mut Hasher128, cfg: &ExperimentConfig) {
-    h.write_u64(CODE_VERSION_SALT);
     h.write_usize(cfg.eigenvalue_count);
     h.write_usize(cfg.eigenvalue_buffer_count);
     h.write_u8(which_id(cfg.which));
@@ -98,23 +108,50 @@ fn hash_matrix(h: &mut Hasher128, matrix: &CsrMatrix<f64>) {
     }
 }
 
-/// Content address of a matrix's double-double reference solution.
-pub fn reference_key(matrix: &CsrMatrix<f64>, cfg: &ExperimentConfig) -> Key {
+/// Content address of a matrix's double-double reference solution under an
+/// explicit numerics table (tests and migration tooling; the pipeline uses
+/// [`reference_key`]).
+pub fn reference_key_with(
+    numerics: &NumericsConfig,
+    matrix: &CsrMatrix<f64>,
+    cfg: &ExperimentConfig,
+) -> Key {
     let mut h = Hasher128::new();
     h.write(b"lpa/ref");
+    h.write(&numerics.key_material(Slice::Reference));
     hash_config(&mut h, cfg);
     hash_matrix(&mut h, matrix);
     h.finish()
 }
 
-/// Content address of one (matrix, format) outcome.
-pub fn outcome_key(matrix: &CsrMatrix<f64>, format: FormatTag, cfg: &ExperimentConfig) -> Key {
+/// Content address of one (matrix, format) outcome under an explicit
+/// numerics table.
+pub fn outcome_key_with(
+    numerics: &NumericsConfig,
+    matrix: &CsrMatrix<f64>,
+    format: FormatTag,
+    cfg: &ExperimentConfig,
+) -> Key {
+    let id = format_id(format);
     let mut h = Hasher128::new();
     h.write(b"lpa/outcome");
-    h.write_u8(format_id(format));
+    h.write_u8(id);
+    h.write(&numerics.key_material(Slice::Outcome { format: Some(id) }));
     hash_config(&mut h, cfg);
     hash_matrix(&mut h, matrix);
     h.finish()
+}
+
+/// Content address of a matrix's double-double reference solution under
+/// this process's effective numerics table.
+pub fn reference_key(matrix: &CsrMatrix<f64>, cfg: &ExperimentConfig) -> Key {
+    reference_key_with(&crate::numerics::checked_current(), matrix, cfg)
+}
+
+/// Content address of one (matrix, format) outcome under this process's
+/// effective numerics table.
+pub fn outcome_key(matrix: &CsrMatrix<f64>, format: FormatTag, cfg: &ExperimentConfig) -> Key {
+    outcome_key_with(&crate::numerics::checked_current(), matrix, format, cfg)
 }
 
 // Payload tags. A failed reference is persisted too: warm runs must skip

@@ -715,6 +715,19 @@ impl Session<'_> {
                 "faults".to_string(),
                 Value::Str(lpa_faults::active_spec().unwrap_or_else(|| "disarmed".to_string())),
             ),
+            (
+                // The effective numerics table (builtin plus any
+                // LPA_NUMERICS_BUMP override) — the thing artifact
+                // addresses hash per-slice views of.
+                "numerics".to_string(),
+                Value::Map(
+                    crate::numerics::checked_current()
+                        .to_pairs()
+                        .into_iter()
+                        .map(|(name, version)| (name.to_string(), Value::UInt(u64::from(version))))
+                        .collect(),
+                ),
+            ),
         ]);
 
         // Session counters: tallied from the records, then added to the
@@ -967,8 +980,8 @@ fn resolve_reference(
     let reference = match persist::decode_reference(&bytes) {
         Ok(r) => Ok(r),
         // Checksum-valid but undecodable: payload schema drift without a
-        // salt bump. Recompute and heal in place rather than poisoning
-        // every future run.
+        // feature-version bump. Recompute and heal in place rather than
+        // poisoning every future run.
         Err(_) => {
             computed.set(true);
             match solve() {
@@ -1010,8 +1023,12 @@ fn resolve_outcome(
     };
     let computed = Cell::new(false);
     let key = persist::outcome_key(&tm.matrix, format, cfg);
+    // Outcome frames carry the format's stable wire id, so mislabelled
+    // frames (hash collision, wrong-file restore) are quarantined on read
+    // instead of being decoded as the wrong format's outcome.
+    let format_id = Some(persist::format_id(format));
     let bytes = match s
-        .get_or_try_compute(ArtifactKind::Outcome, key, || {
+        .get_or_try_compute_for(ArtifactKind::Outcome, key, format_id, || {
             computed.set(true);
             solve().map(|o| persist::encode_outcome(&o))
         })
@@ -1028,7 +1045,7 @@ fn resolve_outcome(
             computed.set(true);
             match solve() {
                 Ok(o) => {
-                    s.put(ArtifactKind::Outcome, key, persist::encode_outcome(&o))
+                    s.put_for(ArtifactKind::Outcome, key, persist::encode_outcome(&o), format_id)
                         .expect("store I/O failed while healing an outcome");
                     o
                 }

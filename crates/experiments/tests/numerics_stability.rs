@@ -1,0 +1,191 @@
+//! Byte-stability contract of the versioned-numerics key derivation.
+//!
+//! Keys used to hash one monolithic `CODE_VERSION_SALT`; they now hash the
+//! per-slice key material of a [`NumericsConfig`]. Two properties keep the
+//! migration honest over arbitrary (matrix, options, format) inputs:
+//!
+//! 1. **Warm-store compatibility**: at the baseline table the new
+//!    derivation reproduces the old salt-based addresses bit-for-bit (the
+//!    old derivation is reimplemented here, literal salt and all, from the
+//!    pre-table code). Every pre-migration store stays fully warm.
+//! 2. **Surgical invalidation**: bumping a single feature version changes
+//!    a key *iff* the feature is relevant to that artifact's slice —
+//!    nothing else moves.
+
+use lpa_experiments::persist::{format_id, outcome_key_with, reference_key_with};
+use lpa_experiments::{ExperimentConfig, FormatTag};
+use lpa_numerics::{relevant_features, Feature, NumericsConfig, Slice};
+use lpa_sparse::CsrMatrix;
+use lpa_store::{Hasher128, Key};
+use proptest::prelude::*;
+
+/// The pre-table monolithic salt, as a literal: this file must keep
+/// reproducing the *historical* byte stream even if the constants move.
+const OLD_SALT: u64 = 0x6c70_6131_0000_0001;
+
+/// The old `hash_config`: the salt first, then the solver options.
+fn old_hash_config(h: &mut Hasher128, cfg: &ExperimentConfig) {
+    h.write_u64(OLD_SALT);
+    h.write_usize(cfg.eigenvalue_count);
+    h.write_usize(cfg.eigenvalue_buffer_count);
+    h.write_u8(which_id(cfg.which));
+    h.write_f64_bits(cfg.reference_tol);
+    h.write_usize(cfg.max_restarts);
+    h.write_u64(cfg.seed);
+}
+
+fn which_id(which: lpa_arnoldi::Which) -> u8 {
+    match which {
+        lpa_arnoldi::Which::LargestMagnitude => 0,
+        lpa_arnoldi::Which::SmallestMagnitude => 1,
+        lpa_arnoldi::Which::LargestReal => 2,
+        lpa_arnoldi::Which::SmallestReal => 3,
+    }
+}
+
+fn old_hash_matrix(h: &mut Hasher128, matrix: &CsrMatrix<f64>) {
+    h.write_usize(matrix.nrows());
+    h.write_usize(matrix.ncols());
+    h.write_usize(matrix.nnz());
+    for &p in matrix.row_ptr() {
+        h.write_usize(p);
+    }
+    for &j in matrix.col_indices() {
+        h.write_usize(j);
+    }
+    for &v in matrix.values() {
+        h.write_f64_bits(v);
+    }
+}
+
+fn old_reference_key(matrix: &CsrMatrix<f64>, cfg: &ExperimentConfig) -> Key {
+    let mut h = Hasher128::new();
+    h.write(b"lpa/ref");
+    old_hash_config(&mut h, cfg);
+    old_hash_matrix(&mut h, matrix);
+    h.finish()
+}
+
+fn old_outcome_key(matrix: &CsrMatrix<f64>, format: FormatTag, cfg: &ExperimentConfig) -> Key {
+    let mut h = Hasher128::new();
+    h.write(b"lpa/outcome");
+    h.write_u8(format_id(format));
+    old_hash_config(&mut h, cfg);
+    old_hash_matrix(&mut h, matrix);
+    h.finish()
+}
+
+/// A small random CSR matrix (possibly empty) deterministic in `seed`.
+fn arbitrary_matrix(seed: u64, n: usize, nnz: usize) -> CsrMatrix<f64> {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut triplets = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let i = (rng.next_u64() as usize) % n.max(1);
+        let j = (rng.next_u64() as usize) % n.max(1);
+        // Raw bit noise: key derivation must be exact on any f64 pattern.
+        triplets.push((i, j, f64::from_bits(rng.next_u64())));
+    }
+    triplets.sort_by_key(|t| (t.0, t.1));
+    triplets.dedup_by_key(|t| (t.0, t.1));
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+fn arbitrary_config(seed: u64) -> ExperimentConfig {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let which = match rng.next_u64() % 4 {
+        0 => lpa_arnoldi::Which::LargestMagnitude,
+        1 => lpa_arnoldi::Which::SmallestMagnitude,
+        2 => lpa_arnoldi::Which::LargestReal,
+        _ => lpa_arnoldi::Which::SmallestReal,
+    };
+    ExperimentConfig {
+        eigenvalue_count: 1 + (rng.next_u64() as usize) % 12,
+        eigenvalue_buffer_count: (rng.next_u64() as usize) % 4,
+        which,
+        reference_tol: f64::from_bits(rng.next_u64()),
+        max_restarts: (rng.next_u64() as usize) % 1000,
+        seed: rng.next_u64(),
+        ..ExperimentConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Property 1: every pre-migration address is reproduced exactly.
+    #[test]
+    fn baseline_table_reproduces_the_old_salt_addresses(
+        mat_seed in any::<u64>(),
+        cfg_seed in any::<u64>(),
+        shape in any::<u64>(),
+    ) {
+        // The vendored proptest has no integer-range strategies; derive
+        // the small shape parameters from one u64.
+        let n = 1 + (shape % 9) as usize;
+        let nnz = ((shape >> 8) % 24) as usize;
+        let format_idx = ((shape >> 16) % 14) as usize;
+        let matrix = arbitrary_matrix(mat_seed, n, nnz);
+        let cfg = arbitrary_config(cfg_seed);
+        let format = FormatTag::all()[format_idx];
+        let baseline = NumericsConfig::baseline();
+
+        prop_assert_eq!(
+            old_reference_key(&matrix, &cfg),
+            reference_key_with(&baseline, &matrix, &cfg),
+            "reference address moved at the baseline table"
+        );
+        prop_assert_eq!(
+            old_outcome_key(&matrix, format, &cfg),
+            outcome_key_with(&baseline, &matrix, format, &cfg),
+            "outcome address moved at the baseline table"
+        );
+        // The builtin table is currently all-baseline, so the pipeline's
+        // public derivation agrees too (no LPA_NUMERICS_BUMP in tests).
+        prop_assert_eq!(
+            old_reference_key(&matrix, &cfg),
+            lpa_experiments::persist::reference_key(&matrix, &cfg)
+        );
+        prop_assert_eq!(
+            old_outcome_key(&matrix, format, &cfg),
+            lpa_experiments::persist::outcome_key(&matrix, format, &cfg)
+        );
+    }
+
+    /// Property 2: a single-feature bump moves a key iff the feature is
+    /// relevant to that key's slice.
+    #[test]
+    fn single_feature_bumps_invalidate_exactly_their_slice(
+        mat_seed in any::<u64>(),
+        cfg_seed in any::<u64>(),
+        shape in any::<u64>(),
+    ) {
+        let n = 1 + (shape % 7) as usize;
+        let nnz = ((shape >> 8) % 16) as usize;
+        let format_idx = ((shape >> 16) % 14) as usize;
+        let bump_to = 2 + ((shape >> 24) % 98) as u32;
+        let matrix = arbitrary_matrix(mat_seed, n, nnz);
+        let cfg = arbitrary_config(cfg_seed);
+        let format = FormatTag::all()[format_idx];
+        let id = format_id(format);
+        let baseline = NumericsConfig::baseline();
+        let ref_before = reference_key_with(&baseline, &matrix, &cfg);
+        let out_before = outcome_key_with(&baseline, &matrix, format, &cfg);
+
+        for feature in Feature::all() {
+            let bumped = baseline.with_version(feature, bump_to);
+            let ref_moved = reference_key_with(&bumped, &matrix, &cfg) != ref_before;
+            let out_moved = outcome_key_with(&bumped, &matrix, format, &cfg) != out_before;
+            prop_assert_eq!(
+                ref_moved,
+                relevant_features(Slice::Reference).contains(&feature),
+                "reference key vs relevance disagree on {}", feature.name()
+            );
+            prop_assert_eq!(
+                out_moved,
+                relevant_features(Slice::Outcome { format: Some(id) }).contains(&feature),
+                "outcome key vs relevance disagree on {} for format {:?}",
+                feature.name(), format
+            );
+        }
+    }
+}

@@ -12,7 +12,7 @@ use std::sync::Mutex;
 
 use lpa_datagen::{general_corpus, CorpusConfig, TestMatrix};
 use lpa_experiments::{
-    persist, ExperimentConfig, ExperimentPlan, FormatTag, ProgressEvent, ProgressObserver,
+    ExperimentConfig, ExperimentPlan, FormatTag, ProgressEvent, ProgressObserver,
 };
 use lpa_store::Store;
 
@@ -54,17 +54,18 @@ impl Recorder {
     }
 }
 
-/// The salt guard: the API redesign must not change any computed bytes, so
-/// the free functions (old front door) and `Session::run` (new front door)
-/// must serialize byte-identically, store artifacts included, under an
-/// unchanged `CODE_VERSION_SALT` — which keeps every store populated
-/// before this change warm after it.
+/// The key-stability guard: the API redesign must not change any computed
+/// bytes, so the free functions (old front door) and `Session::run` (new
+/// front door) must serialize byte-identically, store artifacts included,
+/// under unchanged key material (historically `CODE_VERSION_SALT`, now the
+/// numerics table's base salt) — which keeps every store populated before
+/// this change warm after it.
 #[test]
 fn old_and_new_front_doors_are_byte_identical() {
     // If this assertion fires, the API refactor changed computed numerics
-    // (or someone bumped the salt without needing to): both invalidate the
-    // warm-start guarantee this test exists to protect.
-    assert_eq!(persist::CODE_VERSION_SALT, 0x6c70_6131_0000_0001, "salt must not change in PR 4");
+    // (or someone moved the base salt without needing to): both invalidate
+    // the warm-start guarantee this test exists to protect.
+    assert_eq!(lpa_numerics::BASE_SALT, 0x6c70_6131_0000_0001, "base salt must not change");
 
     let corpus = tiny_corpus(4);
     let formats =

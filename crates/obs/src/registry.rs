@@ -151,24 +151,26 @@ impl Registry {
     /// The canonical `lpa-obs-registry/v1` rendering: name-sorted maps for
     /// counters and gauges, per-histogram `{count, total_ns, buckets}`.
     pub fn to_value(&self) -> Value {
+        // `Value::UInt` keeps u64 tallies digit-exact in the rendering; a
+        // float Num would silently round counters above 2^53.
         let counters = lock(&self.counters)
             .iter()
-            .map(|(name, c)| (name.clone(), Value::Num(c.get() as f64)))
+            .map(|(name, c)| (name.clone(), Value::UInt(c.get())))
             .collect();
         let gauges = lock(&self.gauges)
             .iter()
-            .map(|(name, g)| (name.clone(), Value::Num(g.get() as f64)))
+            .map(|(name, g)| (name.clone(), Value::UInt(g.get())))
             .collect();
         let histograms = lock(&self.histograms)
             .iter()
             .map(|(name, h)| {
                 let buckets =
-                    h.bucket_counts().iter().map(|&n| Value::Num(n as f64)).collect();
+                    h.bucket_counts().iter().map(|&n| Value::UInt(n)).collect();
                 (
                     name.clone(),
                     Value::Map(vec![
-                        ("count".to_string(), Value::Num(h.count() as f64)),
-                        ("total_ns".to_string(), Value::Num(h.total_ns() as f64)),
+                        ("count".to_string(), Value::UInt(h.count())),
+                        ("total_ns".to_string(), Value::UInt(h.total_ns())),
                         ("buckets".to_string(), Value::Seq(buckets)),
                     ]),
                 )
@@ -200,7 +202,7 @@ pub fn counters_value(pairs: &[(String, u64)]) -> Value {
         ("schema".to_string(), Value::Str(REGISTRY_SCHEMA.to_string())),
         (
             "counters".to_string(),
-            Value::Map(sorted.into_iter().map(|(k, v)| (k, Value::Num(v as f64))).collect()),
+            Value::Map(sorted.into_iter().map(|(k, v)| (k, Value::UInt(v))).collect()),
         ),
     ])
 }
@@ -269,5 +271,27 @@ mod tests {
         );
         let counters = synthesized.get("counters").and_then(|v| v.as_map()).unwrap();
         assert_eq!(counters[0].0, "a", "synthesized views are name-sorted too");
+    }
+
+    #[test]
+    fn counters_render_digit_exact_beyond_f64_range() {
+        // 2^53 + 1 is the first integer f64 cannot hold; u64::MAX is the
+        // saturation edge. The JSON view must carry every digit of both.
+        let reg = Registry::new();
+        reg.counter("sat.max").add(u64::MAX);
+        reg.counter("sat.edge").add((1u64 << 53) + 1);
+        reg.gauge("sat.gauge").set(u64::MAX - 1);
+        let json = serde_json::to_string(&reg.to_value()).unwrap();
+        assert!(json.contains("\"sat.max\":18446744073709551615"), "{json}");
+        assert!(json.contains("\"sat.edge\":9007199254740993"), "{json}");
+        assert!(json.contains("\"sat.gauge\":18446744073709551614"), "{json}");
+
+        let live = reg.to_value();
+        let counters = live.get("counters").unwrap();
+        assert_eq!(counters.get("sat.max").and_then(|v| v.as_u64()), Some(u64::MAX));
+
+        let synthesized = counters_value(&[("sat.max".to_string(), u64::MAX)]);
+        let json = serde_json::to_string(&synthesized).unwrap();
+        assert!(json.contains("18446744073709551615"), "{json}");
     }
 }

@@ -6,8 +6,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::SystemTime;
 
+use lpa_numerics::{NumericsConfig, RecordedNumerics, Slice};
+
 use crate::hash::Key;
-use crate::store::{decode_artifact, ArtifactKind, QUARANTINE_DIR};
+use crate::store::{decode_artifact, quarantine_dest, ArtifactKind, QUARANTINE_DIR};
 
 /// Invalid files found during a [`scan`], each with its reason.
 pub type InvalidFiles = Vec<(PathBuf, String)>;
@@ -20,6 +22,58 @@ pub struct ArtifactInfo {
     /// Whole-file size (header + payload).
     pub file_len: u64,
     pub modified: SystemTime,
+    /// Recorded format id (v3 frames; `None` for references and legacy).
+    pub format: Option<u8>,
+    /// Serialized producing numerics table (v3 frames).
+    pub numerics: Option<Vec<u8>>,
+}
+
+impl ArtifactInfo {
+    /// The (kind, format) slice this artifact's address lives in.
+    fn slice(&self) -> Slice {
+        match self.kind {
+            ArtifactKind::Reference => Slice::Reference,
+            ArtifactKind::Outcome => Slice::Outcome { format: self.format },
+        }
+    }
+
+    /// The producing numerics table, decoded. Legacy v1/v2 frames were
+    /// produced at the baseline table by the byte-stability contract;
+    /// `None` means the recorded section is undecodable.
+    fn recorded_numerics(&self) -> Option<RecordedNumerics> {
+        match &self.numerics {
+            None => Some(RecordedNumerics::legacy_baseline()),
+            Some(bytes) => RecordedNumerics::from_bytes(bytes).ok(),
+        }
+    }
+
+    /// Slice label for per-numerics-version reporting: the recorded
+    /// table's fingerprint, `legacy` for pre-v3 frames, `undecodable`
+    /// when the recorded section cannot be parsed.
+    fn numerics_label(&self) -> String {
+        match &self.numerics {
+            None => "legacy".to_string(),
+            Some(_) => match self.recorded_numerics() {
+                Some(rec) => rec.fingerprint(),
+                None => "undecodable".to_string(),
+            },
+        }
+    }
+}
+
+/// Artifact counts per (kind, numerics label), sorted — the per-version
+/// slice breakdown `lpa-store stats`/`verify` report.
+pub fn numerics_slice_counts(artifacts: &[ArtifactInfo]) -> Vec<(ArtifactKind, String, u64)> {
+    let mut counts: Vec<(ArtifactKind, String, u64)> = Vec::new();
+    for a in artifacts {
+        let label = a.numerics_label();
+        match counts.iter_mut().find(|(k, l, _)| *k == a.kind && *l == label) {
+            Some((_, _, n)) => *n += 1,
+            None => counts.push((a.kind, label, 1)),
+        }
+    }
+    counts.sort_by(|a, b| (a.0 as u8, &a.1).cmp(&(b.0 as u8, &b.1)));
+    counts
 }
 
 /// Walk every `<2-hex>/<hash>.bin` under `root`, decoding and validating
@@ -77,6 +131,8 @@ fn check_file(path: &Path) -> Result<ArtifactInfo, String> {
         key: artifact.key,
         file_len: meta.len(),
         modified: meta.modified().map_err(|e| format!("no mtime: {e}"))?,
+        format: artifact.format,
+        numerics: artifact.numerics,
     })
 }
 
@@ -88,6 +144,8 @@ pub struct VerifyReport {
     /// Corrupt-file counts per artifact kind; the extra last slot counts
     /// files whose header is too damaged to even name a kind.
     pub corrupt_per_kind: [usize; ArtifactKind::COUNT + 1],
+    /// Valid-artifact counts per (kind, recorded numerics table).
+    pub numerics_slices: Vec<(ArtifactKind, String, u64)>,
 }
 
 /// Best-effort kind of a *corrupt* file, from the header's kind byte. The
@@ -129,6 +187,9 @@ impl VerifyReport {
             "store.unknown.corrupt".to_string(),
             self.corrupt_per_kind[ArtifactKind::COUNT] as u64,
         ));
+        for (kind, label, count) in &self.numerics_slices {
+            counters.push((format!("store.numerics.{}.{label}", kind.name()), *count));
+        }
         counters
     }
 }
@@ -140,6 +201,7 @@ pub fn verify(root: &Path) -> io::Result<VerifyReport> {
     Ok(VerifyReport {
         ok: ok.len(),
         bytes: ok.iter().map(|a| a.file_len).sum(),
+        numerics_slices: numerics_slice_counts(&ok),
         corrupt,
         corrupt_per_kind,
     })
@@ -163,7 +225,7 @@ pub fn repair(root: &Path) -> io::Result<RepairReport> {
         std::fs::create_dir_all(&dir)?;
         for (path, _) in &report.corrupt {
             let Some(name) = path.file_name() else { continue };
-            if std::fs::rename(path, dir.join(name)).is_ok() {
+            if std::fs::rename(path, quarantine_dest(&dir, name)).is_ok() {
                 quarantined += 1;
             }
         }
@@ -194,6 +256,8 @@ pub struct StatsReport {
     pub invalid: usize,
     /// `(count, file bytes)` sitting in `quarantine/`.
     pub quarantine: (u64, u64),
+    /// Artifact counts per (kind, recorded numerics table).
+    pub numerics_slices: Vec<(ArtifactKind, String, u64)>,
 }
 
 impl StatsReport {
@@ -217,6 +281,9 @@ impl StatsReport {
         counters.push(("store.invalid".to_string(), self.invalid as u64));
         counters.push(("store.quarantine.files".to_string(), self.quarantine.0));
         counters.push(("store.quarantine.bytes".to_string(), self.quarantine.1));
+        for (kind, label, count) in &self.numerics_slices {
+            counters.push((format!("store.numerics.{}.{label}", kind.name()), *count));
+        }
         counters
     }
 }
@@ -229,7 +296,12 @@ pub fn stats_report(root: &Path) -> io::Result<StatsReport> {
         slot.0 += 1;
         slot.1 += a.file_len;
     }
-    Ok(StatsReport { per_kind, invalid: bad.len(), quarantine: quarantine_usage(root)? })
+    Ok(StatsReport {
+        per_kind,
+        invalid: bad.len(),
+        quarantine: quarantine_usage(root)?,
+        numerics_slices: numerics_slice_counts(&ok),
+    })
 }
 
 /// Result of [`gc`].
@@ -239,18 +311,27 @@ pub struct GcReport {
     pub deleted: usize,
     pub deleted_bytes: u64,
     pub tmp_removed: usize,
+    /// Artifacts dropped by the `stale_numerics` pass (not counted in
+    /// `deleted`, which covers the age/budget/invalid passes).
+    pub stale: usize,
+    pub stale_bytes: u64,
 }
 
-/// What [`gc`] deletes. The two limits compose: age is applied first
-/// (drop everything not touched within `max_age`), then the byte budget
-/// shrinks whatever survived, oldest first. At least one limit must be
-/// set — an empty policy would be a no-op that *looks* like a cleanup.
+/// What [`gc`] deletes. The limits compose: the stale-numerics pass runs
+/// first (drop artifacts whose recorded feature versions no longer match
+/// the given table on any relevant feature), then age (drop everything
+/// not touched within `max_age`), then the byte budget shrinks whatever
+/// survived, oldest first. At least one limit must be set — an empty
+/// policy would be a no-op that *looks* like a cleanup.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct GcPolicy {
     /// Keep total artifact bytes at or below this budget.
     pub max_bytes: Option<u64>,
     /// Delete artifacts whose mtime is older than this.
     pub max_age: Option<std::time::Duration>,
+    /// Delete artifacts whose recorded numerics table differs from this
+    /// one on a feature relevant to their (kind, format) slice.
+    pub stale_numerics: Option<NumericsConfig>,
 }
 
 impl GcPolicy {
@@ -262,48 +343,85 @@ impl GcPolicy {
         GcPolicy { max_age: Some(age), ..Default::default() }
     }
 
+    pub fn stale_numerics(config: NumericsConfig) -> GcPolicy {
+        GcPolicy { stale_numerics: Some(config), ..Default::default() }
+    }
+
     pub fn is_empty(&self) -> bool {
-        self.max_bytes.is_none() && self.max_age.is_none()
+        self.max_bytes.is_none() && self.max_age.is_none() && self.stale_numerics.is_none()
     }
 }
 
-/// Shrink the store per `policy`: delete artifacts older than `max_age`,
-/// then the least recently modified ones until under `max_bytes`, and
-/// sweep leftover `.tmp` files (from crashed writers). Invalid artifacts
-/// are always deleted. Not safe to run concurrently with an *actively
-/// writing* harness — a live tmp file could be swept — but readers are
-/// unaffected.
+/// Shrink the store per `policy`: delete artifacts invalidated by a
+/// numerics-feature bump, then those older than `max_age`, then the least
+/// recently modified ones until under `max_bytes`, and sweep leftover
+/// `.tmp` files (from crashed writers). Invalid artifacts are always
+/// deleted. Not safe to run concurrently with an *actively writing*
+/// harness — a live tmp file could be swept — but readers are unaffected.
 pub fn gc(root: &Path, policy: &GcPolicy) -> io::Result<GcReport> {
     if policy.is_empty() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
-            "gc policy sets neither max_bytes nor max_age",
+            "gc policy sets neither max_bytes, max_age nor stale_numerics",
         ));
     }
     let (mut ok, bad) = scan(root)?;
-    let mut report = GcReport { kept: 0, kept_bytes: 0, deleted: 0, deleted_bytes: 0, tmp_removed: 0 };
+    let mut report = GcReport {
+        kept: 0,
+        kept_bytes: 0,
+        deleted: 0,
+        deleted_bytes: 0,
+        tmp_removed: 0,
+        stale: 0,
+        stale_bytes: 0,
+    };
     for (path, _) in &bad {
         let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         std::fs::remove_file(path)?;
         report.deleted += 1;
         report.deleted_bytes += len;
     }
-    // Age limit first: everything past the horizon goes, regardless of the
-    // byte budget.
-    if let Some(max_age) = policy.max_age {
-        let cutoff = SystemTime::now().checked_sub(max_age);
-        let (expired, fresh): (Vec<_>, Vec<_>) =
-            ok.into_iter().partition(|a| cutoff.is_some_and(|c| a.modified < c));
-        for a in &expired {
+    // Stale-numerics pass first: these artifacts can never be addressed
+    // again (their keys were derived under versions that no longer match),
+    // so no other limit should spend budget keeping them. An artifact
+    // whose recorded table cannot be decoded is stale too — it is
+    // unattributable and safely recomputable. Legacy pre-v3 frames decode
+    // as the baseline table.
+    if let Some(config) = &policy.stale_numerics {
+        let (stale, live): (Vec<_>, Vec<_>) = ok.into_iter().partition(|a| {
+            a.recorded_numerics()
+                .is_none_or(|rec| config.invalidates(a.slice(), &rec))
+        });
+        for a in &stale {
             std::fs::remove_file(&a.path)?;
-            report.deleted += 1;
-            report.deleted_bytes += a.file_len;
+            report.stale += 1;
+            report.stale_bytes += a.file_len;
         }
-        ok = fresh;
+        ok = live;
+    }
+    // Age limit next: everything past the horizon goes, regardless of the
+    // byte budget.
+    let now = SystemTime::now();
+    if let Some(max_age) = policy.max_age {
+        // A horizon longer than representable time means nothing can be
+        // old enough: explicitly keep everything rather than letting the
+        // unrepresentable cutoff silently skip the pass.
+        if let Some(cutoff) = now.checked_sub(max_age) {
+            let (expired, fresh): (Vec<_>, Vec<_>) =
+                ok.into_iter().partition(|a| a.modified < cutoff);
+            for a in &expired {
+                std::fs::remove_file(&a.path)?;
+                report.deleted += 1;
+                report.deleted_bytes += a.file_len;
+            }
+            ok = fresh;
+        }
     }
     // Then the byte budget on the survivors, oldest first; ties broken by
-    // the (stable, sorted) scan order.
-    ok.sort_by_key(|a| a.modified);
+    // the (stable, sorted) scan order. A future mtime (clock skew, bogus
+    // timestamp) sorts as the epoch so such files are evicted first —
+    // trusting it would pin them as "newest" forever.
+    ok.sort_by_key(|a| if a.modified > now { std::time::UNIX_EPOCH } else { a.modified });
     let total: u64 = ok.iter().map(|a| a.file_len).sum();
     let mut excess = total.saturating_sub(policy.max_bytes.unwrap_or(u64::MAX));
     for a in &ok {
@@ -495,6 +613,7 @@ mod tests {
         let policy = GcPolicy {
             max_age: Some(Duration::from_secs(60)),
             max_bytes: Some(survivors_bytes / 2),
+            ..Default::default()
         };
         let report = gc(&dir, &policy).unwrap();
         assert!(report.deleted >= 2, "age victim plus at least one budget victim");
@@ -503,6 +622,122 @@ mod tests {
 
         // An empty policy is rejected, not a silent no-op.
         assert!(gc(&dir, &GcPolicy::default()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_with_unrepresentable_age_horizon_keeps_everything() {
+        use std::time::Duration;
+        let (dir, store) = scratch_store("gc-age-overflow");
+        fill(&store, 4);
+        backdate(&store.path_of(hash128(b"artifact-0")), 3600);
+        // A horizon longer than representable time: `SystemTime::now() -
+        // max_age` has no answer, so nothing can provably be that old —
+        // the pass must keep everything, not silently skip into the
+        // partition with an arbitrary outcome.
+        let report = gc(&dir, &GcPolicy::max_age(Duration::MAX)).unwrap();
+        assert_eq!(report.deleted, 0);
+        assert_eq!(report.kept, 4);
+        assert_eq!(verify(&dir).unwrap().ok, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Push an artifact's mtime `secs` seconds into the future.
+    fn future_date(path: &Path, secs: u64) {
+        let skewed = SystemTime::now() + std::time::Duration::from_secs(secs);
+        let file = std::fs::File::options().write(true).open(path).unwrap();
+        file.set_times(std::fs::FileTimes::new().set_modified(skewed)).unwrap();
+    }
+
+    #[test]
+    fn gc_byte_budget_evicts_future_dated_files_first() {
+        let (dir, store) = scratch_store("gc-future");
+        fill(&store, 2);
+        // artifact-1 claims to be modified an hour from now (clock skew).
+        // Trusting that timestamp would rank it newest and pin it forever;
+        // the clamp ranks it below every honestly-dated file instead.
+        let honest = store.path_of(hash128(b"artifact-0"));
+        let skewed = store.path_of(hash128(b"artifact-1"));
+        future_date(&skewed, 3600);
+        let keep_one = std::fs::metadata(&honest).unwrap().len();
+        let report = gc(&dir, &GcPolicy::max_bytes(keep_one)).unwrap();
+        assert_eq!((report.deleted, report.kept), (1, 1));
+        assert!(honest.exists(), "honestly-dated artifact survives");
+        assert!(!skewed.exists(), "future-dated artifact is evicted first");
+        // And the age pass never deletes a future-dated file (its age is
+        // unprovable), so age-only policies leave it alone.
+        future_date(&honest, 3600);
+        let report = gc(&dir, &GcPolicy::max_age(std::time::Duration::from_secs(1))).unwrap();
+        assert_eq!((report.deleted, report.kept), (0, 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_stale_numerics_drops_exactly_the_bumped_slice() {
+        use lpa_numerics::{NumericsConfig, BATCH_ROUND};
+        let (dir, store) = scratch_store("gc-stale");
+        // A baseline store: one reference, one outcome per format class —
+        // LUT8 (posit8, id 2), batch-routed dec16 (posit16, id 6), native
+        // (float64, id 11) — plus one legacy v1 outcome frame with no
+        // recorded format or table.
+        store.put(ArtifactKind::Reference, hash128(b"ref"), b"r".to_vec()).unwrap();
+        store.put_for(ArtifactKind::Outcome, hash128(b"o-p8"), b"a".to_vec(), Some(2)).unwrap();
+        store.put_for(ArtifactKind::Outcome, hash128(b"o-p16"), b"b".to_vec(), Some(6)).unwrap();
+        store.put_for(ArtifactKind::Outcome, hash128(b"o-f64"), b"c".to_vec(), Some(11)).unwrap();
+        let legacy_key = hash128(b"o-legacy");
+        let legacy_path = store.path_of(legacy_key);
+        std::fs::create_dir_all(legacy_path.parent().unwrap()).unwrap();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"LPST\x01");
+        v1.push(ArtifactKind::Outcome as u8);
+        v1.extend_from_slice(&[0, 0]);
+        v1.extend_from_slice(&legacy_key.0);
+        v1.extend_from_slice(&hash128(b"d").0);
+        v1.extend_from_slice(&1u64.to_le_bytes());
+        v1.extend_from_slice(b"d");
+        std::fs::write(&legacy_path, &v1).unwrap();
+
+        // The stats breakdown labels the slices before any gc.
+        let stats = stats_report(&dir).unwrap();
+        assert!(stats
+            .numerics_slices
+            .iter()
+            .any(|(k, l, n)| *k == ArtifactKind::Outcome && l == "legacy" && *n == 1));
+        assert!(stats
+            .numerics_slices
+            .iter()
+            .any(|(k, l, n)| *k == ArtifactKind::Outcome && l == "baseline" && *n == 3));
+
+        // Bump batch_round: exactly the batch-routed posit16 outcome is
+        // stale. The reference, the LUT8 and native outcomes, and the
+        // legacy frame (unknown format → only universal features
+        // attributable) all survive.
+        let bumped = NumericsConfig::baseline().with_version(BATCH_ROUND, 2);
+        let report = gc(&dir, &GcPolicy::stale_numerics(bumped)).unwrap();
+        assert_eq!((report.stale, report.deleted), (1, 0));
+        assert!(report.stale_bytes > 0);
+        assert_eq!(report.kept, 4);
+        assert!(!store.path_of(hash128(b"o-p16")).exists());
+        assert!(store.path_of(hash128(b"o-p8")).exists());
+        assert!(store.path_of(hash128(b"o-f64")).exists());
+        assert!(store.path_of(hash128(b"ref")).exists());
+        assert!(legacy_path.exists());
+
+        // A matching table is a no-op for frames recorded under it: write
+        // the posit16 outcome back under the bumped table, then gc with
+        // that same table again.
+        let store2 = Store::open(&dir).unwrap();
+        store2.set_numerics(&bumped);
+        store2.put_for(ArtifactKind::Outcome, hash128(b"o-p16"), b"b2".to_vec(), Some(6)).unwrap();
+        let report = gc(&dir, &GcPolicy::stale_numerics(bumped)).unwrap();
+        assert_eq!((report.stale, report.kept), (0, 5));
+        // But a universally relevant bump clears everything — legacy and
+        // the just-rewritten batch frame included (dd_reference reaches
+        // every slice).
+        let dd_bump =
+            NumericsConfig::baseline().with_version(lpa_numerics::DD_REFERENCE, 2);
+        let report = gc(&dir, &GcPolicy::stale_numerics(dd_bump)).unwrap();
+        assert_eq!((report.stale, report.kept), (5, 0));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -3,16 +3,21 @@
 //! ```text
 //! lpa-store stats  <dir> [--json]            per-kind artifact counts, bytes, quarantine
 //! lpa-store verify <dir> [--repair|--json]   re-hash and check every artifact
-//! lpa-store gc     <dir> [--max-bytes N] [--max-age-secs S]
+//! lpa-store gc     <dir> [--max-bytes N] [--max-age-secs S] [--stale-numerics]
 //! ```
 //!
 //! `--json` renders the same numbers in the `lpa-obs-registry/v1` counter
 //! schema that the run manifest's store section uses, so scripts parse one
-//! shape everywhere.
+//! shape everywhere. `stats` and `verify` also break valid artifacts down
+//! by recorded numerics table (`store.numerics.<kind>.<versions>`).
 //!
-//! `gc` needs at least one limit; when both are given, artifacts older
-//! than `--max-age-secs` are deleted first, then the oldest survivors
-//! until the store fits `--max-bytes`.
+//! `gc` needs at least one limit. `--stale-numerics` deletes artifacts
+//! whose recorded feature versions no longer match this binary's
+//! effective numerics table (builtin plus `LPA_NUMERICS_BUMP`) on a
+//! feature relevant to their slice, and prints a greppable
+//! `stale-numerics:` summary; then artifacts older than `--max-age-secs`
+//! are deleted, then the oldest survivors until the store fits
+//! `--max-bytes`.
 //!
 //! Exit codes: 0 clean, 1 corruption found (or the operation failed),
 //! 2 usage error — so CI can use `verify` as an assertion and scripts
@@ -28,7 +33,7 @@ use lpa_store::admin;
 use lpa_store::ArtifactKind;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: lpa-store <stats|verify|gc> <dir> [--json] [--repair] [--max-bytes N] [--max-age-secs S]");
+    eprintln!("usage: lpa-store <stats|verify|gc> <dir> [--json] [--repair] [--max-bytes N] [--max-age-secs S] [--stale-numerics]");
     ExitCode::from(2)
 }
 
@@ -82,6 +87,13 @@ fn main() -> ExitCode {
                     }
                 };
                 let mut age_secs = None;
+                // `--stale-numerics` is valueless; the value-taking flags
+                // consume their argument below.
+                if args[i] == "--stale-numerics" {
+                    policy.stale_numerics = Some(lpa_numerics::NumericsConfig::current());
+                    i += 1;
+                    continue;
+                }
                 let ok = match args[i].as_str() {
                     "--max-bytes" => value(&mut policy.max_bytes),
                     "--max-age-secs" => value(&mut age_secs),
@@ -99,7 +111,7 @@ fn main() -> ExitCode {
                 i += 2;
             }
             if policy.is_empty() {
-                eprintln!("lpa-store gc: need --max-bytes N and/or --max-age-secs S");
+                eprintln!("lpa-store gc: need --max-bytes N, --max-age-secs S and/or --stale-numerics");
                 return ExitCode::from(2);
             }
             gc(root, &policy)
@@ -131,6 +143,7 @@ fn stats(root: &Path, json: bool) -> ExitCode {
             }
             let (q_count, q_bytes) = report.quarantine;
             println!("  {:<10} {:>8} files      {:>12} bytes", "quarantine", q_count, q_bytes);
+            print_numerics_slices(&report.numerics_slices);
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -156,8 +169,16 @@ fn print_verify(report: &admin::VerifyReport) {
         report.corrupt.len(),
         per_kind_summary(&report.corrupt_per_kind),
     );
+    print_numerics_slices(&report.numerics_slices);
     for (path, reason) in &report.corrupt {
         eprintln!("  CORRUPT {}: {reason}", path.display());
+    }
+}
+
+/// Per-(kind, recorded numerics table) artifact counts, one line per slice.
+fn print_numerics_slices(slices: &[(ArtifactKind, String, u64)]) {
+    for (kind, label, count) in slices {
+        println!("  numerics[{}] {label}: {count} artifacts", kind.name());
     }
 }
 
@@ -207,6 +228,14 @@ fn repair(root: &Path) -> ExitCode {
 fn gc(root: &Path, policy: &admin::GcPolicy) -> ExitCode {
     match admin::gc(root, policy) {
         Ok(report) => {
+            if policy.stale_numerics.is_some() {
+                // Greppable even when nothing was stale: CI asserts on this
+                // line's exact counts.
+                println!(
+                    "stale-numerics: deleted {} stale artifacts ({} bytes)",
+                    report.stale, report.stale_bytes
+                );
+            }
             println!(
                 "gc: kept {} artifacts ({} bytes), deleted {} ({} bytes), swept {} tmp files",
                 report.kept, report.kept_bytes, report.deleted, report.deleted_bytes, report.tmp_removed

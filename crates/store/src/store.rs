@@ -21,19 +21,27 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic "LPST"
-//!      4     1  frame version (1 = legacy, 2 = whole-frame trailer)
+//!      4     1  frame version (1 = legacy, 2 = trailer, 3 = numerics)
 //!      5     1  artifact kind
-//!      6     2  reserved (zero)
+//!      6     1  (v3) format id + 1; 0 = no format (reserved zero in v1/v2)
+//!      7     1  reserved (zero)
 //!      8    16  key (must match the file name)
 //!     24    16  SipHash-2-4-128 checksum of the payload
 //!     40     8  payload length
 //!     48     …  payload
-//!      …    16  (v2 only) SipHash-2-4-128 of everything above the trailer
+//!      …     2  (v3 only) numerics section length, u16
+//!      …     …  (v3 only) numerics section: the producing NumericsConfig,
+//!               canonically serialized (lpa-numerics `to_bytes`)
+//!      …    16  (v2/v3) SipHash-2-4-128 of everything above the trailer
 //! ```
 //!
-//! v2 frames (every new write) add the whole-frame trailer so header
-//! corruption — not just payload corruption — is detected; v1 frames are
-//! still read, so stores written before the trailer existed stay warm.
+//! v2 frames added the whole-frame trailer so header corruption — not just
+//! payload corruption — is detected. v3 frames (every new write) also
+//! record the producing format id and numerics-feature table, so
+//! `lpa-store stats`/`verify` can break a store down by numerics version
+//! and `gc --stale-numerics` can drop exactly the slices a feature bump
+//! invalidated. v1/v2 frames are still read (format/config unknown), so
+//! stores written before these fields existed stay warm.
 //!
 //! ## Self-healing
 //!
@@ -62,8 +70,12 @@ pub(crate) const HEADER_LEN: usize = 48;
 pub(crate) const TRAILER_LEN: usize = 16;
 /// Legacy frame: no trailer.
 pub(crate) const FRAME_V1: u8 = 1;
-/// Current frame: whole-frame SipHash trailer after the payload.
+/// Legacy frame: whole-frame SipHash trailer after the payload.
 pub(crate) const FRAME_V2: u8 = 2;
+/// Current frame: format byte + numerics section + whole-frame trailer.
+pub(crate) const FRAME_V3: u8 = 3;
+/// Length prefix of the v3 numerics section.
+pub(crate) const NUMERICS_LEN_LEN: usize = 2;
 /// Corrupt artifacts are moved here (not a 2-hex name, so scans skip it).
 pub const QUARANTINE_DIR: &str = "quarantine";
 
@@ -138,19 +150,42 @@ pub struct Artifact {
     pub kind: ArtifactKind,
     pub key: Key,
     pub payload: Vec<u8>,
+    /// Stable wire format id the artifact was computed for (outcomes).
+    /// `None` for references and for v1/v2 frames, which predate the field.
+    pub format: Option<u8>,
+    /// The producing numerics table, canonically serialized
+    /// (`lpa_numerics::NumericsConfig::to_bytes`). `None` for v1/v2
+    /// frames — by the byte-stability contract those were produced at the
+    /// baseline table.
+    pub numerics: Option<Vec<u8>>,
 }
 
-/// Serialize an artifact container (header + payload + v2 trailer).
-pub(crate) fn encode_artifact(kind: ArtifactKind, key: Key, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+/// Serialize an artifact container (v3: header + payload + numerics
+/// section + whole-frame trailer).
+pub(crate) fn encode_artifact(
+    kind: ArtifactKind,
+    key: Key,
+    payload: &[u8],
+    format: Option<u8>,
+    numerics: &[u8],
+) -> Vec<u8> {
+    assert!(numerics.len() <= u16::MAX as usize, "numerics section too large");
+    let mut out = Vec::with_capacity(
+        HEADER_LEN + payload.len() + NUMERICS_LEN_LEN + numerics.len() + TRAILER_LEN,
+    );
     out.extend_from_slice(&MAGIC);
-    out.push(FRAME_V2);
+    out.push(FRAME_V3);
     out.push(kind as u8);
-    out.extend_from_slice(&[0, 0]);
+    // Format ids are stable wire values starting at 0, so the byte stores
+    // id + 1 and keeps 0 as "no format" (references, pre-v3 frames).
+    out.push(format.map_or(0, |id| id.checked_add(1).expect("format id below 255")));
+    out.push(0);
     out.extend_from_slice(&key.0);
     out.extend_from_slice(&hash128(payload).0);
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(payload);
+    out.extend_from_slice(&(numerics.len() as u16).to_le_bytes());
+    out.extend_from_slice(numerics);
     let trailer = hash128(&out);
     out.extend_from_slice(&trailer.0);
     out
@@ -167,9 +202,9 @@ pub(crate) fn decode_artifact(bytes: &[u8]) -> Result<Artifact, StoreError> {
         return Err(StoreError::Corrupt("bad magic".to_string()));
     }
     let version = bytes[4];
-    if version != FRAME_V1 && version != FRAME_V2 {
+    if version != FRAME_V1 && version != FRAME_V2 && version != FRAME_V3 {
         return Err(StoreError::Corrupt(format!(
-            "frame version {version} (this build reads {FRAME_V1} and {FRAME_V2})"
+            "frame version {version} (this build reads {FRAME_V1} through {FRAME_V3})"
         )));
     }
     let kind = ArtifactKind::from_u8(bytes[5])
@@ -177,31 +212,66 @@ pub(crate) fn decode_artifact(bytes: &[u8]) -> Result<Artifact, StoreError> {
     let key = Key(bytes[8..24].try_into().expect("16-byte slice"));
     let checksum = Key(bytes[24..40].try_into().expect("16-byte slice"));
     let len = u64::from_le_bytes(bytes[40..48].try_into().expect("8-byte slice"));
-    let trailer_len = if version == FRAME_V2 { TRAILER_LEN } else { 0 };
+    let trailer_len = if version == FRAME_V1 { 0 } else { TRAILER_LEN };
+    // Everything the frame carries beyond the payload, before the
+    // variable-length v3 numerics section is known.
+    let fixed_extra = trailer_len + if version == FRAME_V3 { NUMERICS_LEN_LEN } else { 0 };
+    if bytes.len() < HEADER_LEN + fixed_extra {
+        return Err(StoreError::Truncated { expected: HEADER_LEN + fixed_extra, got: bytes.len() });
+    }
     // Cap the claimed length against what is actually present before any
     // arithmetic on it: a corrupt header must not drive allocations.
-    let present = (bytes.len() - HEADER_LEN).saturating_sub(trailer_len);
-    if len != present as u64 {
-        let expected = (HEADER_LEN + trailer_len).saturating_add(len.min(usize::MAX as u64) as usize);
-        if len > present as u64 {
-            return Err(StoreError::Truncated { expected, got: bytes.len() });
-        }
-        return Err(StoreError::Corrupt(format!(
-            "payload length {len} but {present} bytes present"
-        )));
+    let present = (bytes.len() - HEADER_LEN).saturating_sub(fixed_extra);
+    if len > present as u64 {
+        let expected = (HEADER_LEN + fixed_extra).saturating_add(len.min(usize::MAX as u64) as usize);
+        return Err(StoreError::Truncated { expected, got: bytes.len() });
     }
-    if version == FRAME_V2 {
+    let len = len as usize;
+    let numerics_range = if version == FRAME_V3 {
+        let at = HEADER_LEN + len;
+        let nlen = u16::from_le_bytes(bytes[at..at + 2].try_into().expect("2-byte slice")) as usize;
+        let total = at + NUMERICS_LEN_LEN + nlen + TRAILER_LEN;
+        if bytes.len() < total {
+            return Err(StoreError::Truncated { expected: total, got: bytes.len() });
+        }
+        if bytes.len() > total {
+            return Err(StoreError::Corrupt(format!(
+                "frame claims {total} bytes but {} are present",
+                bytes.len()
+            )));
+        }
+        Some(at + NUMERICS_LEN_LEN..at + NUMERICS_LEN_LEN + nlen)
+    } else {
+        if len != present {
+            return Err(StoreError::Corrupt(format!(
+                "payload length {len} but {present} bytes present"
+            )));
+        }
+        None
+    };
+    if trailer_len > 0 {
         let body = bytes.len() - TRAILER_LEN;
         let trailer = Key(bytes[body..].try_into().expect("16-byte slice"));
         if hash128(&bytes[..body]) != trailer {
             return Err(StoreError::Corrupt("frame checksum mismatch".to_string()));
         }
     }
-    let payload = &bytes[HEADER_LEN..HEADER_LEN + len as usize];
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
     if hash128(payload) != checksum {
         return Err(StoreError::Corrupt("payload checksum mismatch".to_string()));
     }
-    Ok(Artifact { kind, key, payload: payload.to_vec() })
+    let format = match (version, bytes[6]) {
+        (FRAME_V3, 0) => None,
+        (FRAME_V3, b) => Some(b - 1),
+        _ => None,
+    };
+    Ok(Artifact {
+        kind,
+        key,
+        payload: payload.to_vec(),
+        format,
+        numerics: numerics_range.map(|r| bytes[r].to_vec()),
+    })
 }
 
 /// A content-addressed artifact store rooted at one directory.
@@ -214,6 +284,10 @@ pub struct Store {
     stats: StoreStats,
     tmp_counter: AtomicU64,
     io_retries: AtomicU32,
+    /// Serialized numerics table stamped into every frame this handle
+    /// writes ([`lpa_numerics::NumericsConfig::to_bytes`] of the effective
+    /// table at open; [`Store::set_numerics`] overrides it for tests).
+    numerics: std::sync::Mutex<Arc<Vec<u8>>>,
 }
 
 impl Store {
@@ -227,7 +301,21 @@ impl Store {
             stats: StoreStats::default(),
             tmp_counter: AtomicU64::new(0),
             io_retries: AtomicU32::new(DEFAULT_IO_RETRIES),
+            numerics: std::sync::Mutex::new(Arc::new(
+                lpa_numerics::NumericsConfig::current().to_bytes(),
+            )),
         })
+    }
+
+    /// Override the numerics table recorded in frames written through this
+    /// handle (tests and migration tooling; processes normally stamp the
+    /// effective table captured at [`Store::open`]).
+    pub fn set_numerics(&self, config: &lpa_numerics::NumericsConfig) {
+        *self.numerics.lock().unwrap_or_else(|e| e.into_inner()) = Arc::new(config.to_bytes());
+    }
+
+    fn numerics_bytes(&self) -> Arc<Vec<u8>> {
+        self.numerics.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     pub fn root(&self) -> &Path {
@@ -282,12 +370,19 @@ impl Store {
         self.stats.record_corrupt(kind);
         let dir = self.root.join(QUARANTINE_DIR);
         let Some(name) = path.file_name() else { return };
-        if std::fs::create_dir_all(&dir).is_ok() && std::fs::rename(path, dir.join(name)).is_ok() {
+        if std::fs::create_dir_all(&dir).is_ok()
+            && std::fs::rename(path, quarantine_dest(&dir, name)).is_ok()
+        {
             self.stats.record_quarantined(kind);
         }
     }
 
-    fn read_disk(&self, kind: ArtifactKind, key: Key) -> io::Result<Option<Arc<Vec<u8>>>> {
+    fn read_disk(
+        &self,
+        kind: ArtifactKind,
+        key: Key,
+        format: Option<u8>,
+    ) -> io::Result<Option<Arc<Vec<u8>>>> {
         let path = self.path_of(key);
         let mut bytes = match self.with_io_retries(|| {
             if lpa_faults::fired(lpa_faults::STORE_IO_TRANSIENT) {
@@ -303,8 +398,17 @@ impl Store {
             Err(e) => return Err(e),
         };
         lpa_faults::corrupt_if(lpa_faults::STORE_READ_CORRUPT, &mut bytes);
+        // A frame is mislabelled when its recorded format contradicts the
+        // expected one; either side being unknown (references, v1/v2
+        // frames, format-agnostic callers) is not a contradiction.
+        let format_matches = |a: &Artifact| match (a.format, format) {
+            (Some(got), Some(want)) => got == want,
+            _ => true,
+        };
         match decode_artifact(&bytes) {
-            Ok(a) if a.kind == kind && a.key == key => Ok(Some(Arc::new(a.payload))),
+            Ok(a) if a.kind == kind && a.key == key && format_matches(&a) => {
+                Ok(Some(Arc::new(a.payload)))
+            }
             // Corrupt or mislabelled: quarantine the bad file and treat the
             // key as a miss; the caller recomputes and the rewrite heals it.
             _ => {
@@ -314,8 +418,14 @@ impl Store {
         }
     }
 
-    fn write_disk(&self, kind: ArtifactKind, key: Key, payload: &[u8]) -> io::Result<u64> {
-        let mut bytes = encode_artifact(kind, key, payload);
+    fn write_disk(
+        &self,
+        kind: ArtifactKind,
+        key: Key,
+        payload: &[u8],
+        format: Option<u8>,
+    ) -> io::Result<u64> {
+        let mut bytes = encode_artifact(kind, key, payload, format, &self.numerics_bytes());
         if lpa_faults::fired(lpa_faults::STORE_WRITE_TORN) {
             // Simulate a torn write: the file appears, the frame is cut
             // short, and the *writer still reports success* — exactly the
@@ -349,6 +459,17 @@ impl Store {
     /// means not present; corrupt on-disk artifacts also read as absent
     /// (and are quarantined).
     pub fn get(&self, kind: ArtifactKind, key: Key) -> io::Result<Option<Arc<Vec<u8>>>> {
+        self.get_for(kind, key, None)
+    }
+
+    /// [`Store::get`] with the expected format id: a frame whose recorded
+    /// format contradicts it is treated as mislabelled (quarantined, miss).
+    pub fn get_for(
+        &self,
+        kind: ArtifactKind,
+        key: Key,
+        format: Option<u8>,
+    ) -> io::Result<Option<Arc<Vec<u8>>>> {
         let _span = lpa_obs::span(lpa_obs::STORE_GET);
         let slot = self.cache.slot(key);
         let _cleanup = SlotCleanup { cache: &self.cache, key };
@@ -357,7 +478,7 @@ impl Store {
             self.stats.kind(kind).record_hit_mem();
             return Ok(Some(payload.clone()));
         }
-        let result = self.read_disk(kind, key)?;
+        let result = self.read_disk(kind, key, format)?;
         if let Some(payload) = &result {
             self.stats.kind(kind).record_hit_disk(payload.len() as u64);
             *filled = Some(payload.clone());
@@ -368,11 +489,23 @@ impl Store {
     /// Insert an artifact unconditionally (atomic write, counted as a
     /// miss/recompute).
     pub fn put(&self, kind: ArtifactKind, key: Key, payload: Vec<u8>) -> io::Result<Arc<Vec<u8>>> {
+        self.put_for(kind, key, payload, None)
+    }
+
+    /// [`Store::put`] recording the format id the artifact was computed
+    /// for in the frame (outcomes; references pass `None`).
+    pub fn put_for(
+        &self,
+        kind: ArtifactKind,
+        key: Key,
+        payload: Vec<u8>,
+        format: Option<u8>,
+    ) -> io::Result<Arc<Vec<u8>>> {
         let _span = lpa_obs::span(lpa_obs::STORE_PUT);
         let slot = self.cache.slot(key);
         let _cleanup = SlotCleanup { cache: &self.cache, key };
         let mut filled = lock_slot(&slot);
-        let written = self.write_disk(kind, key, &payload)?;
+        let written = self.write_disk(kind, key, &payload, format)?;
         self.stats.kind(kind).record_miss(written);
         let payload = Arc::new(payload);
         *filled = Some(payload.clone());
@@ -417,6 +550,20 @@ impl Store {
         key: Key,
         compute: impl FnOnce() -> Result<Vec<u8>, E>,
     ) -> io::Result<Result<Arc<Vec<u8>>, E>> {
+        self.get_or_try_compute_for(kind, key, None, compute)
+    }
+
+    /// [`Store::get_or_try_compute`] with the artifact's format id: reads
+    /// reject frames recorded for a different format, and a recompute
+    /// stamps the format (plus this handle's numerics table) into the new
+    /// frame.
+    pub fn get_or_try_compute_for<E>(
+        &self,
+        kind: ArtifactKind,
+        key: Key,
+        format: Option<u8>,
+        compute: impl FnOnce() -> Result<Vec<u8>, E>,
+    ) -> io::Result<Result<Arc<Vec<u8>>, E>> {
         let slot = self.cache.slot(key);
         // Resolved, failed or unwound: the map entry must not linger —
         // blocked racers keep their slot Arc, later callers go to disk, and
@@ -432,7 +579,7 @@ impl Store {
                 self.stats.kind(kind).record_hit_mem();
                 return Ok(Ok(payload.clone()));
             }
-            if let Some(payload) = self.read_disk(kind, key)? {
+            if let Some(payload) = self.read_disk(kind, key, format)? {
                 self.stats.kind(kind).record_hit_disk(payload.len() as u64);
                 *filled = Some(payload.clone());
                 return Ok(Ok(payload));
@@ -442,7 +589,7 @@ impl Store {
             Err(e) => Ok(Err(e)),
             Ok(payload) => {
                 let _span = lpa_obs::span(lpa_obs::STORE_PUT);
-                let written = self.write_disk(kind, key, &payload)?;
+                let written = self.write_disk(kind, key, &payload, format)?;
                 self.stats.kind(kind).record_miss(written);
                 let payload = Arc::new(payload);
                 *filled = Some(payload.clone());
@@ -450,6 +597,23 @@ impl Store {
             }
         }
     }
+}
+
+/// First free destination for quarantining `name` into `dir`: the bare
+/// name if unused, else `name.1`, `name.2`, … — a repeated corruption of
+/// the same key must not overwrite the earlier quarantined copy (each one
+/// is distinct forensic evidence). Best-effort under races, like the
+/// quarantine move itself.
+pub(crate) fn quarantine_dest(dir: &Path, name: &std::ffi::OsStr) -> PathBuf {
+    let bare = dir.join(name);
+    if !bare.exists() {
+        return bare;
+    }
+    let name = name.to_string_lossy();
+    (1u64..)
+        .map(|i| dir.join(format!("{name}.{i}")))
+        .find(|p| !p.exists())
+        .expect("some numbered quarantine name is free")
 }
 
 /// Lock a single-flight slot, surviving poison: the `Option` inside is
@@ -565,13 +729,22 @@ mod tests {
     #[test]
     fn container_encoding_is_self_describing() {
         let key = hash128(b"container");
-        let bytes = encode_artifact(ArtifactKind::Outcome, key, b"xyz");
-        assert_eq!(bytes[4], FRAME_V2);
-        assert_eq!(bytes.len(), HEADER_LEN + 3 + TRAILER_LEN);
+        let numerics = lpa_numerics::NumericsConfig::baseline().to_bytes();
+        let bytes = encode_artifact(ArtifactKind::Outcome, key, b"xyz", Some(6), &numerics);
+        assert_eq!(bytes[4], FRAME_V3);
+        assert_eq!(
+            bytes.len(),
+            HEADER_LEN + 3 + NUMERICS_LEN_LEN + numerics.len() + TRAILER_LEN
+        );
         let a = decode_artifact(&bytes).unwrap();
         assert_eq!(a.kind, ArtifactKind::Outcome);
         assert_eq!(a.key, key);
         assert_eq!(a.payload, b"xyz");
+        assert_eq!(a.format, Some(6));
+        assert_eq!(a.numerics.as_deref(), Some(numerics.as_slice()));
+        // A reference frame records no format.
+        let r = decode_artifact(&encode_artifact(ArtifactKind::Reference, key, b"r", None, &numerics)).unwrap();
+        assert_eq!(r.format, None);
         assert!(matches!(
             decode_artifact(&bytes[..HEADER_LEN - 1]),
             Err(StoreError::Truncated { .. })
@@ -582,46 +755,121 @@ mod tests {
         let mut wrong_version = bytes.clone();
         wrong_version[4] = 99;
         assert!(decode_artifact(&wrong_version).is_err());
-        // A truncated v2 frame (lost trailer bytes) is Truncated, and a
-        // header-only corruption (reserved bytes) is caught by the trailer.
+        // A truncated v3 frame (lost trailer bytes) is Truncated, and a
+        // header-only corruption (format byte) is caught by the trailer.
         assert!(matches!(
             decode_artifact(&bytes[..bytes.len() - 4]),
             Err(StoreError::Truncated { .. })
         ));
         let mut header_flip = bytes.clone();
-        header_flip[6] = 1; // reserved byte: invisible to the payload checksum
+        header_flip[6] ^= 0x10; // format byte: invisible to the payload checksum
         assert!(matches!(decode_artifact(&header_flip), Err(StoreError::Corrupt(_))));
+        // A corrupt numerics-section length is caught (shorter claims are
+        // excess bytes, longer claims are truncation).
+        let nlen_at = HEADER_LEN + 3;
+        let mut nlen_flip = bytes.clone();
+        nlen_flip[nlen_at] = nlen_flip[nlen_at].wrapping_add(7);
+        assert!(decode_artifact(&nlen_flip).is_err());
+    }
+
+    /// Hand-build a legacy frame: v1 (no trailer) or v2 (whole-frame
+    /// trailer), neither carrying format or numerics fields.
+    fn legacy_frame(version: u8, kind: ArtifactKind, key: Key, payload: &[u8]) -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&MAGIC);
+        f.push(version);
+        f.push(kind as u8);
+        f.extend_from_slice(&[0, 0]);
+        f.extend_from_slice(&key.0);
+        f.extend_from_slice(&hash128(payload).0);
+        f.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        f.extend_from_slice(payload);
+        if version == FRAME_V2 {
+            let trailer = hash128(&f);
+            f.extend_from_slice(&trailer.0);
+        }
+        f
     }
 
     #[test]
-    fn v1_frames_are_still_readable() {
-        // Hand-build the pre-trailer frame layout: same header with
-        // version 1 and no trailing checksum. Old stores must stay warm.
+    fn v1_and_v2_frames_are_still_readable() {
+        // Old stores must stay warm across both container upgrades.
         let key = hash128(b"legacy");
         let payload = b"old data";
-        let mut v1 = Vec::new();
-        v1.extend_from_slice(&MAGIC);
-        v1.push(FRAME_V1);
-        v1.push(ArtifactKind::Reference as u8);
-        v1.extend_from_slice(&[0, 0]);
-        v1.extend_from_slice(&key.0);
-        v1.extend_from_slice(&hash128(payload).0);
-        v1.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        v1.extend_from_slice(payload);
-        let a = decode_artifact(&v1).unwrap();
-        assert_eq!(a.kind, ArtifactKind::Reference);
-        assert_eq!(a.key, key);
-        assert_eq!(a.payload, payload);
+        for version in [FRAME_V1, FRAME_V2] {
+            let frame = legacy_frame(version, ArtifactKind::Reference, key, payload);
+            let a = decode_artifact(&frame).unwrap();
+            assert_eq!(a.kind, ArtifactKind::Reference);
+            assert_eq!(a.key, key);
+            assert_eq!(a.payload, payload);
+            assert_eq!(a.format, None, "legacy frames predate the format field");
+            assert_eq!(a.numerics, None, "legacy frames predate the numerics field");
 
-        // And through a Store: plant the v1 file, read it back.
-        let dir = scratch_dir("v1");
+            // And through a Store: plant the legacy file, read it back —
+            // even through the format-checked path (None is not a
+            // contradiction).
+            let dir = scratch_dir(&format!("legacy-v{version}"));
+            let store = Store::open(&dir).unwrap();
+            let path = store.path_of(key);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &frame).unwrap();
+            let got = store
+                .get_for(ArtifactKind::Reference, key, Some(3))
+                .unwrap()
+                .expect("legacy readable");
+            assert_eq!(&**got, payload);
+            assert_eq!(store.stats().corrupt(), 0);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn format_mismatch_is_mislabelling() {
+        let dir = scratch_dir("format-mismatch");
         let store = Store::open(&dir).unwrap();
-        let path = store.path_of(key);
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &v1).unwrap();
-        let got = store.get(ArtifactKind::Reference, key).unwrap().expect("v1 readable");
-        assert_eq!(&**got, payload);
-        assert_eq!(store.stats().corrupt(), 0);
+        let key = hash128(b"formatted");
+        store.put_for(ArtifactKind::Outcome, key, b"p16".to_vec(), Some(6)).unwrap();
+
+        // The right format (or a format-agnostic read) hits.
+        let store2 = Store::open(&dir).unwrap();
+        assert!(store2.get_for(ArtifactKind::Outcome, key, Some(6)).unwrap().is_some());
+        assert!(store2.get(ArtifactKind::Outcome, key).unwrap().is_some());
+
+        // A contradicting format quarantines the frame as mislabelled.
+        let store3 = Store::open(&dir).unwrap();
+        assert!(store3.get_for(ArtifactKind::Outcome, key, Some(7)).unwrap().is_none());
+        assert_eq!(store3.stats().corrupt(), 1);
+        assert!(!store.path_of(key).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repeated_corruption_preserves_every_quarantined_copy() {
+        let dir = scratch_dir("requarantine");
+        let store = Store::open(&dir).unwrap();
+        let key = hash128(b"twice-corrupt");
+
+        // Corrupt, read (quarantines), heal, corrupt again, read again.
+        for round in 0..2u8 {
+            store.put(ArtifactKind::Outcome, key, b"good".to_vec()).unwrap();
+            let path = store.path_of(key);
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[HEADER_LEN] ^= 0x01 << round; // distinct corruption per round
+            std::fs::write(&path, &bytes).unwrap();
+            let fresh = Store::open(&dir).unwrap();
+            assert!(fresh.get(ArtifactKind::Outcome, key).unwrap().is_none());
+        }
+
+        // Both bad copies survive for forensics: the bare name, then `.1`.
+        let qdir = dir.join(QUARANTINE_DIR);
+        let name = format!("{}.bin", key.to_hex());
+        assert!(qdir.join(&name).exists(), "first quarantined copy kept");
+        assert!(qdir.join(format!("{name}.1")).exists(), "second copy deduped, not overwritten");
+        // And the two preserved frames differ (distinct evidence).
+        assert_ne!(
+            std::fs::read(qdir.join(&name)).unwrap(),
+            std::fs::read(qdir.join(format!("{name}.1"))).unwrap()
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

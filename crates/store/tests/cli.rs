@@ -251,6 +251,58 @@ fn gc_without_a_limit_is_a_usage_error() {
 }
 
 #[test]
+fn gc_stale_numerics_drops_the_bumped_slice_with_a_greppable_line() {
+    let (dir, store) = scratch_store("gc-stale");
+    // Baseline store: a reference plus one outcome per backend class —
+    // LUT8 posit8 (id 2), batch-routed posit16 (id 6), native float64
+    // (id 11).
+    store.put(ArtifactKind::Reference, hash128(b"ref"), b"r".to_vec()).unwrap();
+    store.put_for(ArtifactKind::Outcome, hash128(b"o-p8"), b"a".to_vec(), Some(2)).unwrap();
+    store.put_for(ArtifactKind::Outcome, hash128(b"o-p16"), b"b".to_vec(), Some(6)).unwrap();
+    store.put_for(ArtifactKind::Outcome, hash128(b"o-f64"), b"c".to_vec(), Some(11)).unwrap();
+    let dir_str = dir.to_str().unwrap();
+
+    // stats and verify break the store down by recorded numerics table.
+    let out = cli(&["stats", dir_str]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("numerics[outcome] baseline: 3 artifacts"), "{}", stdout(&out));
+    let out = cli(&["verify", dir_str]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("numerics[reference] baseline: 1 artifacts"), "{}", stdout(&out));
+
+    // At the matching table the pass is a no-op — and says so greppably.
+    let out = cli(&["gc", dir_str, "--stale-numerics"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("stale-numerics: deleted 0 stale artifacts (0 bytes)"), "{text}");
+    assert!(text.contains("kept 4 artifacts"), "{text}");
+
+    // Under a batch_round bump exactly the batch-routed outcome is stale.
+    let out = Command::new(env!("CARGO_BIN_EXE_lpa-store"))
+        .args(["gc", dir_str, "--stale-numerics"])
+        .env("LPA_NUMERICS_BUMP", "batch_round=2")
+        .output()
+        .expect("spawn lpa-store CLI");
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("stale-numerics: deleted 1 stale artifacts"), "{text}");
+    assert!(text.contains("kept 3 artifacts"), "{text}");
+    assert!(!store.path_of(hash128(b"o-p16")).exists(), "batch-routed outcome dropped");
+    assert!(store.path_of(hash128(b"o-p8")).exists());
+    assert!(store.path_of(hash128(b"o-f64")).exists());
+    assert!(store.path_of(hash128(b"ref")).exists());
+
+    // A typo in the bump spec fails loudly instead of gc'ing the wrong slice.
+    let out = Command::new(env!("CARGO_BIN_EXE_lpa-store"))
+        .args(["gc", dir_str, "--stale-numerics"])
+        .env("LPA_NUMERICS_BUMP", "batch_rond=2")
+        .output()
+        .expect("spawn lpa-store CLI");
+    assert!(!out.status.success(), "{out:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn unknown_command_prints_usage() {
     let out = cli(&["defrag", "/tmp"]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");

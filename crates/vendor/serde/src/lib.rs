@@ -19,6 +19,12 @@ pub enum Value {
     Null,
     Bool(bool),
     Num(f64),
+    /// An exact unsigned integer. `Num` loses integer precision above
+    /// 2^53; producers whose values are true u64 counters (e.g. the
+    /// `lpa-obs` registry) use this variant and `serde_json` renders it
+    /// digit-exact. The JSON *parser* still produces `Num` for every
+    /// number, so parsed trees compare the way they always did.
+    UInt(u64),
     Str(String),
     Seq(Vec<Value>),
     /// Insertion-ordered map (JSON object).
@@ -57,8 +63,22 @@ impl Value {
     pub fn as_num(&self) -> Option<f64> {
         match self {
             Value::Num(x) => Some(*x),
+            // Exact above 2^53 only through `as_u64`; this is the lossy view.
+            Value::UInt(x) => Some(*x as f64),
             // Non-finite floats serialize as null (as serde_json does).
             Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact u64: `UInt` directly, or a `Num` that is a
+    /// non-negative integer representable without loss.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(x) => Some(*x),
+            Value::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= 2f64.powi(53) => {
+                Some(*x as u64)
+            }
             _ => None,
         }
     }
@@ -159,6 +179,7 @@ macro_rules! int_value {
             fn from_value(v: &Value) -> Result<Self, Error> {
                 match v {
                     Value::Num(x) if x.fract() == 0.0 => Ok(*x as $t),
+                    Value::UInt(x) => Ok(*x as $t),
                     other => Err(Error::msg(format!("expected integer, got {other:?}"))),
                 }
             }
@@ -262,5 +283,20 @@ mod tests {
         let t = (1usize, "x".to_string());
         assert_eq!(<(usize, String)>::from_value(&t.to_value()).unwrap(), t);
         assert!(u32::from_value(&Value::Num(1.5)).is_err());
+    }
+
+    #[test]
+    fn uint_preserves_u64_exactness() {
+        // Above 2^53, the f64-backed Num view is lossy but the exact view
+        // is not — and integer Deserialize accepts the variant.
+        let v = Value::UInt(u64::MAX);
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(u64::from_value(&v).unwrap(), u64::MAX);
+        assert_eq!(v.as_num(), Some(u64::MAX as f64), "lossy view stays available");
+        // A small Num is promoted by as_u64; a fractional or huge one is not.
+        assert_eq!(Value::Num(7.0).as_u64(), Some(7));
+        assert_eq!(Value::Num(7.5).as_u64(), None);
+        assert_eq!(Value::Num(-1.0).as_u64(), None);
+        assert_eq!(Value::Num(1e300).as_u64(), None);
     }
 }
