@@ -43,6 +43,21 @@ impl FormatTag {
         }
     }
 
+    /// Parse a CLI/protocol spelling back into a tag: the [`Self::name`]
+    /// string, compared case-insensitively with spaces, `-` and `_`
+    /// ignored — so `"posit16"`, `"OFP8 E4M3"` and `"ofp8-e4m3"` all
+    /// resolve. `None` for anything else.
+    pub fn parse(spelling: &str) -> Option<FormatTag> {
+        fn fold(s: &str) -> String {
+            s.chars()
+                .filter(|c| !c.is_whitespace() && *c != '-' && *c != '_')
+                .map(|c| c.to_ascii_lowercase())
+                .collect()
+        }
+        let wanted = fold(spelling);
+        FormatTag::all().into_iter().find(|f| fold(f.name()) == wanted)
+    }
+
     /// Storage width in bits.
     pub fn bits(&self) -> u32 {
         match self {
@@ -96,5 +111,16 @@ mod tests {
         assert_eq!(FormatTag::Float64.tolerance(), 1e-12);
         assert_eq!(FormatTag::Ofp8E4M3.tolerance(), 1e-2);
         assert_eq!(FormatTag::Bfloat16.name(), "bfloat16");
+    }
+
+    #[test]
+    fn every_name_round_trips_through_parse() {
+        for format in FormatTag::all() {
+            assert_eq!(FormatTag::parse(format.name()), Some(format), "{}", format.name());
+        }
+        assert_eq!(FormatTag::parse("OFP8 E4M3"), Some(FormatTag::Ofp8E4M3));
+        assert_eq!(FormatTag::parse("ofp8-e5m2"), Some(FormatTag::Ofp8E5M2));
+        assert_eq!(FormatTag::parse("Posit_16"), Some(FormatTag::Posit16));
+        assert_eq!(FormatTag::parse("float128"), None);
     }
 }

@@ -25,6 +25,9 @@
 //! | manifest path  | `--manifest-out`  | `LPA_MANIFEST_OUT`   | none    |
 //! | fault spec     | *(env-only)*      | `LPA_FAULTS`         | disarmed |
 //! | numerics bump  | *(env-only)*      | `LPA_NUMERICS_BUMP`  | builtin  |
+//! | serve address  | `lpa-serve --addr` | `LPA_SERVE_ADDR`    | 127.0.0.1:7641 |
+//! | serve in-flight | `lpa-serve --max-inflight` | `LPA_SERVE_MAX_INFLIGHT` | 4 |
+//! | serve queue    | `lpa-serve --queue` | `LPA_SERVE_QUEUE`  | 16      |
 //!
 //! Four variables are owned by lower layers and only *flow through* here
 //! so the precedence stays uniform: `LPA_ARITH_TIER` is read by
@@ -34,6 +37,9 @@
 //! read) and `RAYON_NUM_THREADS` by the rayon shim — a CLI thread budget
 //! simply outranks it by being pinned on the plan, and no
 //! process-environment mutation (`std::env::set_var`) is needed anywhere.
+//! The `LPA_SERVE_*` trio is likewise owned by `lpa-serve`'s config
+//! module (`ServeConfig::from_env`, its only reader); the rows live here
+//! so this table stays the complete `LPA_*` inventory.
 //!
 //! Unset or unparsable environment values fall through to the next level,
 //! except `LPA_ARITH_TIER` and `LPA_KERNEL_BATCH`, where a typo panics
@@ -145,6 +151,24 @@ pub const ENV_DOCS: &[EnvDoc] = &[
         flag: "",
         value: "feature=V[,feature=V...]",
         help: "override numerics feature versions, e.g. batch_round=2 (read by lpa-numerics; default builtin table)",
+    },
+    EnvDoc {
+        var: "LPA_SERVE_ADDR",
+        flag: "",
+        value: "HOST:PORT",
+        help: "lpa-serve listen address; `lpa-serve serve --addr` outranks it (read by lpa-serve; default 127.0.0.1:7641)",
+    },
+    EnvDoc {
+        var: "LPA_SERVE_MAX_INFLIGHT",
+        flag: "",
+        value: "N",
+        help: "lpa-serve concurrent sessions / worker-pool size; `--max-inflight` outranks it (read by lpa-serve; default 4)",
+    },
+    EnvDoc {
+        var: "LPA_SERVE_QUEUE",
+        flag: "",
+        value: "N",
+        help: "lpa-serve admission-queue depth past the in-flight cap; `--queue` outranks it (read by lpa-serve; default 16)",
     },
 ];
 
@@ -465,8 +489,8 @@ mod tests {
             manifest_out: _,
         } = PlanOverrides::default();
         // 11 override fields + the env-only LPA_FAULTS and
-        // LPA_NUMERICS_BUMP rows.
-        assert_eq!(ENV_DOCS.len(), 13, "one doc row per knob");
+        // LPA_NUMERICS_BUMP rows + the three LPA_SERVE_* daemon knobs.
+        assert_eq!(ENV_DOCS.len(), 16, "one doc row per knob");
 
         let table = env_docs_table();
         for doc in ENV_DOCS {

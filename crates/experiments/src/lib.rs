@@ -50,7 +50,6 @@
 //! salt-bumping policy, and [`harness`] for the one place `LPA_*`
 //! environment variables are read.
 
-pub mod driver;
 pub mod formats;
 pub mod harness;
 pub mod manifest;
@@ -62,8 +61,6 @@ pub mod progress;
 pub mod report;
 pub mod session;
 
-#[allow(deprecated)]
-pub use driver::{run_experiment, run_experiment_with_store};
 pub use formats::FormatTag;
 pub use manifest::{RunManifest, RUN_MANIFEST_SCHEMA};
 pub use outcome::{EigenErrors, Outcome};

@@ -4,7 +4,7 @@
 
 use std::io::Write;
 
-use crate::driver::ExperimentResults;
+use crate::session::ExperimentResults;
 use crate::formats::FormatTag;
 use crate::outcome::Outcome;
 
@@ -200,7 +200,7 @@ pub fn format_summary_table(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::MatrixResult;
+    use crate::session::MatrixResult;
     use crate::outcome::{EigenErrors, Outcome};
 
     fn fake_results() -> ExperimentResults {

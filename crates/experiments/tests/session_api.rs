@@ -1,9 +1,10 @@
 //! Contract tests of the `ExperimentPlan`/`Session` front door:
 //!
-//! * the deprecated free functions and the builder API serialize
-//!   byte-identically for the same grid (so stores populated through
-//!   either stay valid under the other, with `CODE_VERSION_SALT`
-//!   unchanged — the salt guard),
+//! * independently built plans for the same grid serialize
+//!   byte-identically and warm-start each other's stores with zero
+//!   misses, under an unchanged base salt (the salt guard — stores
+//!   populated by earlier releases, including the removed
+//!   `run_experiment{,_with_store}` free functions, stay valid),
 //! * the `ProgressObserver` event stream has a deterministic order for
 //!   any thread count and never perturbs results, and
 //! * store-backed sessions report accurate served-from-store flags.
@@ -54,16 +55,16 @@ impl Recorder {
     }
 }
 
-/// The key-stability guard: the API redesign must not change any computed
-/// bytes, so the free functions (old front door) and `Session::run` (new
-/// front door) must serialize byte-identically, store artifacts included,
-/// under unchanged key material (historically `CODE_VERSION_SALT`, now the
-/// numerics table's base salt) — which keeps every store populated before
-/// this change warm after it.
+/// The key-stability guard: plans built independently for the same grid
+/// must serialize byte-identically, store artifacts included, under
+/// unchanged key material (historically `CODE_VERSION_SALT`, now the
+/// numerics table's base salt) — which keeps every store populated by an
+/// earlier release (including the removed `run_experiment{,_with_store}`
+/// free functions, which delegated to exactly these plans) warm today.
 #[test]
-fn old_and_new_front_doors_are_byte_identical() {
-    // If this assertion fires, the API refactor changed computed numerics
-    // (or someone moved the base salt without needing to): both invalidate
+fn independent_plans_are_byte_identical_and_share_stores() {
+    // If this assertion fires, a refactor changed computed numerics (or
+    // someone moved the base salt without needing to): both invalidate
     // the warm-start guarantee this test exists to protect.
     assert_eq!(lpa_numerics::BASE_SALT, 0x6c70_6131_0000_0001, "base salt must not change");
 
@@ -72,35 +73,35 @@ fn old_and_new_front_doors_are_byte_identical() {
         [FormatTag::Float64, FormatTag::Posit16, FormatTag::Takum8, FormatTag::Ofp8E5M2];
     let cfg = tiny_config();
 
-    #[allow(deprecated)]
-    let old = lpa_experiments::run_experiment(&corpus, &formats, &cfg);
-    let new = ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).run();
+    let first = ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).run();
+    let second =
+        ExperimentPlan::over(&corpus).formats(&formats).config(cfg.clone()).session().run();
     assert_eq!(
-        serde_json::to_string(&old).unwrap(),
-        serde_json::to_string(&new).unwrap(),
-        "free-function and builder results diverged"
+        serde_json::to_string(&first).unwrap(),
+        serde_json::to_string(&second).unwrap(),
+        "independently built plans diverged"
     );
 
-    // Store round trip: populate through the old API, warm-start through
-    // the new one. Zero misses means every content-address matched.
+    // Store round trip: populate through one store handle, warm-start
+    // through a fresh one. Zero misses means every content-address
+    // matched.
     let dir = std::env::temp_dir().join(format!("lpa-session-api-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let old_store = Store::open(&dir).unwrap();
-    #[allow(deprecated)]
-    let old_stored =
-        lpa_experiments::run_experiment_with_store(&corpus, &formats, &cfg, Some(&old_store));
-    let new_store = Store::open(&dir).unwrap();
+    let cold_store = Store::open(&dir).unwrap();
+    let cold = ExperimentPlan::over(&corpus)
+        .formats(&formats)
+        .config(cfg.clone())
+        .store(&cold_store)
+        .run();
+    let warm_store = Store::open(&dir).unwrap();
     let warm = ExperimentPlan::over(&corpus)
         .formats(&formats)
         .config(cfg.clone())
-        .store(&new_store)
+        .store(&warm_store)
         .run();
-    assert_eq!(
-        serde_json::to_string(&old_stored).unwrap(),
-        serde_json::to_string(&warm).unwrap()
-    );
-    let refs = new_store.stats().snapshot(lpa_store::ArtifactKind::Reference);
-    assert_eq!(refs.misses, 0, "old-API store artifacts must warm-start the new API");
+    assert_eq!(serde_json::to_string(&cold).unwrap(), serde_json::to_string(&warm).unwrap());
+    let refs = warm_store.stats().snapshot(lpa_store::ArtifactKind::Reference);
+    assert_eq!(refs.misses, 0, "persisted artifacts must warm-start a fresh handle");
     assert_eq!(refs.hits(), corpus.len() as u64);
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -58,10 +58,20 @@ pub const STORE_IO_TRANSIENT: &str = "store.io.transient";
 pub const SOLVER_PANIC: &str = "solver.panic";
 /// Each Arnoldi restart sleeps, so deadlines can be exercised quickly.
 pub const SOLVER_STALL: &str = "solver.stall";
+/// An `lpa-serve` worker panics at the start of a request — exercises
+/// the daemon's unwind isolation (degraded but alive, typed error
+/// response, permit returned).
+pub const SERVE_WORKER_PANIC: &str = "serve.worker.panic";
 
 /// Every fault point the workspace defines.
-pub const POINTS: [&str; 5] =
-    [STORE_READ_CORRUPT, STORE_WRITE_TORN, STORE_IO_TRANSIENT, SOLVER_PANIC, SOLVER_STALL];
+pub const POINTS: [&str; 6] = [
+    STORE_READ_CORRUPT,
+    STORE_WRITE_TORN,
+    STORE_IO_TRANSIENT,
+    SOLVER_PANIC,
+    SOLVER_STALL,
+    SERVE_WORKER_PANIC,
+];
 
 const UNSET: u8 = 0;
 const DISARMED: u8 = 1;

@@ -53,10 +53,12 @@ pub const STORE_GET: &str = "store.get";
 pub const STORE_PUT: &str = "store.put";
 /// One Krylov–Schur restart iteration (expansion + projected Schur).
 pub const ARNOLDI_RESTART: &str = "arnoldi.restart";
+/// One admitted `lpa-serve` request, dequeue to final response.
+pub const SERVE_REQUEST: &str = "serve.request";
 
 /// Every span name the workspace instruments.
-pub const SPANS: [&str; 5] =
-    [REFERENCE_SOLVE, CELL_SOLVE, STORE_GET, STORE_PUT, ARNOLDI_RESTART];
+pub const SPANS: [&str; 6] =
+    [REFERENCE_SOLVE, CELL_SOLVE, STORE_GET, STORE_PUT, ARNOLDI_RESTART, SERVE_REQUEST];
 
 const UNSET: u8 = 0;
 const DISARMED: u8 = 1;

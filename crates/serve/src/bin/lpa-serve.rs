@@ -1,0 +1,280 @@
+//! `lpa-serve` — daemon and client CLI.
+//!
+//! ```text
+//! lpa-serve serve    [--addr A] [--store DIR] [--max-inflight N] [--queue N]
+//! lpa-serve client   [--addr A] [--timeout-secs S] REQUEST_JSON
+//! lpa-serve burst    [--addr A] [--timeout-secs S] -n N REQUEST_JSON
+//! lpa-serve stats    [--addr A]
+//! lpa-serve shutdown [--addr A]
+//! ```
+//!
+//! Flags outrank environment (`LPA_SERVE_*` via `ServeConfig`, `LPA_STORE`
+//! via the harness — each still read in exactly one module). Exit codes:
+//! 0 success, 1 error, 2 usage, 3 request rejected by admission control.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lpa_experiments::harness::HarnessSettings;
+use lpa_serve::client::flatten_stats;
+use lpa_serve::{Client, Daemon, RunOutcome, ServeConfig};
+use lpa_store::Store;
+use serde::Value;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage_error("missing subcommand");
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
+        "burst" => cmd_burst(rest),
+        "stats" => cmd_stats(rest),
+        "shutdown" => cmd_shutdown(rest),
+        "--help" | "-h" | "help" => {
+            print!("{}", usage_text());
+            ExitCode::SUCCESS
+        }
+        other => usage_error(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn usage_text() -> String {
+    "usage:\n  lpa-serve serve    [--addr A] [--store DIR] [--max-inflight N] [--queue N]\n  lpa-serve client   [--addr A] [--timeout-secs S] REQUEST_JSON\n  lpa-serve burst    [--addr A] [--timeout-secs S] -n N REQUEST_JSON\n  lpa-serve stats    [--addr A]\n  lpa-serve shutdown [--addr A]\n\nenvironment (flags outrank it):\n  LPA_SERVE_ADDR          listen/connect address (default 127.0.0.1:7641)\n  LPA_SERVE_MAX_INFLIGHT  concurrent in-flight sessions (default 4)\n  LPA_SERVE_QUEUE         admission queue depth (default 16)\n  LPA_STORE               shared persistent store directory (default none)\n".to_string()
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("lpa-serve: {message}");
+    eprint!("{}", usage_text());
+    ExitCode::from(2)
+}
+
+/// `--flag VALUE` extractor; removes the pair from `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else { return Ok(None) };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
+fn connect_addr(args: &mut Vec<String>) -> Result<String, String> {
+    match take_flag(args, "--addr")? {
+        Some(addr) => Ok(addr),
+        None => Ok(ServeConfig::from_env()?.addr),
+    }
+}
+
+fn cmd_serve(rest: &[String]) -> ExitCode {
+    let mut args = rest.to_vec();
+    let parsed = (|| -> Result<(ServeConfig, Option<String>), String> {
+        let mut config = ServeConfig::from_env()?;
+        if let Some(addr) = take_flag(&mut args, "--addr")? {
+            config.addr = addr;
+        }
+        if let Some(n) = take_flag(&mut args, "--max-inflight")? {
+            config.max_inflight =
+                n.parse::<usize>().map_err(|_| format!("--max-inflight: bad value {n:?}"))?.max(1);
+        }
+        if let Some(n) = take_flag(&mut args, "--queue")? {
+            config.queue =
+                n.parse::<usize>().map_err(|_| format!("--queue: bad value {n:?}"))?.max(1);
+        }
+        let store_dir = take_flag(&mut args, "--store")?;
+        Ok((config, store_dir))
+    })();
+    let (config, store_flag) = match parsed {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if let Some(stray) = args.first() {
+        return usage_error(&format!("unexpected argument {stray:?}"));
+    }
+
+    // `--store` outranks `LPA_STORE`; the env var itself is still read
+    // only by the harness module.
+    let store = match store_flag {
+        Some(dir) => match Store::open(&dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("lpa-serve: store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => HarnessSettings::from_env().open_store(),
+    };
+
+    let daemon = match Daemon::bind(&config, store.map(Arc::new)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lpa-serve: bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("lpa-serve: listening on {}", daemon.local_addr());
+    println!("lpa-serve: max-inflight={} queue={}", config.max_inflight, config.queue);
+    let summary = daemon.run();
+    println!("lpa-serve: shutdown {}", summary.summary_line);
+    if summary.invariant_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn client_common(rest: &[String]) -> Result<(Client, Vec<String>), String> {
+    let mut args = rest.to_vec();
+    let addr = connect_addr(&mut args)?;
+    let timeout = match take_flag(&mut args, "--timeout-secs")? {
+        Some(s) => s.parse::<u64>().map_err(|_| format!("--timeout-secs: bad value {s:?}"))?,
+        None => 600,
+    };
+    let client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.set_timeout(Duration::from_secs(timeout.max(1))).map_err(|e| e.to_string())?;
+    Ok((client, args))
+}
+
+fn cmd_client(rest: &[String]) -> ExitCode {
+    let (mut client, args) = match client_common(rest) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    let [request] = args.as_slice() else {
+        return usage_error("client takes exactly one REQUEST_JSON argument");
+    };
+    match client.run_to_completion(request) {
+        Ok(RunOutcome::Result { line, progress, .. }) => {
+            for p in &progress {
+                println!("{}", serde_json::to_string(p).unwrap());
+            }
+            println!("{line}");
+            ExitCode::SUCCESS
+        }
+        Ok(RunOutcome::Rejected { reason }) => {
+            println!("rejected: {reason}");
+            ExitCode::from(3)
+        }
+        Ok(RunOutcome::Error { message }) => {
+            eprintln!("lpa-serve: request failed: {message}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lpa-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Submit N copies of one request over N simultaneous connections (all
+/// connected before any sends — a synchronized burst), and summarize how
+/// admission control treated them. The CI smoke job asserts on the line.
+fn cmd_burst(rest: &[String]) -> ExitCode {
+    let mut args = rest.to_vec();
+    let parsed = (|| -> Result<(usize, String, u64), String> {
+        let n = match take_flag(&mut args, "-n")? {
+            Some(n) => n.parse::<usize>().ok().filter(|&n| n > 0).ok_or("-n: want a positive integer")?,
+            None => return Err("burst needs -n N".into()),
+        };
+        let addr = connect_addr(&mut args)?;
+        let timeout = match take_flag(&mut args, "--timeout-secs")? {
+            Some(s) => s.parse::<u64>().map_err(|_| format!("--timeout-secs: bad value {s:?}"))?,
+            None => 600,
+        };
+        Ok((n, addr, timeout))
+    })();
+    let (n, addr, timeout) = match parsed {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let [request] = args.as_slice() else {
+        return usage_error("burst takes exactly one REQUEST_JSON argument");
+    };
+
+    let barrier = Arc::new(std::sync::Barrier::new(n));
+    let request = Arc::new(request.clone());
+    let timeout = Duration::from_secs(timeout.max(1));
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let barrier = barrier.clone();
+            let request = request.clone();
+            let addr = addr.clone();
+            std::thread::spawn(move || -> Result<RunOutcome, String> {
+                let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+                client.set_timeout(timeout).ok();
+                barrier.wait();
+                client.run_to_completion(&request).map_err(|e| e.to_string())
+            })
+        })
+        .collect();
+    let (mut completed, mut overloaded, mut other) = (0usize, 0usize, 0usize);
+    for h in handles {
+        match h.join() {
+            Ok(Ok(RunOutcome::Result { .. })) => completed += 1,
+            Ok(Ok(RunOutcome::Rejected { reason })) if reason == "overloaded" => overloaded += 1,
+            _ => other += 1,
+        }
+    }
+    println!("burst: {n} submitted, {completed} completed, {overloaded} rejected-overloaded, {other} other");
+    if completed + overloaded + other == n && other == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_stats(rest: &[String]) -> ExitCode {
+    let (mut client, args) = match client_common(rest) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    if let Some(stray) = args.first() {
+        return usage_error(&format!("unexpected argument {stray:?}"));
+    }
+    match client.stats() {
+        Ok(stats) => {
+            for (name, value) in flatten_stats(&stats) {
+                println!("serve-stats: {name} = {value}");
+            }
+            // Gauges too — queue depth and in-flight are the live load view.
+            if let Some(gauges) =
+                stats.get("serve").and_then(|r| r.get("gauges")).and_then(Value::as_map)
+            {
+                for (name, value) in gauges {
+                    if let Some(n) = value.as_u64() {
+                        println!("serve-stats: {name} = {n}");
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lpa-serve: stats: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_shutdown(rest: &[String]) -> ExitCode {
+    let (mut client, args) = match client_common(rest) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    if let Some(stray) = args.first() {
+        return usage_error(&format!("unexpected argument {stray:?}"));
+    }
+    match client.shutdown() {
+        Ok(ack) => {
+            println!("{}", serde_json::to_string(&ack).unwrap());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lpa-serve: shutdown: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! A small blocking client over the line protocol — what the tests, the
+//! `lpa-serve client` subcommand and the CI smoke job drive the daemon
+//! with.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde::Value;
+
+/// How one submitted run ended, as seen by the client.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The final `result` line (raw bytes — what byte-identity asserts
+    /// compare) and the `progress` lines that preceded it.
+    Result { line: String, value: Value, progress: Vec<Value> },
+    /// A typed immediate rejection (`overloaded`, `shutting-down`).
+    Rejected { reason: String },
+    /// An `error` response (malformed request, crashed worker, …).
+    Error { message: String },
+}
+
+/// One connection to a daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), stream })
+    }
+
+    /// Guard against a wedged daemon in tests and CI: a response must
+    /// arrive within `timeout` or reads fail instead of hanging.
+    pub fn set_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    /// Send one raw request line.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()
+    }
+
+    /// Read the next response line, raw.
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Read the next response line, parsed.
+    pub fn read_value(&mut self) -> std::io::Result<Value> {
+        let line = self.read_line()?;
+        serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e} in {line:?}"))
+        })
+    }
+
+    /// Submit a run request and follow it to its final line, collecting
+    /// progress along the way. Lines for other request ids (pipelined
+    /// requests on this connection) are skipped.
+    pub fn run_to_completion(&mut self, request_line: &str) -> std::io::Result<RunOutcome> {
+        self.send_line(request_line)?;
+        let mut progress = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let value: Value = serde_json::from_str(&line).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e} in {line:?}"))
+            })?;
+            match value.get("type").and_then(Value::as_str) {
+                Some("accepted") => {}
+                Some("progress") => progress.push(value),
+                Some("rejected") => {
+                    let reason = value
+                        .get("reason")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown")
+                        .to_string();
+                    return Ok(RunOutcome::Rejected { reason });
+                }
+                Some("error") => {
+                    let message = value
+                        .get("message")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown")
+                        .to_string();
+                    return Ok(RunOutcome::Error { message });
+                }
+                Some("result") => return Ok(RunOutcome::Result { line, value, progress }),
+                _ => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected response {line:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Fetch the daemon + store registries (`stats` request).
+    pub fn stats(&mut self) -> std::io::Result<Value> {
+        self.send_line(r#"{"type":"stats"}"#)?;
+        self.read_value()
+    }
+
+    /// Ask the daemon to drain and exit; returns its acknowledgement.
+    pub fn shutdown(&mut self) -> std::io::Result<Value> {
+        self.send_line(r#"{"type":"shutdown"}"#)?;
+        self.read_value()
+    }
+}
+
+/// Flatten a `stats` response into greppable `name = value` pairs:
+/// serve-side names as-is, store-side names as recorded by the store
+/// registry. Missing sections flatten to nothing.
+pub fn flatten_stats(stats: &Value) -> Vec<(String, u64)> {
+    let mut flat = Vec::new();
+    for section in ["serve", "store"] {
+        let Some(counters) =
+            stats.get(section).and_then(|reg| reg.get("counters")).and_then(Value::as_map)
+        else {
+            continue;
+        };
+        for (name, value) in counters {
+            if let Some(n) = value.as_u64() {
+                flat.push((name.clone(), n));
+            }
+        }
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_reads_both_registry_sections() {
+        let stats: Value = serde_json::from_str(
+            r#"{"type":"stats","serve":{"counters":{"serve.request.admitted":2}},
+                "store":{"counters":{"store.reference.misses":3}}}"#,
+        )
+        .unwrap();
+        let flat = flatten_stats(&stats);
+        assert!(flat.contains(&("serve.request.admitted".to_string(), 2)), "{flat:?}");
+        assert!(flat.contains(&("store.reference.misses".to_string(), 3)), "{flat:?}");
+        assert!(flatten_stats(&Value::Null).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Daemon configuration — the one module that reads the `LPA_SERVE_*`
+//! environment (knob discipline per PR 4: each variable has exactly one
+//! reader in the workspace, and CLI flags outrank it).
+
+/// Resolved daemon knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// Listen address (`LPA_SERVE_ADDR`). Port 0 binds an ephemeral port
+    /// — what the tests use.
+    pub addr: String,
+    /// Concurrent in-flight sessions, which is also the worker-pool size
+    /// (`LPA_SERVE_MAX_INFLIGHT`, clamped to ≥ 1).
+    pub max_inflight: usize,
+    /// Admitted-but-waiting requests beyond the in-flight cap
+    /// (`LPA_SERVE_QUEUE`, clamped to ≥ 1); past it, submissions are
+    /// rejected `overloaded` immediately.
+    pub queue: usize,
+}
+
+/// Defaults: loopback on a fixed port, modest concurrency.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7641";
+pub const DEFAULT_MAX_INFLIGHT: usize = 4;
+pub const DEFAULT_QUEUE: usize = 16;
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            queue: DEFAULT_QUEUE,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Resolve from the process environment. The workspace's only read of
+    /// `LPA_SERVE_ADDR` / `LPA_SERVE_MAX_INFLIGHT` / `LPA_SERVE_QUEUE`.
+    pub fn from_env() -> Result<ServeConfig, String> {
+        Self::from_lookup(|var| std::env::var(var).ok())
+    }
+
+    /// The testable core of [`ServeConfig::from_env`]: same parsing and
+    /// validation, environment injected (the `HarnessEnv::from_lookup`
+    /// pattern — tests never mutate the process environment).
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Result<ServeConfig, String> {
+        let mut cfg = ServeConfig::default();
+        if let Some(addr) = non_empty(lookup("LPA_SERVE_ADDR")) {
+            cfg.addr = addr;
+        }
+        if let Some(raw) = non_empty(lookup("LPA_SERVE_MAX_INFLIGHT")) {
+            cfg.max_inflight = parse_cap("LPA_SERVE_MAX_INFLIGHT", &raw)?;
+        }
+        if let Some(raw) = non_empty(lookup("LPA_SERVE_QUEUE")) {
+            cfg.queue = parse_cap("LPA_SERVE_QUEUE", &raw)?;
+        }
+        Ok(cfg)
+    }
+}
+
+fn non_empty(value: Option<String>) -> Option<String> {
+    value.map(|v| v.trim().to_string()).filter(|v| !v.is_empty())
+}
+
+/// Positive integer; 0 is clamped to 1 (a daemon with no worker or no
+/// queue slot could never serve anything).
+fn parse_cap(var: &str, raw: &str) -> Result<usize, String> {
+    let n: usize =
+        raw.parse().map_err(|_| format!("{var}: expected a non-negative integer, got {raw:?}"))?;
+    Ok(n.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |var| pairs.iter().find(|(k, _)| *k == var).map(|(_, v)| v.to_string())
+    }
+
+    #[test]
+    fn defaults_when_unset() {
+        assert_eq!(ServeConfig::from_lookup(|_| None).unwrap(), ServeConfig::default());
+    }
+
+    #[test]
+    fn env_overrides_and_clamps() {
+        let cfg = ServeConfig::from_lookup(env(&[
+            ("LPA_SERVE_ADDR", "127.0.0.1:0"),
+            ("LPA_SERVE_MAX_INFLIGHT", "2"),
+            ("LPA_SERVE_QUEUE", "0"),
+        ]))
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.max_inflight, 2);
+        assert_eq!(cfg.queue, 1, "zero clamps to one queue slot");
+    }
+
+    #[test]
+    fn empty_values_fall_back_to_defaults() {
+        let cfg = ServeConfig::from_lookup(env(&[
+            ("LPA_SERVE_ADDR", "  "),
+            ("LPA_SERVE_MAX_INFLIGHT", ""),
+        ]))
+        .unwrap();
+        assert_eq!(cfg, ServeConfig::default());
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_the_variable_name() {
+        let err = ServeConfig::from_lookup(env(&[("LPA_SERVE_QUEUE", "many")])).unwrap_err();
+        assert!(err.contains("LPA_SERVE_QUEUE"), "{err}");
+    }
+}

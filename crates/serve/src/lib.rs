@@ -1,0 +1,52 @@
+//! # lpa-serve — the long-running experiment service
+//!
+//! Everything below `lpa-serve` is single-shot batch mode: `reproduce`
+//! runs one grid and exits. This crate is the serving tier on top — a
+//! daemon that listens on a TCP socket for line-delimited JSON requests
+//! (matrix grid × format set × solver options), plans each one through
+//! the [`ExperimentPlan`] → `Session` front door, and streams progress
+//! events and final results back as JSON lines.
+//!
+//! The workspace is fully offline (no tokio), so the executor is plain
+//! threads and `std::sync::mpsc`:
+//!
+//! * an **acceptor** thread turns connections into reader/writer thread
+//!   pairs,
+//! * a **bounded admission queue** (`LPA_SERVE_QUEUE`) feeds a fixed pool
+//!   of **worker** threads (`LPA_SERVE_MAX_INFLIGHT`); a full queue gets
+//!   an *immediate* typed `{"type":"rejected","reason":"overloaded"}`
+//!   response instead of stalling the socket — the Sui
+//!   `sui-concurrency-limiter` pattern, with RAII [`limiter::Permit`]s
+//!   accounting for the in-flight cap,
+//! * workers run sessions against **one shared [`Store`] handle**, so the
+//!   store's per-key single-flight dedupes identical work across racing
+//!   requests — N clients asking for the same grid cost one compute,
+//! * a per-connection **writer** thread owns the socket's write half and
+//!   serializes the deterministic `ProgressObserver` event stream plus
+//!   the final result line.
+//!
+//! Request admission, completion, abort (client gone), and rejection are
+//! counted on a per-daemon `lpa-obs` [`Registry`]; every run satisfies
+//! `serve.request.admitted = completed + aborted + rejected`. A `stats`
+//! request returns the registry as `lpa-obs-registry/v1` JSON. Graceful
+//! shutdown (a `shutdown` request, the SIGTERM-equivalent here) stops
+//! accepting, drains the queue and in-flight sessions, flushes the store,
+//! and reports the final counters.
+//!
+//! [`ExperimentPlan`]: lpa_experiments::ExperimentPlan
+//! [`Store`]: lpa_store::Store
+//! [`Registry`]: lpa_obs::Registry
+
+pub mod client;
+pub mod config;
+pub mod daemon;
+pub mod limiter;
+pub mod metrics;
+pub mod protocol;
+
+pub use client::{Client, RunOutcome};
+pub use config::ServeConfig;
+pub use daemon::{Daemon, DaemonHandle, ServeSummary};
+pub use limiter::{ConcurrencyLimiter, Permit};
+pub use metrics::ServeMetrics;
+pub use protocol::{CorpusSpec, Request, RunRequest};

@@ -1,0 +1,125 @@
+//! Per-daemon `serve.*` metrics on an instantiable `lpa-obs` [`Registry`]
+//! (the store's per-handle pattern — parallel daemons in one test process
+//! stay isolated).
+//!
+//! The request lifecycle counters partition every admitted run request:
+//!
+//! ```text
+//! serve.request.admitted = serve.request.completed
+//!                        + serve.request.aborted
+//!                        + serve.request.rejected
+//! ```
+//!
+//! `admitted` counts every well-formed run request the moment it reaches
+//! admission; each then terminates as exactly one of *rejected* (queue
+//! full or shutting down — the typed immediate response), *completed*
+//! (final line delivered, error responses included), or *aborted* (the
+//! client was gone when the result was ready). [`ServeMetrics::invariant_ok`]
+//! checks the identity; the daemon asserts it at shutdown and the CI
+//! smoke job greps for it.
+
+use std::sync::Arc;
+
+use lpa_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Handles onto the daemon's registry (hot path: relaxed atomics only).
+#[derive(Clone)]
+pub struct ServeMetrics {
+    registry: Arc<Registry>,
+    /// Well-formed run requests reaching admission.
+    pub admitted: Arc<Counter>,
+    /// Typed immediate rejections (`overloaded`, `shutting-down`).
+    pub rejected: Arc<Counter>,
+    /// Final line delivered to a live client (error responses included).
+    pub completed: Arc<Counter>,
+    /// Client disconnected before the final line could be delivered.
+    pub aborted: Arc<Counter>,
+    /// Lines that failed to parse as any request.
+    pub malformed: Arc<Counter>,
+    /// `stats` requests served.
+    pub stats_served: Arc<Counter>,
+    /// Admitted-but-waiting requests right now.
+    pub queue_depth: Arc<Gauge>,
+    /// Sessions running right now (mirrors the limiter).
+    pub inflight: Arc<Gauge>,
+    /// Enqueue-to-final latency per terminated request, nanoseconds.
+    pub latency: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    pub fn new() -> ServeMetrics {
+        let registry = Arc::new(Registry::new());
+        ServeMetrics {
+            admitted: registry.counter("serve.request.admitted"),
+            rejected: registry.counter("serve.request.rejected"),
+            completed: registry.counter("serve.request.completed"),
+            aborted: registry.counter("serve.request.aborted"),
+            malformed: registry.counter("serve.request.malformed"),
+            stats_served: registry.counter("serve.request.stats"),
+            queue_depth: registry.gauge("serve.queue.depth"),
+            inflight: registry.gauge("serve.inflight"),
+            latency: registry.histogram("serve.request.latency_ns"),
+            registry,
+        }
+    }
+
+    /// The backing registry (rendered by the `stats` endpoint).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Does `admitted = completed + aborted + rejected` hold right now?
+    /// Only meaningful when no request is mid-flight (e.g. after a drain).
+    pub fn invariant_ok(&self) -> bool {
+        self.admitted.get() == self.completed.get() + self.aborted.get() + self.rejected.get()
+    }
+
+    /// One greppable shutdown line, e.g.
+    /// `admitted=4 completed=3 aborted=1 rejected=0 invariant=ok`.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "admitted={} completed={} aborted={} rejected={} invariant={}",
+            self.admitted.get(),
+            self.completed.get(),
+            self.aborted.get(),
+            self.rejected.get(),
+            if self.invariant_ok() { "ok" } else { "VIOLATED" }
+        )
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counters_partition_admissions() {
+        let m = ServeMetrics::new();
+        assert!(m.invariant_ok(), "all-zero must satisfy the identity");
+        m.admitted.add(3);
+        m.completed.incr();
+        m.rejected.incr();
+        assert!(!m.invariant_ok(), "one admission unaccounted for");
+        m.aborted.incr();
+        assert!(m.invariant_ok());
+        assert_eq!(
+            m.summary_line(),
+            "admitted=3 completed=1 aborted=1 rejected=1 invariant=ok"
+        );
+    }
+
+    #[test]
+    fn registry_carries_the_serve_names() {
+        let m = ServeMetrics::new();
+        m.admitted.incr();
+        let names: Vec<String> =
+            m.registry().counters_snapshot().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"serve.request.admitted".to_string()), "{names:?}");
+    }
+}

@@ -1,0 +1,489 @@
+//! The wire protocol: line-delimited JSON, one request or response per
+//! line, over a plain TCP connection.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"type":"run","id":"r1",
+//!  "corpus":{"kind":"general","seed":7,"scale":1,"size_min":24,"size_max":36,"take":3},
+//!  "formats":["float64","posit16"],
+//!  "config":{"eigenvalue_count":3,"max_restarts":40},
+//!  "threads":2,"progress":true}
+//! {"type":"run","id":"r2",
+//!  "matrices":[{"name":"m0","n":3,"triplets":[[0,0,2.0],[1,1,3.0],[2,2,4.0]]}],
+//!  "formats":["posit32"]}
+//! {"type":"stats","id":"s"}
+//! {"type":"shutdown"}
+//! ```
+//!
+//! A run names its grid either through `corpus` (a generated corpus:
+//! `kind` is `general` or `graph`, the remaining knobs default to the
+//! tiny test corpus) or through `matrices` (inline symmetric matrices as
+//! `(row, col, value)` triplets). `formats` uses the canonical
+//! `FormatTag::name()` spellings (case/space/dash-insensitive); `config`
+//! overrides individual [`ExperimentConfig`] fields.
+//!
+//! ## Responses
+//!
+//! `accepted`, `rejected` (typed `reason`: `overloaded` or
+//! `shutting-down`), zero or more `progress` lines (the deterministic
+//! session event stream), then exactly one `result` line; `stats`,
+//! `shutting-down` and `error` complete the vocabulary. Every response
+//! echoes the request `id` (daemon-assigned `run-N` when omitted).
+
+use lpa_datagen::{general_corpus, graph_laplacian_corpus, CorpusConfig, Source, TestMatrix};
+use lpa_experiments::{ExperimentConfig, ExperimentResults, FormatTag, ProgressEvent};
+use lpa_obs::REGISTRY_SCHEMA;
+use lpa_sparse::CsrMatrix;
+use serde::{Serialize, Value};
+
+/// Typed rejection reasons (the wire spellings).
+pub const REASON_OVERLOADED: &str = "overloaded";
+pub const REASON_SHUTTING_DOWN: &str = "shutting-down";
+
+/// A parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    Run(RunRequest),
+    Stats { id: Option<String> },
+    Shutdown { id: Option<String> },
+}
+
+/// A grid to run: corpus × formats × config.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    pub id: Option<String>,
+    pub corpus: CorpusSpec,
+    pub formats: Vec<FormatTag>,
+    pub config: ExperimentConfig,
+    /// Worker-thread budget inside the session; 0 keeps the rayon default.
+    pub threads: usize,
+    /// Stream `progress` lines (default true).
+    pub progress: bool,
+}
+
+/// Where the matrices come from.
+#[derive(Debug, Clone)]
+pub enum CorpusSpec {
+    /// A generated corpus, materialized in the worker (admission stays
+    /// cheap).
+    Named { kind: CorpusKind, cfg: CorpusConfig, take: usize },
+    /// Inline matrices, validated at parse time.
+    Inline(Vec<TestMatrix>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorpusKind {
+    General,
+    Graph,
+}
+
+impl CorpusSpec {
+    /// Produce the actual matrices (generation cost lands on the worker
+    /// thread, after admission).
+    pub fn materialize(&self) -> Vec<TestMatrix> {
+        match self {
+            CorpusSpec::Inline(matrices) => matrices.clone(),
+            CorpusSpec::Named { kind, cfg, take } => {
+                let corpus = match kind {
+                    CorpusKind::General => general_corpus(cfg),
+                    CorpusKind::Graph => graph_laplacian_corpus(cfg),
+                };
+                if *take == 0 {
+                    corpus
+                } else {
+                    corpus.into_iter().take(*take).collect()
+                }
+            }
+        }
+    }
+}
+
+/// Parse one request line. `Err` is a human-readable message for the
+/// `error` response (and the `serve.request.malformed` counter).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let kind = value
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or("missing request field \"type\" (run|stats|shutdown)")?;
+    let id = value.get("id").and_then(Value::as_str).map(str::to_string);
+    match kind {
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "run" => Ok(Request::Run(parse_run(&value, id)?)),
+        other => Err(format!("unknown request type {other:?} (run|stats|shutdown)")),
+    }
+}
+
+fn parse_run(value: &Value, id: Option<String>) -> Result<RunRequest, String> {
+    let corpus = match (value.get("matrices"), value.get("corpus")) {
+        (Some(_), Some(_)) => return Err("give either \"matrices\" or \"corpus\", not both".into()),
+        (Some(matrices), None) => parse_inline(matrices)?,
+        (None, corpus) => parse_named(corpus)?,
+    };
+    let formats = parse_formats(value.get("formats"))?;
+    let config = parse_config(value.get("config"))?;
+    let threads = opt_usize(value, "threads")?.unwrap_or(0);
+    let progress = match value.get("progress") {
+        None => true,
+        Some(Value::Bool(b)) => *b,
+        Some(other) => return Err(format!("\"progress\": expected a bool, got {other:?}")),
+    };
+    Ok(RunRequest { id, corpus, formats, config, threads, progress })
+}
+
+fn parse_formats(value: Option<&Value>) -> Result<Vec<FormatTag>, String> {
+    let seq = match value {
+        None => return Err("missing \"formats\" (e.g. [\"float64\",\"posit16\"])".into()),
+        Some(v) => v.as_seq().ok_or("\"formats\": expected an array of format names")?,
+    };
+    if seq.is_empty() {
+        return Err("\"formats\" must not be empty".into());
+    }
+    seq.iter()
+        .map(|v| {
+            let name = v.as_str().ok_or("\"formats\": expected strings")?;
+            FormatTag::parse(name).ok_or_else(|| {
+                let known: Vec<&str> = FormatTag::all().iter().map(|f| f.name()).collect();
+                format!("unknown format {name:?} (known: {})", known.join(", "))
+            })
+        })
+        .collect()
+}
+
+fn parse_named(value: Option<&Value>) -> Result<CorpusSpec, String> {
+    // The serving default is the tiny deterministic test corpus — small
+    // enough that an undersized request cannot tie a worker up for long.
+    let mut cfg = CorpusConfig::tiny();
+    let mut kind = CorpusKind::General;
+    let mut take = 0usize;
+    if let Some(value) = value {
+        if value.as_map().is_none() {
+            return Err("\"corpus\": expected an object".into());
+        }
+        if let Some(k) = value.get("kind") {
+            kind = match k.as_str() {
+                Some("general") => CorpusKind::General,
+                Some("graph") => CorpusKind::Graph,
+                other => return Err(format!("\"corpus.kind\": want general|graph, got {other:?}")),
+            };
+        }
+        if let Some(seed) = opt_u64(value, "seed")? {
+            cfg.seed = seed;
+        }
+        if let Some(scale) = opt_usize(value, "scale")? {
+            cfg.scale = scale.max(1);
+        }
+        let (mut lo, mut hi) = cfg.size_range;
+        if let Some(min) = opt_usize(value, "size_min")? {
+            lo = min;
+        }
+        if let Some(max) = opt_usize(value, "size_max")? {
+            hi = max;
+        }
+        if lo == 0 || hi < lo {
+            return Err(format!("\"corpus\": bad size range {lo}..{hi}"));
+        }
+        cfg.size_range = (lo, hi);
+        if let Some(nnz) = opt_usize(value, "max_nnz")? {
+            cfg.max_nnz = nnz;
+        }
+        take = opt_usize(value, "take")?.unwrap_or(0);
+    }
+    Ok(CorpusSpec::Named { kind, cfg, take })
+}
+
+fn parse_inline(value: &Value) -> Result<CorpusSpec, String> {
+    let seq = value.as_seq().ok_or("\"matrices\": expected an array")?;
+    if seq.is_empty() {
+        return Err("\"matrices\" must not be empty".into());
+    }
+    let mut matrices = Vec::with_capacity(seq.len());
+    for (i, m) in seq.iter().enumerate() {
+        let name = m
+            .get("name")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("inline-{i}"));
+        let n = m
+            .get("n")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("matrix {name}: missing dimension \"n\""))? as usize;
+        if n == 0 {
+            return Err(format!("matrix {name}: dimension must be positive"));
+        }
+        let triplets = m
+            .get("triplets")
+            .and_then(Value::as_seq)
+            .ok_or_else(|| format!("matrix {name}: missing \"triplets\" array"))?;
+        let mut parsed = Vec::with_capacity(triplets.len());
+        for t in triplets {
+            let t = t.as_seq().filter(|t| t.len() == 3).ok_or_else(|| {
+                format!("matrix {name}: each triplet is [row, col, value]")
+            })?;
+            let (row, col) = match (t[0].as_u64(), t[1].as_u64()) {
+                (Some(r), Some(c)) => (r as usize, c as usize),
+                _ => return Err(format!("matrix {name}: non-integer triplet index")),
+            };
+            let val = t[2].as_num().ok_or_else(|| {
+                format!("matrix {name}: non-numeric triplet value")
+            })?;
+            if row >= n || col >= n {
+                return Err(format!("matrix {name}: triplet ({row},{col}) outside {n}x{n}"));
+            }
+            parsed.push((row, col, val));
+        }
+        let matrix = CsrMatrix::from_triplets(n, n, &parsed);
+        matrices.push(TestMatrix::new(name, "inline", Source::General, matrix));
+    }
+    Ok(CorpusSpec::Inline(matrices))
+}
+
+fn parse_config(value: Option<&Value>) -> Result<ExperimentConfig, String> {
+    let mut cfg = ExperimentConfig::default();
+    let Some(value) = value else { return Ok(cfg) };
+    if value.as_map().is_none() {
+        return Err("\"config\": expected an object".into());
+    }
+    if let Some(n) = opt_usize(value, "eigenvalue_count")? {
+        cfg.eigenvalue_count = n.max(1);
+    }
+    if let Some(n) = opt_usize(value, "eigenvalue_buffer_count")? {
+        cfg.eigenvalue_buffer_count = n;
+    }
+    if let Some(tol) = value.get("reference_tol").map(|v| {
+        v.as_num().ok_or("\"config.reference_tol\": expected a number")
+    }) {
+        cfg.reference_tol = tol?;
+    }
+    if let Some(n) = opt_usize(value, "max_restarts")? {
+        cfg.max_restarts = n.max(1);
+    }
+    if let Some(seed) = opt_u64(value, "seed")? {
+        cfg.seed = seed;
+    }
+    if let Some(ms) = opt_u64(value, "cell_deadline_ms")? {
+        cfg.cell_deadline =
+            (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    Ok(cfg)
+}
+
+fn opt_u64(value: &Value, key: &str) -> Result<Option<u64>, String> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            v.as_u64().map(Some).ok_or_else(|| format!("{key:?}: expected a non-negative integer"))
+        }
+    }
+}
+
+fn opt_usize(value: &Value, key: &str) -> Result<Option<usize>, String> {
+    Ok(opt_u64(value, key)?.map(|n| n as usize))
+}
+
+// ---------------------------------------------------------------------
+// Response lines (compact JSON, no trailing newline — the writer adds it).
+
+fn line(fields: Vec<(&str, Value)>) -> String {
+    let map = Value::Map(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect());
+    serde_json::to_string(&map).expect("value trees always serialize")
+}
+
+fn str_value(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+pub fn accepted_line(id: &str) -> String {
+    line(vec![("type", str_value("accepted")), ("id", str_value(id))])
+}
+
+pub fn rejected_line(id: &str, reason: &str) -> String {
+    line(vec![
+        ("type", str_value("rejected")),
+        ("id", str_value(id)),
+        ("reason", str_value(reason)),
+    ])
+}
+
+pub fn error_line(id: Option<&str>, message: &str) -> String {
+    line(vec![
+        ("type", str_value("error")),
+        ("id", id.map(str_value).unwrap_or(Value::Null)),
+        ("message", str_value(message)),
+    ])
+}
+
+pub fn shutting_down_line(id: &str) -> String {
+    line(vec![("type", str_value("shutting-down")), ("id", str_value(id))])
+}
+
+pub fn progress_line(id: &str, event: &ProgressEvent) -> String {
+    line(vec![
+        ("type", str_value("progress")),
+        ("id", str_value(id)),
+        ("event", event_value(event)),
+    ])
+}
+
+pub fn result_line(id: &str, results: &ExperimentResults) -> String {
+    line(vec![
+        ("type", str_value("result")),
+        ("id", str_value(id)),
+        ("degraded", Value::Bool(results.is_degraded())),
+        ("results", results.to_value()),
+    ])
+}
+
+/// `serve` is the daemon registry, `store` the shared store's (absent
+/// when the daemon runs storeless) — both in `lpa-obs-registry/v1` shape.
+pub fn stats_line(id: &str, serve: Value, store: Option<Value>) -> String {
+    line(vec![
+        ("type", str_value("stats")),
+        ("id", str_value(id)),
+        ("schema", str_value(REGISTRY_SCHEMA)),
+        ("serve", serve),
+        ("store", store.unwrap_or(Value::Null)),
+    ])
+}
+
+/// A [`ProgressEvent`] as a JSON value: `kind` plus the variant's fields,
+/// formats in their canonical `name()` spelling.
+pub fn event_value(event: &ProgressEvent) -> Value {
+    let mut fields: Vec<(String, Value)> = Vec::with_capacity(5);
+    let mut push = |k: &str, v: Value| fields.push((k.to_string(), v));
+    match event {
+        ProgressEvent::GridStarted { matrices, formats } => {
+            push("kind", str_value("grid-started"));
+            push("matrices", Value::UInt(*matrices as u64));
+            push("formats", Value::UInt(*formats as u64));
+        }
+        ProgressEvent::ReferenceStarted { index, matrix } => {
+            push("kind", str_value("reference-started"));
+            push("index", Value::UInt(*index as u64));
+            push("matrix", str_value(matrix));
+        }
+        ProgressEvent::ReferenceComputed { index, matrix, from_store } => {
+            push("kind", str_value("reference-computed"));
+            push("index", Value::UInt(*index as u64));
+            push("matrix", str_value(matrix));
+            push("from_store", Value::Bool(*from_store));
+        }
+        ProgressEvent::MatrixSkipped { index, matrix } => {
+            push("kind", str_value("matrix-skipped"));
+            push("index", Value::UInt(*index as u64));
+            push("matrix", str_value(matrix));
+        }
+        ProgressEvent::OutcomeComputed { index, matrix, format, from_store } => {
+            push("kind", str_value("outcome-computed"));
+            push("index", Value::UInt(*index as u64));
+            push("matrix", str_value(matrix));
+            push("format", str_value(format.name()));
+            push("from_store", Value::Bool(*from_store));
+        }
+        ProgressEvent::CellFailed { index, matrix, format, reason } => {
+            push("kind", str_value("cell-failed"));
+            push("index", Value::UInt(*index as u64));
+            push("matrix", str_value(matrix));
+            push("format", format.map(|f| str_value(f.name())).unwrap_or(Value::Null));
+            push("reason", str_value(reason));
+        }
+        ProgressEvent::GridFinished { matrices, skipped, outcomes } => {
+            push("kind", str_value("grid-finished"));
+            push("matrices", Value::UInt(*matrices as u64));
+            push("skipped", Value::UInt(*skipped as u64));
+            push("outcomes", Value::UInt(*outcomes as u64));
+        }
+    }
+    Value::Map(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_with_named_corpus_parses() {
+        let req = parse_request(
+            r#"{"type":"run","id":"r1","corpus":{"kind":"graph","seed":11,"size_min":24,"size_max":30,"take":2},"formats":["float64","OFP8 E4M3"],"config":{"eigenvalue_count":3,"cell_deadline_ms":500},"threads":2}"#,
+        )
+        .unwrap();
+        let Request::Run(run) = req else { panic!("not a run") };
+        assert_eq!(run.id.as_deref(), Some("r1"));
+        assert_eq!(run.formats, vec![FormatTag::Float64, FormatTag::Ofp8E4M3]);
+        assert_eq!(run.threads, 2);
+        assert!(run.progress, "progress defaults on");
+        assert_eq!(run.config.eigenvalue_count, 3);
+        assert_eq!(run.config.cell_deadline, Some(std::time::Duration::from_millis(500)));
+        let CorpusSpec::Named { kind, cfg, take } = run.corpus else { panic!("not named") };
+        assert_eq!(kind, CorpusKind::Graph);
+        assert_eq!((cfg.seed, cfg.size_range, take), (11, (24, 30), 2));
+    }
+
+    #[test]
+    fn inline_matrices_parse_and_materialize() {
+        let req = parse_request(
+            r#"{"type":"run","matrices":[{"name":"d","n":3,"triplets":[[0,0,2.0],[1,1,3.0],[2,2,4.0]]}],"formats":["posit32"],"progress":false}"#,
+        )
+        .unwrap();
+        let Request::Run(run) = req else { panic!("not a run") };
+        assert!(!run.progress);
+        let corpus = run.corpus.materialize();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus[0].name, "d");
+        assert_eq!(corpus[0].matrix.nrows(), 3);
+        assert_eq!(corpus[0].matrix.nnz(), 3);
+    }
+
+    #[test]
+    fn malformed_lines_give_typed_errors() {
+        for (line, needle) in [
+            ("{", "bad JSON"),
+            (r#"{"type":"dance"}"#, "unknown request type"),
+            (r#"{"type":"run","formats":["float128"]}"#, "unknown format"),
+            (r#"{"type":"run","formats":[]}"#, "must not be empty"),
+            (r#"{"type":"run"}"#, "missing \"formats\""),
+            (
+                r#"{"type":"run","formats":["float64"],"matrices":[{"name":"x","n":2,"triplets":[[0,5,1.0]]}]}"#,
+                "outside",
+            ),
+            (
+                r#"{"type":"run","formats":["float64"],"corpus":{"size_min":10,"size_max":5}}"#,
+                "bad size range",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn response_lines_are_compact_single_line_json() {
+        assert_eq!(accepted_line("r1"), r#"{"type":"accepted","id":"r1"}"#);
+        assert_eq!(
+            rejected_line("r1", REASON_OVERLOADED),
+            r#"{"type":"rejected","id":"r1","reason":"overloaded"}"#
+        );
+        let err = error_line(None, "nope");
+        assert_eq!(err, r#"{"type":"error","id":null,"message":"nope"}"#);
+        let progress = progress_line(
+            "r1",
+            &ProgressEvent::GridStarted { matrices: 3, formats: 2 },
+        );
+        assert!(!progress.contains('\n'));
+        assert!(progress.contains(r#""kind":"grid-started""#), "{progress}");
+    }
+
+    #[test]
+    fn stats_and_shutdown_requests_parse() {
+        assert!(matches!(
+            parse_request(r#"{"type":"stats","id":"s1"}"#).unwrap(),
+            Request::Stats { id: Some(_) }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"type":"shutdown"}"#).unwrap(),
+            Request::Shutdown { id: None }
+        ));
+    }
+}

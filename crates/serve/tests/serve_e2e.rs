@@ -1,0 +1,404 @@
+//! End-to-end contract tests of the serving tier, driving a real daemon
+//! over real sockets:
+//!
+//! * a cold request computes and persists; an identical second request
+//!   is served warm — byte-identical result line, zero store misses,
+//! * N racing clients submitting the same grid dedupe on the store's
+//!   single-flight (each reference computed once) and all receive
+//!   byte-identical results,
+//! * queue overflow yields an immediate typed `rejected: overloaded`,
+//!   never a hang,
+//! * a client disconnect mid-stream neither poisons the shared store nor
+//!   leaks the worker slot (`serve.request.aborted`),
+//! * graceful shutdown drains in-flight work,
+//! * an armed `serve.worker.panic` fault costs one typed error response,
+//!   not the daemon,
+//!
+//! and after every scenario the lifecycle identity holds:
+//! `admitted = completed + aborted + rejected`.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lpa_faults::FaultScope;
+use lpa_serve::{Client, Daemon, DaemonHandle, RunOutcome, ServeConfig, ServeSummary};
+use lpa_store::{ArtifactKind, Store};
+use serde::Value;
+
+/// 3 matrices × 2 formats — the grid the store-backed tests share.
+const GRID: &str = r#"{"type":"run","id":"grid","corpus":{"kind":"general","seed":7,"size_min":24,"size_max":36,"take":3},"formats":["float64","posit16"],"config":{"eigenvalue_count":3,"max_restarts":40}}"#;
+const GRID_MATRICES: u64 = 3;
+const GRID_CELLS: u64 = 6;
+
+/// 1 matrix × 1 format — the smallest possible work item, for tests that
+/// stall the solver to hold a worker busy.
+const TINY: &str = r#"{"type":"run","corpus":{"seed":7,"size_min":24,"size_max":30,"take":1},"formats":["float64"],"config":{"eigenvalue_count":3,"max_restarts":60}}"#;
+
+struct TestDaemon {
+    addr: SocketAddr,
+    handle: DaemonHandle,
+    thread: JoinHandle<ServeSummary>,
+}
+
+impl TestDaemon {
+    fn start(max_inflight: usize, queue: usize, store: Option<Arc<Store>>) -> TestDaemon {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_inflight,
+            queue,
+        };
+        let daemon = Daemon::bind(&config, store).expect("bind");
+        let addr = daemon.local_addr();
+        let handle = daemon.handle();
+        let thread = std::thread::spawn(move || daemon.run());
+        TestDaemon { addr, handle, thread }
+    }
+
+    fn client(&self) -> Client {
+        let client = Client::connect(self.addr).expect("connect");
+        client.set_timeout(Duration::from_secs(300)).unwrap();
+        client
+    }
+
+    /// Graceful shutdown; every test ends here so every scenario checks
+    /// the lifecycle identity.
+    fn finish(self) -> ServeSummary {
+        self.handle.begin_shutdown();
+        let summary = self.thread.join().expect("daemon thread");
+        assert!(summary.invariant_ok, "lifecycle identity violated: {}", summary.summary_line);
+        summary
+    }
+}
+
+fn temp_store(tag: &str) -> (Arc<Store>, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("lpa-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (Arc::new(Store::open(&dir).unwrap()), dir)
+}
+
+fn misses(store: &Store, kind: ArtifactKind) -> u64 {
+    store.stats().snapshot(kind).misses
+}
+
+fn result_line(outcome: RunOutcome) -> String {
+    match outcome {
+        RunOutcome::Result { line, .. } => line,
+        other => panic!("expected a result, got {other:?}"),
+    }
+}
+
+fn wait_until(what: &str, timeout: Duration, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn cold_then_warm_requests_are_byte_identical_with_zero_misses() {
+    let (store, dir) = temp_store("coldwarm");
+    let daemon = TestDaemon::start(2, 4, Some(store.clone()));
+
+    let cold = result_line(daemon.client().run_to_completion(GRID).unwrap());
+    assert_eq!(misses(&store, ArtifactKind::Reference), GRID_MATRICES);
+    assert_eq!(misses(&store, ArtifactKind::Outcome), GRID_CELLS);
+
+    // Identical request, different client: served warm, byte-identical.
+    let warm = result_line(daemon.client().run_to_completion(GRID).unwrap());
+    assert_eq!(cold, warm, "warm result diverged from cold");
+    assert_eq!(misses(&store, ArtifactKind::Reference), GRID_MATRICES, "warm run re-computed");
+    assert_eq!(misses(&store, ArtifactKind::Outcome), GRID_CELLS, "warm run re-computed");
+
+    // The stats endpoint tells the same story over the wire. (The
+    // client reads its result a beat before the worker processes the
+    // delivery ack, so give the counter that beat.)
+    wait_until("completions to be counted", Duration::from_secs(10), || {
+        daemon.handle.metrics().completed.get() == 2
+    });
+    let stats = daemon.client().stats().unwrap();
+    assert_eq!(
+        stats.get("schema").and_then(Value::as_str),
+        Some("lpa-obs-registry/v1")
+    );
+    let flat = lpa_serve::client::flatten_stats(&stats);
+    let get = |name: &str| {
+        flat.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or_else(|| {
+            panic!("{name} missing from stats: {flat:?}")
+        })
+    };
+    assert_eq!(get("serve.request.admitted"), 2);
+    assert_eq!(get("serve.request.completed"), 2);
+    assert_eq!(get("store.reference.misses"), GRID_MATRICES);
+
+    let summary = daemon.finish();
+    assert_eq!((summary.admitted, summary.completed), (2, 2));
+    assert_eq!((summary.aborted, summary.rejected), (0, 0));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn racing_duplicate_clients_compute_each_reference_once() {
+    let (store, dir) = temp_store("race");
+    let n = 4;
+    let daemon = TestDaemon::start(n, 8, Some(store.clone()));
+
+    // N simultaneous identical submissions; the store's per-key
+    // single-flight must collapse the work.
+    let barrier = Arc::new(std::sync::Barrier::new(n));
+    let results: Vec<String> = {
+        let threads: Vec<_> = (0..n)
+            .map(|_| {
+                let mut client = daemon.client();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    result_line(client.run_to_completion(GRID).unwrap())
+                })
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    };
+
+    for line in &results[1..] {
+        assert_eq!(line, &results[0], "racing clients saw different bytes");
+    }
+    assert_eq!(
+        misses(&store, ArtifactKind::Reference),
+        GRID_MATRICES,
+        "single-flight failed: references computed more than once"
+    );
+    assert_eq!(misses(&store, ArtifactKind::Outcome), GRID_CELLS);
+
+    let summary = daemon.finish();
+    assert_eq!((summary.admitted, summary.completed), (n as u64, n as u64));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn queue_overflow_is_rejected_immediately_never_hangs() {
+    // One worker, one queue slot; the solver stalled so the worker stays
+    // busy while the burst arrives.
+    let _stall = FaultScope::arm("solver.stall=always,seed=3");
+    let daemon = TestDaemon::start(1, 1, None);
+
+    // R1: wait until it is demonstrably *running* (first progress event
+    // arrived), so the worker slot is taken, not just the queue.
+    let mut busy = daemon.client();
+    busy.send_line(TINY).unwrap();
+    loop {
+        let value = busy.read_value().unwrap();
+        match value.get("type").and_then(Value::as_str) {
+            Some("progress") => break,
+            Some("accepted") => {}
+            other => panic!("unexpected pre-progress response: {other:?}"),
+        }
+    }
+
+    // R2 fills the single queue slot.
+    let mut queued = daemon.client();
+    queued.send_line(TINY).unwrap();
+    let ack = queued.read_value().unwrap();
+    assert_eq!(ack.get("type").and_then(Value::as_str), Some("accepted"));
+
+    // R3 must bounce with the typed reason, and fast — backpressure
+    // never stalls the socket.
+    let mut burst = daemon.client();
+    burst.set_timeout(Duration::from_secs(5)).unwrap();
+    let started = Instant::now();
+    burst.send_line(TINY).unwrap();
+    let rejection = burst.read_value().unwrap();
+    assert_eq!(rejection.get("type").and_then(Value::as_str), Some("rejected"));
+    assert_eq!(rejection.get("reason").and_then(Value::as_str), Some("overloaded"));
+    assert!(started.elapsed() < Duration::from_secs(5), "rejection was not immediate");
+
+    // The stalled work still completes for the patient clients.
+    let follow = |mut client: Client| {
+        std::thread::spawn(move || loop {
+            let value = client.read_value().unwrap();
+            if value.get("type").and_then(Value::as_str) == Some("result") {
+                return;
+            }
+        })
+    };
+    let busy_done = follow(busy);
+    let queued_done = follow(queued);
+    busy_done.join().unwrap();
+    queued_done.join().unwrap();
+
+    let summary = daemon.finish();
+    assert_eq!((summary.admitted, summary.completed, summary.rejected), (3, 2, 1));
+}
+
+#[test]
+fn client_disconnect_mid_stream_aborts_without_poisoning_store_or_permit() {
+    let (store, dir) = temp_store("abort");
+    let stall = FaultScope::arm("solver.stall=always,seed=5");
+    let daemon = TestDaemon::start(1, 4, Some(store.clone()));
+
+    // Submit, confirm admission, then vanish mid-stream.
+    {
+        let mut doomed = daemon.client();
+        doomed.send_line(TINY).unwrap();
+        let ack = doomed.read_value().unwrap();
+        assert_eq!(ack.get("type").and_then(Value::as_str), Some("accepted"));
+    } // dropped: the socket closes while the session is still stalling
+
+    // The worker must finish the session, count the abort, and return
+    // its permit.
+    wait_until("the abort to be counted", Duration::from_secs(120), || {
+        daemon.handle.metrics().aborted.get() == 1
+    });
+    drop(stall);
+
+    // Store not poisoned: the aborted run persisted its artifacts, so a
+    // surviving client gets the same grid warm — and the permit was
+    // returned, or this second request would never reach a worker.
+    let reference_misses = misses(&store, ArtifactKind::Reference);
+    assert!(reference_misses >= 1, "aborted run should still have computed");
+    let outcome = daemon.client().run_to_completion(TINY).unwrap();
+    let RunOutcome::Result { value, .. } = outcome else {
+        panic!("follow-up request failed: {outcome:?}")
+    };
+    assert_eq!(value.get("degraded").and_then(|v| match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }), Some(false));
+    assert_eq!(
+        misses(&store, ArtifactKind::Reference),
+        reference_misses,
+        "follow-up request re-computed: the aborted run poisoned the store"
+    );
+
+    let summary = daemon.finish();
+    assert_eq!((summary.admitted, summary.completed, summary.aborted), (2, 1, 1));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_and_rejects_new_work() {
+    let _stall = FaultScope::arm("solver.stall=always,seed=9");
+    let daemon = TestDaemon::start(2, 4, None);
+
+    // A request that will still be in flight when shutdown lands.
+    let mut patient = daemon.client();
+    patient.send_line(TINY).unwrap();
+    loop {
+        let value = patient.read_value().unwrap();
+        if value.get("type").and_then(Value::as_str) == Some("progress") {
+            break;
+        }
+    }
+
+    // One write carrying both the shutdown and a trailing run request:
+    // the reader must ack the drain, then reject the new work with the
+    // typed reason.
+    let mut admin = daemon.client();
+    admin
+        .send_line(&format!("{}\n{}", r#"{"type":"shutdown","id":"sd"}"#, TINY))
+        .unwrap();
+    let ack = admin.read_value().unwrap();
+    assert_eq!(ack.get("type").and_then(Value::as_str), Some("shutting-down"));
+    let rejected = admin.read_value().unwrap();
+    assert_eq!(rejected.get("type").and_then(Value::as_str), Some("rejected"));
+    assert_eq!(rejected.get("reason").and_then(Value::as_str), Some("shutting-down"));
+
+    // The in-flight request drains to a real result.
+    loop {
+        let value = patient.read_value().unwrap();
+        if value.get("type").and_then(Value::as_str) == Some("result") {
+            break;
+        }
+    }
+
+    let summary = daemon.thread.join().expect("daemon thread");
+    assert!(summary.invariant_ok, "{}", summary.summary_line);
+    assert_eq!((summary.admitted, summary.completed, summary.rejected), (2, 1, 1));
+    assert_eq!(summary.aborted, 0);
+}
+
+#[test]
+fn armed_worker_panic_costs_one_error_response_not_the_daemon() {
+    let _fault = FaultScope::arm("serve.worker.panic=once,seed=1");
+    let daemon = TestDaemon::start(1, 2, None);
+
+    // First request absorbs the injected panic as a typed error…
+    let first = daemon.client().run_to_completion(TINY).unwrap();
+    let RunOutcome::Error { message } = first else {
+        panic!("expected the injected panic to surface as an error, got {first:?}")
+    };
+    assert!(message.contains("injected fault"), "{message}");
+
+    // …and the daemon is degraded-but-alive: the next request succeeds.
+    let second = daemon.client().run_to_completion(TINY).unwrap();
+    assert!(matches!(second, RunOutcome::Result { .. }), "{second:?}");
+
+    let summary = daemon.finish();
+    assert_eq!((summary.admitted, summary.completed), (2, 2));
+}
+
+#[test]
+fn malformed_lines_get_error_responses_and_are_counted() {
+    let daemon = TestDaemon::start(1, 2, None);
+    let mut client = daemon.client();
+    client.send_line("this is not json").unwrap();
+    let error = client.read_value().unwrap();
+    assert_eq!(error.get("type").and_then(Value::as_str), Some("error"));
+    client.send_line(r#"{"type":"run","formats":["float128"]}"#).unwrap();
+    let error = client.read_value().unwrap();
+    assert_eq!(error.get("type").and_then(Value::as_str), Some("error"));
+    assert!(error
+        .get("message")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("unknown format"));
+
+    let summary = daemon.finish();
+    assert_eq!(summary.malformed, 2);
+    assert_eq!(summary.admitted, 0, "malformed lines never reach admission");
+}
+
+#[test]
+fn progress_stream_matches_the_deterministic_session_order() {
+    let daemon = TestDaemon::start(2, 4, None);
+    let outcome = daemon.client().run_to_completion(GRID).unwrap();
+    let RunOutcome::Result { progress, value, .. } = outcome else {
+        panic!("expected a result")
+    };
+    let kinds: Vec<String> = progress
+        .iter()
+        .map(|p| {
+            p.get("event")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str)
+                .expect("progress event kind")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(kinds.first().map(String::as_str), Some("grid-started"), "{kinds:?}");
+    assert_eq!(kinds.last().map(String::as_str), Some("grid-finished"), "{kinds:?}");
+    // References stream strictly before outcomes (the sequencer's
+    // contract), and every event echoes the request id.
+    let first_outcome = kinds.iter().position(|k| k == "outcome-computed").unwrap();
+    let last_reference = kinds
+        .iter()
+        .rposition(|k| k == "reference-computed" || k == "matrix-skipped")
+        .unwrap();
+    assert!(last_reference < first_outcome, "{kinds:?}");
+    for p in &progress {
+        assert_eq!(p.get("id").and_then(Value::as_str), Some("grid"));
+    }
+    // The result agrees with the stream's grid-finished tally.
+    let outcomes_streamed = kinds.iter().filter(|k| *k == "outcome-computed").count();
+    let matrices = value
+        .get("results")
+        .and_then(|r| r.get("matrices"))
+        .and_then(Value::as_seq)
+        .map(<[Value]>::len)
+        .unwrap();
+    assert_eq!(outcomes_streamed, matrices * 2, "one outcome event per (matrix, format)");
+
+    daemon.finish();
+}

@@ -307,6 +307,23 @@ impl Store {
         })
     }
 
+    /// Durability barrier: fsync the store's directories so every
+    /// artifact rename performed so far survives a crash of the host.
+    /// Individual writes are already atomic (tmp + rename); what a
+    /// rename alone does not guarantee is that the *directory entry* hit
+    /// the platter. Batch callers that must not lose work on power loss
+    /// — the `lpa-serve` graceful shutdown is the canonical one — call
+    /// this once at the end instead of paying an fsync per artifact.
+    pub fn flush(&self) -> io::Result<()> {
+        for entry in std::fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                std::fs::File::open(&path)?.sync_all()?;
+            }
+        }
+        std::fs::File::open(&self.root)?.sync_all()
+    }
+
     /// Override the numerics table recorded in frames written through this
     /// handle (tests and migration tooling; processes normally stamp the
     /// effective table captured at [`Store::open`]).

@@ -16,7 +16,9 @@
 //! * [`store`] — the persistent content-addressed experiment store that
 //!   makes harness runs resumable and warm-startable,
 //! * [`obs`] — the observability layer: metrics registry, tracing spans,
-//!   and the `run_manifest/v1` JSON schema machinery.
+//!   and the `run_manifest/v1` JSON schema machinery,
+//! * [`serve`] — the `lpa-serve` daemon/client: a long-running experiment
+//!   service with admission control, backpressure and streaming progress.
 
 pub use lpa_arith as arith;
 pub use lpa_arnoldi as arnoldi;
@@ -25,6 +27,7 @@ pub use lpa_datagen as datagen;
 pub use lpa_dense as dense;
 pub use lpa_experiments as experiments;
 pub use lpa_obs as obs;
+pub use lpa_serve as serve;
 pub use lpa_sparse as sparse;
 pub use lpa_store as store;
 
