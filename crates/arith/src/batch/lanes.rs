@@ -1,0 +1,154 @@
+//! Lane-width selection for the struct-of-arrays kernels, plus the
+//! fixed-width block abstraction ([`Lanes`]) they iterate with.
+//!
+//! The planes kernels ([`super::planes`]) run their independent work — the
+//! per-element multiply-and-round of a dot product, every element of an
+//! `axpy` — over blocks of `W` lanes at a time: plain unrolled `u64`
+//! arithmetic on the separated sign/exponent/significand planes, no
+//! `std::simd`.  `W` never changes *what* is computed (the serial
+//! accumulation order is preserved exactly, so all widths are bit-identical
+//! — `tests/batch_differential.rs` asserts it); it only changes how much
+//! independent work is in flight per iteration.
+//!
+//! ## The `LPA_KERNEL_LANES` knob
+//!
+//! Like `LPA_KERNEL_BATCH`, the width is selectable at runtime for
+//! verification, not semantics.  Selection, in precedence order:
+//! [`force_kernel_lanes`] (process global, used by differential tests), the
+//! `LPA_KERNEL_LANES` environment variable (`1`/`scalar`, `4`, or
+//! `8`/`wide`/`widest`; read only in this module), then the default:
+//! one lane.  The portable width is the default because it measures
+//! fastest on current out-of-order hardware — the CPU already overlaps
+//! the independent per-lane chains on its own, so the unrolled widths
+//! mostly add code size (and a dot product's single serial add chain
+//! cannot be overlapped at any width without changing the accumulation
+//! order).  The wide paths stay selectable for hardware where manual
+//! blocking does win, and for the differential suites.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The lane width the planes kernels block their independent work by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelLanes {
+    /// Portable scalar path: one element at a time (the default).
+    W1,
+    /// Four-lane unrolled blocks.
+    W4,
+    /// Eight-lane unrolled blocks (the widest).
+    W8,
+}
+
+impl KernelLanes {
+    /// The widest supported width (the far end the differential suites
+    /// pair against the portable default).
+    pub const WIDEST: KernelLanes = KernelLanes::W8;
+
+    /// The block width as a count.
+    pub fn width(self) -> usize {
+        match self {
+            KernelLanes::W1 => 1,
+            KernelLanes::W4 => 4,
+            KernelLanes::W8 => 8,
+        }
+    }
+}
+
+impl std::str::FromStr for KernelLanes {
+    type Err = String;
+
+    /// Accepts the `LPA_KERNEL_LANES` vocabulary: `1` (alias `scalar`),
+    /// `4`, and `8` (aliases `wide`, `widest`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "1" | "scalar" => Ok(KernelLanes::W1),
+            "4" => Ok(KernelLanes::W4),
+            "8" | "wide" | "widest" => Ok(KernelLanes::W8),
+            other => Err(format!(
+                "{other:?} is not a known lane width (expected \"1\", \"4\", or \"8\")"
+            )),
+        }
+    }
+}
+
+/// The width requested by the `LPA_KERNEL_LANES` environment variable, if
+/// any (`None` when unset or empty).  Panics on an unknown value, exactly
+/// like lazy initialization does — a typo must not silently select a
+/// default.
+///
+/// All environment reads of `LPA_KERNEL_LANES` live in this module; harness
+/// layers (`lpa_experiments::harness`) call this instead of reading the
+/// variable themselves.
+pub fn env_kernel_lanes() -> Option<KernelLanes> {
+    match std::env::var("LPA_KERNEL_LANES").as_deref() {
+        Ok("") | Err(_) => None,
+        Ok(v) => Some(v.parse().unwrap_or_else(|e: String| panic!("LPA_KERNEL_LANES={e}"))),
+    }
+}
+
+const UNSET: u8 = 0;
+const W1: u8 = 1;
+const W4: u8 = 4;
+const W8: u8 = 8;
+
+static KERNEL_LANES: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The currently active lane width (see the module docs for the selection
+/// rules).
+#[inline]
+pub fn kernel_lanes() -> KernelLanes {
+    match KERNEL_LANES.load(Ordering::Relaxed) {
+        W1 => KernelLanes::W1,
+        W4 => KernelLanes::W4,
+        W8 => KernelLanes::W8,
+        _ => init_from_env(),
+    }
+}
+
+/// Force the lane width for the rest of the process (overriding the
+/// environment), taking effect on the next planes kernel call.
+///
+/// All widths are bit-identical, so flipping this mid-run never changes
+/// any computed value — it exists so differential tests can run the same
+/// workload through every width in one process.
+pub fn force_kernel_lanes(width: KernelLanes) {
+    let v = match width {
+        KernelLanes::W1 => W1,
+        KernelLanes::W4 => W4,
+        KernelLanes::W8 => W8,
+    };
+    KERNEL_LANES.store(v, Ordering::Relaxed);
+}
+
+#[cold]
+fn init_from_env() -> KernelLanes {
+    let v = match env_kernel_lanes() {
+        Some(KernelLanes::W1) | None => W1,
+        Some(KernelLanes::W4) => W4,
+        Some(KernelLanes::W8) => W8,
+    };
+    // A racing `force_kernel_lanes` may have stored a value in the
+    // meantime; that call wins.  All widths compute identical bits, so
+    // the race is benign either way.
+    let _ = KERNEL_LANES.compare_exchange(UNSET, v, Ordering::Relaxed, Ordering::Relaxed);
+    match KERNEL_LANES.load(Ordering::Relaxed) {
+        W1 => KernelLanes::W1,
+        W4 => KernelLanes::W4,
+        _ => KernelLanes::W8,
+    }
+}
+
+/// A block of `W` decoded elements in struct-of-arrays registers: the
+/// class/sign tags, exponents, and significands of `W` consecutive (or
+/// gathered) elements, loaded together so the kernel inner loops run plain
+/// unrolled integer arithmetic over them.
+#[derive(Clone, Copy, Debug)]
+pub struct Lanes<const W: usize> {
+    pub tag: [u8; W],
+    pub exp: [i32; W],
+    pub sig: [u64; W],
+}
+
+impl<const W: usize> Lanes<W> {
+    /// All-zero lanes (the decoded form of the formats' unsigned zero).
+    pub const ZERO: Lanes<W> = Lanes { tag: [0; W], exp: [0; W], sig: [0; W] };
+}

@@ -31,6 +31,14 @@
 //! equality exhaustively over exponent sweeps and differentially over
 //! random and boundary-corpus operands.
 //!
+//! On top of the shadow tier sit the struct-of-arrays kernels: [`planes`]
+//! splits the decoded form into separate tag/exponent/significand planes
+//! ([`PlaneStore`], [`UnpackedPlanes`]) and runs the combine **and** the
+//! round fused over the 128-bit kernel frame, blocked [`lanes`] wide
+//! ([`dot_planes`], [`axpy_planes`], [`scale_planes`], [`gemm_planes`]).
+//! Same bits, fewer memory shuffles — the accumulation order is preserved
+//! exactly at every lane width.
+//!
 //! ## The `LPA_KERNEL_BATCH` knob
 //!
 //! Like the 16-bit tier ([`crate::tier`]), the engine is selectable at
@@ -39,6 +47,16 @@
 //! global, used by differential tests), the `LPA_KERNEL_BATCH` environment
 //! variable (`batch`/`on`/`1` or `scalar`/`off`/`0`; read only in this
 //! module), then the default: `batch`.
+
+pub mod lanes;
+pub mod planes;
+pub mod round;
+
+pub use lanes::{env_kernel_lanes, force_kernel_lanes, kernel_lanes, KernelLanes, Lanes};
+pub use planes::{
+    axpy_planes, dot_planes, gemm_planes, scale_planes, DecodedPlanes, PlaneStore, ScalarPlanes,
+    UnpackedPlanes,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -159,11 +177,19 @@ fn init_from_env() -> bool {
 /// nothing — from pre-decoding (`DECODED = false`).
 pub trait BatchReal: Real {
     /// The pre-decoded operand form (the per-element cache entry).
-    type Dec: Copy + Send + Sync + 'static;
+    type Dec: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static;
+
+    /// The struct-of-arrays store holding a vector of decoded elements,
+    /// with the lane-blocked kernels over it (see [`planes`]).
+    type Planes: planes::PlaneStore<Self>;
 
     /// Whether `Dec` actually differs from the stored bits — i.e. whether
     /// pre-decoding loop-invariant operands pays.
     const DECODED: bool;
+
+    /// Which fused frame rounder the planes kernels may use for this
+    /// format; `Generic` routes through `dec_add`/`dec_mul` per element.
+    const ROUND: round::RoundPlan = round::RoundPlan::Generic;
 
     /// Decode once (the cache fill).
     fn dec(self) -> Self::Dec;
@@ -185,141 +211,13 @@ pub trait BatchReal: Real {
     fn dec_is_zero(a: Self::Dec) -> bool;
 }
 
-/// Value-level round-to-format: each function maps an unrounded kernel
-/// output straight to the canonical decoded form of the rounded value —
-/// exactly `decode(encode(u))`, without composing and re-reading the bit
-/// pattern.  One function per codec family, named after the codec module so
-/// the backend macros can route by codec ident.
-pub mod round {
-    use super::*;
-    use crate::ieee::IeeeSpec;
-    use crate::posit::PositSpec;
-    use crate::takum::TakumSpec;
-    use crate::unpacked::{round_at, Class};
-
-    /// Round a finite value to `frac_len >= 1` fraction bits (round to
-    /// nearest, ties to even on the fraction's least significant bit).
-    /// On a significand carry the value becomes exactly `2^(exp + 1)`;
-    /// range handling is the caller's.
-    #[inline]
-    fn round_finite_at(exp: i32, sig: u64, sticky: bool, frac_len: u32) -> (i32, u64) {
-        debug_assert!((1..=62).contains(&frac_len));
-        let (rsig, _inexact) = round_at(sig, sticky, 63 - frac_len);
-        if rsig >> (frac_len + 1) != 0 {
-            // Carry out of the fraction: the rounded value is the next
-            // power of two (whose pattern the bit-level word increment
-            // lands on, whatever field layout it has).
-            (exp + 1, 1u64 << 63)
-        } else {
-            (exp, rsig << (63 - frac_len))
-        }
-    }
-
-    /// Round to an IEEE-style format.  The encoder is branch-and-shift
-    /// (no per-bit loops), so the literal reference composition is already
-    /// the fast path.
-    #[inline]
-    pub fn ieee(u: &Unpacked, spec: &IeeeSpec) -> Unpacked {
-        crate::ieee::decode(crate::ieee::encode(u, spec), spec)
-    }
-
-    /// Round to a posit format: saturation at `2^±max_exp`, otherwise
-    /// round at the fraction length the regime leaves for this exponent.
-    /// Near the boundaries (truncated exponent field, zero-length
-    /// fraction), where the bit-level tie rule inspects exponent/regime
-    /// bits, defer to the reference composition.
-    pub fn posit(u: &Unpacked, spec: &PositSpec) -> Unpacked {
-        match u.class {
-            Class::Nan | Class::Inf => return Unpacked::nan(),
-            // Posits have a single unsigned zero.
-            Class::Zero => return Unpacked::zero(false),
-            Class::Finite => {}
-        }
-        let emax = spec.max_exp();
-        if u.exp >= emax {
-            // maxpos = 2^max_exp exactly.
-            return Unpacked::finite(u.sign, emax, 1 << 63);
-        }
-        if u.exp < -emax {
-            // minpos = 2^-max_exp exactly (non-zero values never round to
-            // zero).
-            return Unpacked::finite(u.sign, -emax, 1 << 63);
-        }
-        let step = 1i32 << spec.es;
-        let regime = u.exp.div_euclid(step);
-        let regime_len = if regime >= 0 { regime as u32 + 2 } else { (-regime) as u32 + 1 };
-        let avail = (spec.bits - 1).saturating_sub(regime_len);
-        if avail <= spec.es {
-            return crate::posit::decode(crate::posit::encode(u, spec), spec);
-        }
-        let frac_len = avail - spec.es;
-        let (exp, sig) = round_finite_at(u.exp, u.sig, u.sticky, frac_len);
-        // A carry lands on 2^(exp + 1) <= 2^max_exp = maxpos: always
-        // representable.
-        Unpacked::finite(u.sign, exp, sig)
-    }
-
-    /// Round to a takum format: saturation against the (fraction-bearing)
-    /// extreme patterns, otherwise round at the fraction length the
-    /// characteristic's prefix leaves.  Zero-length fractions (takum8 near
-    /// the range edges) defer to the reference composition.
-    pub fn takum(u: &Unpacked, spec: &TakumSpec) -> Unpacked {
-        match u.class {
-            Class::Nan | Class::Inf => return Unpacked::nan(),
-            // Takums have a single unsigned zero.
-            Class::Zero => return Unpacked::zero(false),
-            Class::Finite => {}
-        }
-        if u.exp > TakumSpec::MAX_CHARACTERISTIC {
-            return saturated(spec, spec.max_pattern(), u.sign);
-        }
-        if u.exp < TakumSpec::MIN_CHARACTERISTIC {
-            return saturated(spec, spec.min_pattern(), u.sign);
-        }
-        let c = u.exp;
-        let r = if c >= 0 {
-            63 - ((c + 1) as u64).leading_zeros()
-        } else {
-            63 - ((-c) as u64).leading_zeros()
-        };
-        let avail = (spec.bits - 1).saturating_sub(4 + r);
-        if avail == 0 {
-            return crate::takum::decode(crate::takum::encode(u, spec), spec);
-        }
-        let (exp, sig) = round_finite_at(u.exp, u.sig, u.sticky, avail);
-        if exp > TakumSpec::MAX_CHARACTERISTIC {
-            // Carry out of the top characteristic: the bit-level word
-            // increment overflows the body and clamps to the largest
-            // pattern.
-            return saturated(spec, spec.max_pattern(), u.sign);
-        }
-        if exp == TakumSpec::MIN_CHARACTERISTIC && sig == 1 << 63 {
-            // c = -255 with a zero fraction composes to the all-zeros word,
-            // which the encoder clamps to the smallest pattern: takums
-            // never represent 2^-255 exactly.
-            return saturated(spec, spec.min_pattern(), u.sign);
-        }
-        Unpacked::finite(u.sign, exp, sig)
-    }
-
-    /// The decoded form of a saturation pattern with the operand's sign
-    /// (the extreme takum patterns carry fraction bits, so they are decoded
-    /// rather than reconstructed).  Cold path: only reached outside
-    /// `[min, max]` characteristic range.
-    #[cold]
-    fn saturated(spec: &TakumSpec, pattern: u64, sign: bool) -> Unpacked {
-        let mut u = crate::takum::decode(pattern, spec);
-        u.sign = sign;
-        u
-    }
-}
-
 /// Implements [`BatchReal`] with `Dec = Self` for formats whose scalar
 /// operators are already a table load or a hardware instruction.
 macro_rules! self_batch {
     ($($t:ty),* $(,)?) => {$(
         impl BatchReal for $t {
             type Dec = $t;
+            type Planes = ScalarPlanes<$t>;
             const DECODED: bool = false;
 
             #[inline(always)]
@@ -496,11 +394,7 @@ pub fn scale_decoded<T: BatchReal>(alpha: T::Dec, x: &mut [T::Dec]) {
 pub fn dot_slice<T: BatchReal>(x: &[T], y: &[T]) -> T {
     debug_assert_eq!(x.len(), y.len());
     if T::DECODED && kernel_batch_enabled() {
-        let mut acc = T::zero().dec();
-        for (a, b) in x.iter().zip(y) {
-            acc = T::dec_add(acc, T::dec_mul(a.dec(), b.dec()));
-        }
-        T::undec(acc)
+        T::undec(T::Planes::dot_bits(x, y))
     } else {
         let mut acc = T::zero();
         for (a, b) in x.iter().zip(y) {
@@ -518,10 +412,7 @@ pub fn axpy_slice<T: BatchReal>(alpha: T, x: &[T], y: &mut [T]) {
         return;
     }
     if T::DECODED && kernel_batch_enabled() {
-        let ad = alpha.dec();
-        for (yi, xi) in y.iter_mut().zip(x) {
-            *yi = T::undec(T::dec_add(yi.dec(), T::dec_mul(ad, xi.dec())));
-        }
+        T::Planes::axpy_bits(alpha, x, y);
     } else {
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi += alpha * *xi;

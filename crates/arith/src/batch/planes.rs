@@ -1,0 +1,1419 @@
+//! Struct-of-arrays plane stores and the lane-blocked kernels over them.
+//!
+//! [`super::DecodedSlice`] keeps decoded shadows as an array of 24-byte
+//! [`Unpacked`] structs; every kernel element load then shuffles five
+//! fields through memory.  The planes layout splits the decoded form into
+//! separate arrays — one `u8` class/sign tag, one `i32` exponent, one `u64`
+//! significand per element (13 B instead of 24, and every plane a dense
+//! stream) — and the kernels walk them in fixed-width lane blocks
+//! ([`Lanes`]) of plain unrolled integer arithmetic.
+//!
+//! ## Fused combine-and-round
+//!
+//! The decoded-domain ops (`dec_add`/`dec_mul`) compute a 128-bit kernel
+//! frame, truncate-and-jam it into a canonical 64-bit significand plus a
+//! sticky flag ([`Unpacked::from_frame`]), and round that to the format's
+//! fraction length (`super::round`).  The planes kernels for the tapered
+//! formats fuse the two steps, rounding the frame **directly** at the
+//! target fraction position.  This is exactly equal, not approximately:
+//! `from_frame` performs no rounding, so with `drop >= 1` bits falling
+//! below the fraction, the two-step round bit is a frame bit above the
+//! 64-bit truncation boundary, and the two-step sticky (low frame bits
+//! OR-ed together) contributes to the fused comparison `rem > half` /
+//! `rem == half` in precisely the same way: writing the dropped frame bits
+//! as `rem = rem64 * 2^k + low`, `rem > half  <=>  rem64 > half64 ||
+//! (rem64 == half64 && low != 0)`, which is the two-step's
+//! `rem64 > half64 || (rem64 == half64 && sticky)` tie path.  The
+//! differential suites assert the equality over every corpus, and
+//! `LPA_KERNEL_BATCH=scalar` keeps the reference path runnable end to end.
+//!
+//! Which fused rounder applies is the format's [`RoundPlan`]
+//! ([`super::BatchReal::ROUND`]); formats without one (`RoundPlan::Generic`)
+//! route each element through `dec_add`/`dec_mul`, so every `BatchReal`
+//! format has a correct planes path.
+
+// The lane-blocked kernels index several planes jointly by one lane/element
+// counter; rewriting them as zipped iterators would obscure the accumulation
+// order the bit-identity contract is defined over.
+#![allow(clippy::needless_range_loop)]
+
+use crate::unpacked::{Class, Unpacked};
+
+use super::lanes::{kernel_lanes, KernelLanes, Lanes};
+use super::round::RoundPlan;
+use super::{BatchReal, DecodedSlice};
+
+const CLASS_MASK: u8 = 0b011;
+/// Set in the tag exactly for the Inf and NaN classes — `tag & 0b010 == 0`
+/// means "zero or finite", the classes the fast paths handle inline.
+const CLASS_SPECIAL_BIT: u8 = 0b010;
+const SIGN_BIT: u8 = 0b100;
+const TAG_ZERO: u8 = 0;
+const TAG_FINITE: u8 = 1;
+const TAG_INF: u8 = 2;
+const TAG_NAN: u8 = 3;
+
+/// One decoded element in plane (tag/exp/sig) form — the register-level
+/// currency of the kernels.  Always canonical: `sticky` is structurally
+/// absent because decoders and rounders never produce it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Elt {
+    tag: u8,
+    exp: i32,
+    sig: u64,
+}
+
+impl Elt {
+    /// The formats' unsigned zero.
+    pub(crate) const ZERO: Elt = Elt { tag: TAG_ZERO, exp: 0, sig: 0 };
+
+    #[inline(always)]
+    fn finite(sign: bool, exp: i32, sig: u64) -> Elt {
+        debug_assert!(sig >> 63 == 1, "significand must be normalized");
+        Elt { tag: TAG_FINITE | ((sign as u8) << 2), exp, sig }
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        self.tag & CLASS_MASK == TAG_FINITE
+    }
+
+    #[inline(always)]
+    fn sign(self) -> bool {
+        self.tag & SIGN_BIT != 0
+    }
+
+    #[inline(always)]
+    pub(crate) fn from_unpacked(u: &Unpacked) -> Elt {
+        debug_assert!(!u.sticky, "plane stores hold canonical (sticky-free) values");
+        let class = match u.class {
+            Class::Zero => TAG_ZERO,
+            Class::Finite => TAG_FINITE,
+            Class::Inf => TAG_INF,
+            Class::Nan => TAG_NAN,
+        };
+        Elt { tag: class | ((u.sign as u8) << 2), exp: u.exp, sig: u.sig }
+    }
+
+    #[inline(always)]
+    pub(crate) fn to_unpacked(self) -> Unpacked {
+        let class = match self.tag & CLASS_MASK {
+            TAG_ZERO => Class::Zero,
+            TAG_FINITE => Class::Finite,
+            TAG_INF => Class::Inf,
+            _ => Class::Nan,
+        };
+        Unpacked { class, sign: self.sign(), exp: self.exp, sig: self.sig, sticky: false }
+    }
+}
+
+/// The normalized result of a combine stage before rounding: `sig` with
+/// its leading bit at 63 (or zero for an exact cancellation), plus the
+/// sticky OR of every true result bit below it.  Equivalent to
+/// [`Unpacked::from_frame`]'s output, computed without touching `u128`
+/// outside the multiply itself: because canonical significands carry at
+/// least four zero low bits and the round position always sits above the
+/// 64-bit window when anything was shifted out (see the module docs), the
+/// below-window bits only ever matter as the sticky flag.
+struct Parts {
+    sign: bool,
+    exp: i32,
+    sig: u64,
+    sticky: bool,
+}
+
+/// `a * b` of two finite elements, unrounded.
+#[inline(always)]
+fn mul_parts(a: Elt, b: Elt) -> Parts {
+    let prod = (a.sig as u128) * (b.sig as u128);
+    let hi = (prod >> 64) as u64;
+    let lo = prod as u64;
+    // The product of two [1, 2) significands is in [1, 4): one
+    // normalization case, selected branch-free.
+    let c = (hi >> 63) as u32;
+    let sig = if c == 1 { hi } else { (hi << 1) | (lo >> 63) };
+    let sticky = (lo << (1 - c)) != 0;
+    Parts {
+        sign: (a.tag ^ b.tag) & SIGN_BIT != 0,
+        exp: a.exp + b.exp + c as i32,
+        sig,
+        sticky,
+    }
+}
+
+/// `a + b` of two finite elements, unrounded (`sig == 0` ⇔ exact
+/// cancellation).  Branch-free on the data-dependent decisions: the
+/// operand swap and the sign mix flip ~randomly in real dot products, and
+/// a mispredict costs more than the whole aligned add — both are computed
+/// as selects instead.
+#[inline(always)]
+fn add_parts(a: Elt, b: Elt) -> Parts {
+    // Order so `hi` has the larger magnitude.  The (exp, sig) lexicographic
+    // compare (exactly `Unpacked::cmp_magnitude`) is one i128 key compare:
+    // `exp * 2^64 + sig` is monotone in (exp, sig) for negative exponents
+    // too.  Per-field selects keep the swap a cmov, not a branch.
+    let ka = ((a.exp as i128) << 64) | a.sig as i128;
+    let kb = ((b.exp as i128) << 64) | b.sig as i128;
+    let swap = kb > ka;
+    let hi_tag = if swap { b.tag } else { a.tag };
+    let hi_exp = if swap { b.exp } else { a.exp };
+    let hi_sig = if swap { b.sig } else { a.sig };
+    let lo_exp = if swap { a.exp } else { b.exp };
+    let lo_sig = if swap { a.sig } else { b.sig };
+    let lo_tag = if swap { a.tag } else { b.tag };
+
+    let d = ((hi_exp - lo_exp) as u32).min(63);
+    // One guard position: the pre-shift by 1 is exact (canonical sigs have
+    // zero low bits) and leaves room for the same-sign carry.
+    let h = hi_sig >> 1;
+    let ls = (lo_sig >> 1) >> d;
+    // The bits of `lo_sig` dropped by the total shift `d + 1`, jammed.
+    let dropped = lo_sig << (63 - d);
+    let sticky = dropped != 0;
+    // Conditional two's-complement negate folds the same-sign /
+    // opposite-sign split into one add (`(t ^ m) - m = -t` with `m`
+    // all-ones); the dropped bits borrow out of the visible window on a
+    // subtraction, never carry into it on an addition.  The difference
+    // never wraps because `hi` has the larger magnitude.
+    let differ = (hi_tag ^ lo_tag) & SIGN_BIT != 0;
+    let m = (differ as u64).wrapping_neg();
+    let t = ls + (sticky && differ) as u64;
+    let sum = h.wrapping_add((t ^ m).wrapping_sub(m));
+    if sum == 0 {
+        // Exact cancellation (`sticky` is provably clear here: bits are
+        // only ever dropped when the magnitudes differ by ≥ 2^4).
+        return Parts { sign: false, exp: 0, sig: 0, sticky: false };
+    }
+    let lz = sum.leading_zeros();
+    Parts {
+        sign: hi_tag & SIGN_BIT != 0,
+        exp: hi_exp + 1 - lz as i32,
+        sig: sum << lz,
+        sticky,
+    }
+}
+
+/// Fused posit round of an unrounded combine result — `round::posit`
+/// applied to the parts directly, branch for branch.
+#[inline(always)]
+fn round_parts_posit(p: Parts, spec: &crate::posit::PositSpec) -> Elt {
+    debug_assert!(p.sig != 0);
+    let emax = spec.max_exp();
+    if p.exp >= emax {
+        return Elt::finite(p.sign, emax, 1 << 63);
+    }
+    if p.exp < -emax {
+        return Elt::finite(p.sign, -emax, 1 << 63);
+    }
+    let regime = p.exp >> spec.es;
+    let regime_len = ((regime ^ (regime >> 31)) + 2) as u32;
+    let avail = (spec.bits - 1).saturating_sub(regime_len);
+    if avail <= spec.es {
+        return posit_round_defer(p, spec);
+    }
+    let frac_len = avail - spec.es;
+    let (exp, sig) = super::round::round_finite_at(p.exp, p.sig, p.sticky, frac_len);
+    Elt::finite(p.sign, exp, sig)
+}
+
+/// Truncated exponent field: defer to the reference composition, exactly
+/// as `round::posit` does.  Outlined so the range extremes (and their
+/// by-reference argument traffic) stay out of the hot loop body.
+#[cold]
+#[inline(never)]
+fn posit_round_defer(p: Parts, spec: &crate::posit::PositSpec) -> Elt {
+    let u = Unpacked {
+        class: Class::Finite,
+        sign: p.sign,
+        exp: p.exp,
+        sig: p.sig,
+        sticky: p.sticky,
+    };
+    Elt::from_unpacked(&crate::posit::decode(crate::posit::encode(&u, spec), spec))
+}
+
+/// `(spec.bits - 1).saturating_sub(4 + r(c))` — the fraction length a
+/// takum's characteristic prefix leaves — for every in-range
+/// characteristic, indexed by `c + 256`.  The exponent-to-shift-amount
+/// arithmetic sits on the loop-carried dependency chain of every
+/// accumulation (the rounded exponent feeds the next add's magnitude
+/// compare), so one L1 load beats recomputing the `leading_zeros` tower
+/// each round.
+const fn takum_avail_table(bits: u32) -> [u8; 512] {
+    let mut t = [0u8; 512];
+    let mut i = 0usize;
+    while i < 512 {
+        let c = i as i32 - 256;
+        if c >= crate::takum::TakumSpec::MIN_CHARACTERISTIC
+            && c <= crate::takum::TakumSpec::MAX_CHARACTERISTIC
+        {
+            let a = (if c >= 0 { c + 1 } else { -c }) as u32;
+            let r = 31 - a.leading_zeros();
+            t[i] = (bits - 1).saturating_sub(4 + r) as u8;
+        }
+        i += 1;
+    }
+    t
+}
+
+/// One [`takum_avail_table`] per takum width, ordered by `bits.ilog2() - 3`.
+static TAKUM_AVAIL: [[u8; 512]; 4] =
+    [takum_avail_table(8), takum_avail_table(16), takum_avail_table(32), takum_avail_table(64)];
+
+/// Fused takum round of an unrounded combine result — `round::takum`
+/// applied to the parts directly, branch for branch.
+#[inline(always)]
+fn round_parts_takum(p: Parts, spec: &crate::takum::TakumSpec) -> Elt {
+    use crate::takum::TakumSpec;
+    debug_assert!(p.sig != 0);
+    if p.exp > TakumSpec::MAX_CHARACTERISTIC {
+        return takum_saturated(spec, spec.max_pattern(), p.sign);
+    }
+    if p.exp < TakumSpec::MIN_CHARACTERISTIC {
+        return takum_saturated(spec, spec.min_pattern(), p.sign);
+    }
+    let c = p.exp;
+    // `spec` is always one of the four promoted spec consts here, so the
+    // width match folds away after monomorphization; the arm recomputing
+    // `r = floor(log2(c >= 0 ? c + 1 : -c))` inline keeps hypothetical
+    // other widths correct.
+    let avail = match spec.bits {
+        8 => TAKUM_AVAIL[0][(c + 256) as usize] as u32,
+        16 => TAKUM_AVAIL[1][(c + 256) as usize] as u32,
+        32 => TAKUM_AVAIL[2][(c + 256) as usize] as u32,
+        64 => TAKUM_AVAIL[3][(c + 256) as usize] as u32,
+        bits => {
+            let m = c >> 31;
+            let a = ((c ^ m) - m) + (m + 1);
+            let r = 31 - (a as u32).leading_zeros();
+            (bits - 1).saturating_sub(4 + r)
+        }
+    };
+    if avail == 0 {
+        return takum_round_defer(p, spec);
+    }
+    let (exp, sig) = super::round::round_finite_at(p.exp, p.sig, p.sticky, avail);
+    if exp > TakumSpec::MAX_CHARACTERISTIC {
+        return takum_saturated(spec, spec.max_pattern(), p.sign);
+    }
+    if exp == TakumSpec::MIN_CHARACTERISTIC && sig == 1 << 63 {
+        // c = -255 with a zero fraction composes to the all-zeros word,
+        // which the encoder clamps to the smallest pattern: takums never
+        // represent 2^-255 exactly.
+        return takum_saturated(spec, spec.min_pattern(), p.sign);
+    }
+    Elt::finite(p.sign, exp, sig)
+}
+
+/// Zero-length fraction (range edge): defer to the reference composition,
+/// exactly as `round::takum` does.  Outlined for the same reason as
+/// [`posit_round_defer`].
+#[cold]
+#[inline(never)]
+fn takum_round_defer(p: Parts, spec: &crate::takum::TakumSpec) -> Elt {
+    let u = Unpacked {
+        class: Class::Finite,
+        sign: p.sign,
+        exp: p.exp,
+        sig: p.sig,
+        sticky: p.sticky,
+    };
+    Elt::from_unpacked(&crate::takum::decode(crate::takum::encode(&u, spec), spec))
+}
+
+#[cold]
+#[inline(never)]
+fn takum_saturated(spec: &crate::takum::TakumSpec, pattern: u64, sign: bool) -> Elt {
+    Elt::from_unpacked(&super::round::saturated(spec, pattern, sign))
+}
+
+/// Reference multiply-and-round through the format's own decoded op —
+/// the non-finite classes and the `Generic` plan.
+#[inline]
+fn mul_round_ref<T: BatchReal<Dec = Unpacked>>(a: Elt, b: Elt) -> Elt {
+    Elt::from_unpacked(&T::dec_mul(a.to_unpacked(), b.to_unpacked()))
+}
+
+#[inline]
+fn add_round_ref<T: BatchReal<Dec = Unpacked>>(a: Elt, b: Elt) -> Elt {
+    Elt::from_unpacked(&T::dec_add(a.to_unpacked(), b.to_unpacked()))
+}
+
+/// Outlined copies of the reference ops for the tapered fast paths' rare
+/// branch (a non-finite operand).  `#[cold]` keeps the call — and the
+/// by-reference argument spills its indirect ABI forces — in a block the
+/// hot loop jumps over, so the loop body itself stays in registers.
+#[cold]
+#[inline(never)]
+fn mul_round_slow<T: BatchReal<Dec = Unpacked>>(a: Elt, b: Elt) -> Elt {
+    mul_round_ref::<T>(a, b)
+}
+
+#[cold]
+#[inline(never)]
+fn add_round_slow<T: BatchReal<Dec = Unpacked>>(a: Elt, b: Elt) -> Elt {
+    add_round_ref::<T>(a, b)
+}
+
+/// `round(a * b)` in plane registers; bit-identical to `T::dec_mul`.
+#[inline(always)]
+fn mul_round<T: BatchReal<Dec = Unpacked>>(a: Elt, b: Elt) -> Elt {
+    match T::ROUND {
+        RoundPlan::Generic => mul_round_ref::<T>(a, b),
+        RoundPlan::Posit(spec) => {
+            if a.is_finite() && b.is_finite() {
+                round_parts_posit(mul_parts(a, b), spec)
+            } else if (a.tag | b.tag) & CLASS_SPECIAL_BIT == 0 {
+                // No Inf/NaN, so at least one operand is zero — and so is
+                // the product (the tapered formats' zero is unsigned).
+                Elt::ZERO
+            } else {
+                mul_round_slow::<T>(a, b)
+            }
+        }
+        RoundPlan::Takum(spec) => {
+            if a.is_finite() && b.is_finite() {
+                round_parts_takum(mul_parts(a, b), spec)
+            } else if (a.tag | b.tag) & CLASS_SPECIAL_BIT == 0 {
+                Elt::ZERO
+            } else {
+                mul_round_slow::<T>(a, b)
+            }
+        }
+    }
+}
+
+/// `a + b` where at least one operand is zero and neither is Inf/NaN:
+/// the finite operand unchanged, or the formats' unsigned zero.
+#[inline(always)]
+fn add_zero(a: Elt, b: Elt) -> Elt {
+    if a.is_finite() {
+        a
+    } else if b.is_finite() {
+        b
+    } else {
+        Elt::ZERO
+    }
+}
+
+/// `round(zero + x)` — the accumulator-seeding step of a reduction chain.
+/// For the tapered plans this is the identity for every class their plane
+/// elements can hold (Zero, Finite, NaN — canonical tapered values are
+/// never Inf, since both decoders map NaR to NaN and the rounders saturate),
+/// so the first product seeds the chain with no add at all.  `Generic`
+/// formats keep the literal reference step: IEEE signed zeros make
+/// `(+0) + (-0) = +0` different from the identity.
+#[inline(always)]
+fn seed_zero_add<T: BatchReal<Dec = Unpacked>>(x: Elt) -> Elt {
+    match T::ROUND {
+        RoundPlan::Generic => add_round_ref::<T>(Elt::ZERO, x),
+        RoundPlan::Posit(_) | RoundPlan::Takum(_) => x,
+    }
+}
+
+/// `round(a + b)` in plane registers; bit-identical to `T::dec_add`.
+#[inline(always)]
+fn add_round<T: BatchReal<Dec = Unpacked>>(a: Elt, b: Elt) -> Elt {
+    match T::ROUND {
+        RoundPlan::Generic => add_round_ref::<T>(a, b),
+        RoundPlan::Posit(spec) => {
+            if a.is_finite() && b.is_finite() {
+                let p = add_parts(a, b);
+                if p.sig == 0 {
+                    // Exact cancellation rounds to the unsigned zero.
+                    Elt::ZERO
+                } else {
+                    round_parts_posit(p, spec)
+                }
+            } else if (a.tag | b.tag) & CLASS_SPECIAL_BIT == 0 {
+                // No Inf/NaN, so at least one operand is zero: the sum is
+                // the other operand — plane elements are already in-format,
+                // and rounding an in-format value is the identity — or the
+                // single unsigned zero.  Accumulators start at zero, so
+                // this is the hot first step of every reduction chain.
+                add_zero(a, b)
+            } else {
+                add_round_slow::<T>(a, b)
+            }
+        }
+        RoundPlan::Takum(spec) => {
+            if a.is_finite() && b.is_finite() {
+                let p = add_parts(a, b);
+                if p.sig == 0 {
+                    Elt::ZERO
+                } else {
+                    round_parts_takum(p, spec)
+                }
+            } else if (a.tag | b.tag) & CLASS_SPECIAL_BIT == 0 {
+                add_zero(a, b)
+            } else {
+                add_round_slow::<T>(a, b)
+            }
+        }
+    }
+}
+
+impl<const W: usize> Lanes<W> {
+    #[inline(always)]
+    pub(crate) fn elt(&self, l: usize) -> Elt {
+        Elt { tag: self.tag[l], exp: self.exp[l], sig: self.sig[l] }
+    }
+
+    #[inline(always)]
+    pub(crate) fn set_elt(&mut self, l: usize, e: Elt) {
+        self.tag[l] = e.tag;
+        self.exp[l] = e.exp;
+        self.sig[l] = e.sig;
+    }
+
+    /// Load `W` consecutive elements starting at `i`.
+    #[inline(always)]
+    fn load(v: View<'_>, i: usize) -> Self {
+        let mut b = Lanes::ZERO;
+        for l in 0..W {
+            b.set_elt(l, v.elt(i + l));
+        }
+        b
+    }
+
+    /// Gather `W` elements by index (the SpMV column gather).
+    #[inline(always)]
+    fn gather(v: View<'_>, idx: &[usize]) -> Self {
+        let mut b = Lanes::ZERO;
+        for l in 0..W {
+            b.set_elt(l, v.elt(idx[l]));
+        }
+        b
+    }
+
+    /// Store `W` consecutive elements starting at `i`.
+    #[inline(always)]
+    fn store(&self, v: &mut ViewMut<'_>, i: usize) {
+        for l in 0..W {
+            v.set_elt(i + l, self.elt(l));
+        }
+    }
+}
+
+/// A borrowed plane triple with all three slices cut to one common length,
+/// so the optimizer sees a single bound per element index instead of three
+/// independent `Vec` lengths (the per-plane bounds checks fold away inside
+/// the lane-blocked loops).
+#[derive(Clone, Copy)]
+struct View<'a> {
+    tag: &'a [u8],
+    exp: &'a [i32],
+    sig: &'a [u64],
+}
+
+impl View<'_> {
+    #[inline(always)]
+    fn elt(self, i: usize) -> Elt {
+        Elt { tag: self.tag[i], exp: self.exp[i], sig: self.sig[i] }
+    }
+}
+
+/// The mutable counterpart of [`View`].
+struct ViewMut<'a> {
+    tag: &'a mut [u8],
+    exp: &'a mut [i32],
+    sig: &'a mut [u64],
+}
+
+impl ViewMut<'_> {
+    #[inline(always)]
+    fn elt(&self, i: usize) -> Elt {
+        Elt { tag: self.tag[i], exp: self.exp[i], sig: self.sig[i] }
+    }
+
+    #[inline(always)]
+    fn set_elt(&mut self, i: usize, e: Elt) {
+        self.tag[i] = e.tag;
+        self.exp[i] = e.exp;
+        self.sig[i] = e.sig;
+    }
+}
+
+/// The storage and kernel interface a format's plane store provides — the
+/// decoded-domain working set of the bulk linear-algebra layers.  Every
+/// kernel preserves the exact accumulation order of its scalar counterpart,
+/// so all of them are bit-identical to the encoded scalar loops (and to the
+/// [`super::dot_decoded`]-family reference kernels) for every lane width.
+pub trait PlaneStore<T: BatchReal>: Clone + std::fmt::Debug + Send + Sync + 'static {
+    /// A store of `n` decoded zeros.
+    fn with_len(n: usize) -> Self;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read one element back in decoded form.
+    fn get(&self, i: usize) -> T::Dec;
+
+    /// Overwrite one element with a (canonical) decoded value.
+    fn set(&mut self, i: usize, d: T::Dec);
+
+    /// Decode a full slice into this store (resizing to match).
+    fn decode_from(&mut self, bits: &[T]);
+
+    /// Decode a slice into a fresh store.
+    fn decode(bits: &[T]) -> Self {
+        let mut s = Self::with_len(bits.len());
+        s.decode_from(bits);
+        s
+    }
+
+    /// Encode every element into a bit-pattern slice of the same length.
+    fn encode_into(&self, bits: &mut [T]);
+
+    /// Reset every element to the decoded zero.
+    fn fill_zero(&mut self);
+
+    /// Dot product; bit-identical to the scalar loop and [`super::dot_decoded`].
+    fn dot(x: &Self, y: &Self) -> T::Dec;
+
+    /// `y += alpha * x`; bit-identical to [`super::axpy_decoded`] (the
+    /// `alpha == 0` early-out lives in the [`super::axpy_planes`] wrapper).
+    fn axpy(alpha: T::Dec, x: &Self, y: &mut Self);
+
+    /// `x *= alpha`; bit-identical to [`super::scale_decoded`].
+    fn scale(alpha: T::Dec, x: &mut Self);
+
+    /// `acc[i] = acc[i] + x[i] * s` — the `DMatrix::matmul` inner update
+    /// (`*o += a * b`), operand order included.
+    fn gaxpy(x: &Self, s: T::Dec, acc: &mut Self);
+
+    /// Gathered dot product `sum_l vals[lo + l] * x[idx[l]]` — one CSR row
+    /// of an SpMV, in `CsrMatrix::spmv`'s accumulation order.
+    fn dot_gather(vals: &Self, lo: usize, idx: &[usize], x: &Self) -> T::Dec;
+
+    /// Full CSR SpMV: `y[r] = sum_{p in row r} vals[p] * x[col_idx[p]]`,
+    /// each row in ascending-`p` order (bit-identical to `CsrMatrix::spmv`).
+    /// Rows are independent serial chains, so the planes implementation
+    /// interleaves a lane block of rows to hide the per-add latency —
+    /// per-row order is untouched, so the result is still bit-identical.
+    fn spmv(vals: &Self, row_ptr: &[usize], col_idx: &[usize], x: &Self, y: &mut Self);
+
+    /// Streaming dot over encoded slices (decode on the fly, no allocation);
+    /// bit-identical to the scalar loop.
+    fn dot_bits(x: &[T], y: &[T]) -> T::Dec;
+
+    /// Streaming `y += alpha * x` over encoded slices.
+    fn axpy_bits(alpha: T, x: &[T], y: &mut [T]);
+}
+
+/// The plane store of every format whose decoded form is [`Unpacked`]:
+/// one tag, exponent, and significand plane ("struct of arrays").
+#[derive(Clone, Debug, Default)]
+pub struct UnpackedPlanes {
+    tag: Vec<u8>,
+    exp: Vec<i32>,
+    sig: Vec<u64>,
+}
+
+impl UnpackedPlanes {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.tag.len()
+    }
+
+    #[inline(always)]
+    fn elt(&self, i: usize) -> Elt {
+        Elt { tag: self.tag[i], exp: self.exp[i], sig: self.sig[i] }
+    }
+
+    #[inline(always)]
+    fn set_elt(&mut self, i: usize, e: Elt) {
+        self.tag[i] = e.tag;
+        self.exp[i] = e.exp;
+        self.sig[i] = e.sig;
+    }
+
+    /// Borrow the first `n` elements of every plane at one common length
+    /// (panics if any plane is shorter — the stores keep them equal).
+    #[inline(always)]
+    fn view(&self, n: usize) -> View<'_> {
+        View { tag: &self.tag[..n], exp: &self.exp[..n], sig: &self.sig[..n] }
+    }
+
+    /// Mutable [`Self::view`].
+    #[inline(always)]
+    fn view_mut(&mut self, n: usize) -> ViewMut<'_> {
+        ViewMut { tag: &mut self.tag[..n], exp: &mut self.exp[..n], sig: &mut self.sig[..n] }
+    }
+}
+
+/// Dispatch a lane-blocked kernel body over the active [`KernelLanes`]
+/// width.  `$w` becomes the const generic argument.
+macro_rules! with_lanes {
+    ($w:ident => $body:expr) => {
+        match kernel_lanes() {
+            KernelLanes::W1 => {
+                const $w: usize = 1;
+                $body
+            }
+            KernelLanes::W4 => {
+                const $w: usize = 4;
+                $body
+            }
+            KernelLanes::W8 => {
+                const $w: usize = 8;
+                $body
+            }
+        }
+    };
+}
+
+fn dot_kernel<T: BatchReal<Dec = Unpacked>, const W: usize>(
+    x: &UnpackedPlanes,
+    y: &UnpackedPlanes,
+) -> Unpacked {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let (x, y) = (x.view(n), y.view(n));
+    let mut acc = Elt::ZERO;
+    let mut i = 0;
+    // The W products of a block are independent and round in parallel; the
+    // accumulator chain then consumes them strictly in ascending index
+    // order, so the result is the scalar loop's, bit for bit, at every W.
+    while i + W <= n {
+        let xa = Lanes::<W>::load(x, i);
+        let ya = Lanes::<W>::load(y, i);
+        let mut prod = Lanes::<W>::ZERO;
+        for l in 0..W {
+            prod.set_elt(l, mul_round::<T>(xa.elt(l), ya.elt(l)));
+        }
+        for l in 0..W {
+            acc = add_round::<T>(acc, prod.elt(l));
+        }
+        i += W;
+    }
+    while i < n {
+        acc = add_round::<T>(acc, mul_round::<T>(x.elt(i), y.elt(i)));
+        i += 1;
+    }
+    acc.to_unpacked()
+}
+
+fn axpy_kernel<T: BatchReal<Dec = Unpacked>, const W: usize>(
+    alpha: Elt,
+    x: &UnpackedPlanes,
+    y: &mut UnpackedPlanes,
+) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let x = x.view(n);
+    let mut y = y.view_mut(n);
+    let mut i = 0;
+    while i + W <= n {
+        let xa = Lanes::<W>::load(x, i);
+        let mut out = Lanes::<W>::ZERO;
+        for l in 0..W {
+            out.set_elt(l, add_round::<T>(y.elt(i + l), mul_round::<T>(alpha, xa.elt(l))));
+        }
+        out.store(&mut y, i);
+        i += W;
+    }
+    while i < n {
+        let o = add_round::<T>(y.elt(i), mul_round::<T>(alpha, x.elt(i)));
+        y.set_elt(i, o);
+        i += 1;
+    }
+}
+
+fn scale_kernel<T: BatchReal<Dec = Unpacked>, const W: usize>(alpha: Elt, x: &mut UnpackedPlanes) {
+    let n = x.len();
+    let mut x = x.view_mut(n);
+    let mut i = 0;
+    while i + W <= n {
+        let mut out = Lanes::<W>::ZERO;
+        for l in 0..W {
+            out.set_elt(l, mul_round::<T>(x.elt(i + l), alpha));
+        }
+        out.store(&mut x, i);
+        i += W;
+    }
+    while i < n {
+        let o = mul_round::<T>(x.elt(i), alpha);
+        x.set_elt(i, o);
+        i += 1;
+    }
+}
+
+fn gaxpy_kernel<T: BatchReal<Dec = Unpacked>, const W: usize>(
+    x: &UnpackedPlanes,
+    s: Elt,
+    acc: &mut UnpackedPlanes,
+) {
+    debug_assert_eq!(x.len(), acc.len());
+    let n = x.len();
+    let x = x.view(n);
+    let mut acc = acc.view_mut(n);
+    let mut i = 0;
+    while i + W <= n {
+        let xa = Lanes::<W>::load(x, i);
+        let mut out = Lanes::<W>::ZERO;
+        for l in 0..W {
+            out.set_elt(l, add_round::<T>(acc.elt(i + l), mul_round::<T>(xa.elt(l), s)));
+        }
+        out.store(&mut acc, i);
+        i += W;
+    }
+    while i < n {
+        let o = add_round::<T>(acc.elt(i), mul_round::<T>(x.elt(i), s));
+        acc.set_elt(i, o);
+        i += 1;
+    }
+}
+
+fn dot_gather_kernel<T: BatchReal<Dec = Unpacked>, const W: usize>(
+    vals: &UnpackedPlanes,
+    lo: usize,
+    idx: &[usize],
+    x: &UnpackedPlanes,
+) -> Unpacked {
+    let n = idx.len();
+    let vals = vals.view(vals.len());
+    let x = x.view(x.len());
+    let mut acc = Elt::ZERO;
+    let mut i = 0;
+    while i + W <= n {
+        let va = Lanes::<W>::load(vals, lo + i);
+        let xa = Lanes::<W>::gather(x, &idx[i..i + W]);
+        let mut prod = Lanes::<W>::ZERO;
+        for l in 0..W {
+            prod.set_elt(l, mul_round::<T>(va.elt(l), xa.elt(l)));
+        }
+        for l in 0..W {
+            acc = add_round::<T>(acc, prod.elt(l));
+        }
+        i += W;
+    }
+    while i < n {
+        acc = add_round::<T>(acc, mul_round::<T>(vals.elt(lo + i), x.elt(idx[i])));
+        i += 1;
+    }
+    acc.to_unpacked()
+}
+
+/// One CSR row of the portable SpMV path, in the scalar accumulation order.
+#[inline(always)]
+fn spmv_row<T: BatchReal<Dec = Unpacked>>(
+    vals: View<'_>,
+    col_idx: &[usize],
+    x: View<'_>,
+    lo: usize,
+    hi: usize,
+) -> Elt {
+    let mut acc = Elt::ZERO;
+    if lo < hi {
+        acc = seed_zero_add::<T>(mul_round::<T>(vals.elt(lo), x.elt(col_idx[lo])));
+        for q in lo + 1..hi {
+            acc = add_round::<T>(acc, mul_round::<T>(vals.elt(q), x.elt(col_idx[q])));
+        }
+    }
+    acc
+}
+
+fn spmv_kernel<T: BatchReal<Dec = Unpacked>, const W: usize>(
+    vals: &UnpackedPlanes,
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    x: &UnpackedPlanes,
+    y: &mut UnpackedPlanes,
+) {
+    let nrows = row_ptr.len() - 1;
+    debug_assert_eq!(y.len(), nrows);
+    let vals = vals.view(vals.len());
+    let x = x.view(x.len());
+    let mut y = y.view_mut(nrows);
+    let mut r = 0;
+    // W == 1 degenerates the block scaffolding below into pure overhead
+    // (the `longest` scan and its per-position bound re-check buy nothing
+    // when the "block" is one row), so the portable width takes the plain
+    // row loop — the same loop as the ragged tail, same accumulation order.
+    if W == 1 {
+        // The portable path still pipelines *rows*: each row's accumulation
+        // is one serial rounded-add chain, so walking rows one at a time
+        // leaves the whole chain latency exposed.  Two adjacent rows are
+        // independent chains, so the loop advances a pair in lockstep —
+        // plain scalar element work, two rounds in flight — and each row's
+        // own `q` still ascends strictly, keeping the accumulation order
+        // (and therefore every output bit) unchanged.  Unlike the lane
+        // blocks below, the pair lives entirely in registers: no gather
+        // staging, no per-position bound re-check.
+        while r + 2 <= nrows {
+            let (lo0, hi0) = (row_ptr[r], row_ptr[r + 1]);
+            let (lo1, hi1) = (row_ptr[r + 1], row_ptr[r + 2]);
+            let k = (hi0 - lo0).min(hi1 - lo1);
+            if k == 0 {
+                // One of the rows is empty: no pairing to be had.
+                y.set_elt(r, spmv_row::<T>(vals, col_idx, x, lo0, hi0));
+                y.set_elt(r + 1, spmv_row::<T>(vals, col_idx, x, lo1, hi1));
+            } else {
+                let mut acc0 = seed_zero_add::<T>(mul_round::<T>(vals.elt(lo0), x.elt(col_idx[lo0])));
+                let mut acc1 = seed_zero_add::<T>(mul_round::<T>(vals.elt(lo1), x.elt(col_idx[lo1])));
+                // Cut every plane slice to exactly the lockstep prefix:
+                // with slice length == loop bound the per-position index
+                // checks fold away, leaving only the data-dependent `x`
+                // gather guarded.
+                let (vt0, ve0, vs0) =
+                    (&vals.tag[lo0..lo0 + k], &vals.exp[lo0..lo0 + k], &vals.sig[lo0..lo0 + k]);
+                let (vt1, ve1, vs1) =
+                    (&vals.tag[lo1..lo1 + k], &vals.exp[lo1..lo1 + k], &vals.sig[lo1..lo1 + k]);
+                let (ci0, ci1) = (&col_idx[lo0..lo0 + k], &col_idx[lo1..lo1 + k]);
+                for p in 1..k {
+                    let e0 = Elt { tag: vt0[p], exp: ve0[p], sig: vs0[p] };
+                    let e1 = Elt { tag: vt1[p], exp: ve1[p], sig: vs1[p] };
+                    let pr0 = mul_round::<T>(e0, x.elt(ci0[p]));
+                    let pr1 = mul_round::<T>(e1, x.elt(ci1[p]));
+                    acc0 = add_round::<T>(acc0, pr0);
+                    acc1 = add_round::<T>(acc1, pr1);
+                }
+                // At most one of the rows has positions past the lockstep
+                // prefix; finish it serially.
+                for q in lo0 + k..hi0 {
+                    acc0 = add_round::<T>(acc0, mul_round::<T>(vals.elt(q), x.elt(col_idx[q])));
+                }
+                for q in lo1 + k..hi1 {
+                    acc1 = add_round::<T>(acc1, mul_round::<T>(vals.elt(q), x.elt(col_idx[q])));
+                }
+                y.set_elt(r, acc0);
+                y.set_elt(r + 1, acc1);
+            }
+            r += 2;
+        }
+        if r < nrows {
+            y.set_elt(r, spmv_row::<T>(vals, col_idx, x, row_ptr[r], row_ptr[r + 1]));
+        }
+        return;
+    }
+    // A block of W rows advances position-by-position: lane l handles row
+    // r + l, and each row's own accumulation stays strictly ascending in p
+    // — the W serial add chains are independent and overlap in flight.
+    // Each row's first product seeds its accumulator through
+    // [`seed_zero_add`]: the rows here are short (a handful of nonzeros),
+    // so the folded `zero + first` add is a measurable share of the chain.
+    while r + W <= nrows {
+        let mut acc = [Elt::ZERO; W];
+        let mut longest = 0;
+        for l in 0..W {
+            let (lo, hi) = (row_ptr[r + l], row_ptr[r + l + 1]);
+            longest = longest.max(hi - lo);
+            if lo < hi {
+                let prod = mul_round::<T>(vals.elt(lo), x.elt(col_idx[lo]));
+                acc[l] = seed_zero_add::<T>(prod);
+            }
+        }
+        for p in 1..longest {
+            for l in 0..W {
+                let q = row_ptr[r + l] + p;
+                if q < row_ptr[r + l + 1] {
+                    let prod = mul_round::<T>(vals.elt(q), x.elt(col_idx[q]));
+                    acc[l] = add_round::<T>(acc[l], prod);
+                }
+            }
+        }
+        for l in 0..W {
+            y.set_elt(r + l, acc[l]);
+        }
+        r += W;
+    }
+    while r < nrows {
+        let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+        let mut acc = Elt::ZERO;
+        if lo < hi {
+            acc = seed_zero_add::<T>(mul_round::<T>(vals.elt(lo), x.elt(col_idx[lo])));
+            for q in lo + 1..hi {
+                acc = add_round::<T>(acc, mul_round::<T>(vals.elt(q), x.elt(col_idx[q])));
+            }
+        }
+        y.set_elt(r, acc);
+        r += 1;
+    }
+}
+
+fn dot_bits_kernel<T: BatchReal<Dec = Unpacked>, const W: usize>(x: &[T], y: &[T]) -> Unpacked {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let mut acc = Elt::ZERO;
+    let mut i = 0;
+    while i + W <= n {
+        let mut prod = Lanes::<W>::ZERO;
+        for l in 0..W {
+            let a = Elt::from_unpacked(&x[i + l].dec());
+            let b = Elt::from_unpacked(&y[i + l].dec());
+            prod.set_elt(l, mul_round::<T>(a, b));
+        }
+        for l in 0..W {
+            acc = add_round::<T>(acc, prod.elt(l));
+        }
+        i += W;
+    }
+    while i < n {
+        let a = Elt::from_unpacked(&x[i].dec());
+        let b = Elt::from_unpacked(&y[i].dec());
+        acc = add_round::<T>(acc, mul_round::<T>(a, b));
+        i += 1;
+    }
+    acc.to_unpacked()
+}
+
+fn axpy_bits_kernel<T: BatchReal<Dec = Unpacked>, const W: usize>(
+    alpha: Elt,
+    x: &[T],
+    y: &mut [T],
+) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let mut i = 0;
+    while i + W <= n {
+        let mut out = Lanes::<W>::ZERO;
+        for l in 0..W {
+            let xe = Elt::from_unpacked(&x[i + l].dec());
+            let ye = Elt::from_unpacked(&y[i + l].dec());
+            out.set_elt(l, add_round::<T>(ye, mul_round::<T>(alpha, xe)));
+        }
+        for l in 0..W {
+            y[i + l] = T::undec(out.elt(l).to_unpacked());
+        }
+        i += W;
+    }
+    while i < n {
+        let xe = Elt::from_unpacked(&x[i].dec());
+        let ye = Elt::from_unpacked(&y[i].dec());
+        y[i] = T::undec(add_round::<T>(ye, mul_round::<T>(alpha, xe)).to_unpacked());
+        i += 1;
+    }
+}
+
+impl<T: BatchReal<Dec = Unpacked>> PlaneStore<T> for UnpackedPlanes {
+    fn with_len(n: usize) -> Self {
+        // The all-zero planes are exactly `n` copies of the decoded zero.
+        UnpackedPlanes { tag: vec![0; n], exp: vec![0; n], sig: vec![0; n] }
+    }
+
+    fn len(&self) -> usize {
+        self.tag.len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Unpacked {
+        self.elt(i).to_unpacked()
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, d: Unpacked) {
+        self.set_elt(i, Elt::from_unpacked(&d));
+    }
+
+    fn decode_from(&mut self, bits: &[T]) {
+        let n = bits.len();
+        self.tag.resize(n, 0);
+        self.exp.resize(n, 0);
+        self.sig.resize(n, 0);
+        for (i, &b) in bits.iter().enumerate() {
+            self.set_elt(i, Elt::from_unpacked(&b.dec()));
+        }
+    }
+
+    fn encode_into(&self, bits: &mut [T]) {
+        debug_assert_eq!(bits.len(), self.len());
+        for (i, b) in bits.iter_mut().enumerate() {
+            *b = T::undec(self.elt(i).to_unpacked());
+        }
+    }
+
+    fn fill_zero(&mut self) {
+        self.tag.fill(0);
+        self.exp.fill(0);
+        self.sig.fill(0);
+    }
+
+    fn dot(x: &Self, y: &Self) -> Unpacked {
+        with_lanes!(W => dot_kernel::<T, W>(x, y))
+    }
+
+    fn axpy(alpha: Unpacked, x: &Self, y: &mut Self) {
+        let a = Elt::from_unpacked(&alpha);
+        with_lanes!(W => axpy_kernel::<T, W>(a, x, y))
+    }
+
+    fn scale(alpha: Unpacked, x: &mut Self) {
+        let a = Elt::from_unpacked(&alpha);
+        with_lanes!(W => scale_kernel::<T, W>(a, x))
+    }
+
+    fn gaxpy(x: &Self, s: Unpacked, acc: &mut Self) {
+        let s = Elt::from_unpacked(&s);
+        with_lanes!(W => gaxpy_kernel::<T, W>(x, s, acc))
+    }
+
+    fn dot_gather(vals: &Self, lo: usize, idx: &[usize], x: &Self) -> Unpacked {
+        with_lanes!(W => dot_gather_kernel::<T, W>(vals, lo, idx, x))
+    }
+
+    fn spmv(vals: &Self, row_ptr: &[usize], col_idx: &[usize], x: &Self, y: &mut Self) {
+        with_lanes!(W => spmv_kernel::<T, W>(vals, row_ptr, col_idx, x, y))
+    }
+
+    fn dot_bits(x: &[T], y: &[T]) -> Unpacked {
+        with_lanes!(W => dot_bits_kernel::<T, W>(x, y))
+    }
+
+    fn axpy_bits(alpha: T, x: &[T], y: &mut [T]) {
+        let a = Elt::from_unpacked(&alpha.dec());
+        with_lanes!(W => axpy_bits_kernel::<T, W>(a, x, y))
+    }
+}
+
+/// The plane store of the `Dec = Self` formats (8-bit tables, hardware
+/// floats): the values themselves, with the kernels as plain scalar loops —
+/// their ops are already a table load or an instruction, so there is
+/// nothing to fuse.
+#[derive(Clone, Debug)]
+pub struct ScalarPlanes<T> {
+    vals: Vec<T>,
+}
+
+impl<T: BatchReal<Dec = T>> PlaneStore<T> for ScalarPlanes<T> {
+    fn with_len(n: usize) -> Self {
+        ScalarPlanes { vals: vec![T::zero(); n] }
+    }
+
+    fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> T {
+        self.vals[i]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, d: T) {
+        self.vals[i] = d;
+    }
+
+    fn decode_from(&mut self, bits: &[T]) {
+        self.vals.clear();
+        self.vals.extend_from_slice(bits);
+    }
+
+    fn encode_into(&self, bits: &mut [T]) {
+        bits.copy_from_slice(&self.vals);
+    }
+
+    fn fill_zero(&mut self) {
+        self.vals.fill(T::zero());
+    }
+
+    fn dot(x: &Self, y: &Self) -> T {
+        let mut acc = T::zero();
+        for (a, b) in x.vals.iter().zip(&y.vals) {
+            acc = T::dec_add(acc, T::dec_mul(*a, *b));
+        }
+        acc
+    }
+
+    fn axpy(alpha: T, x: &Self, y: &mut Self) {
+        for (yi, xi) in y.vals.iter_mut().zip(&x.vals) {
+            *yi = T::dec_add(*yi, T::dec_mul(alpha, *xi));
+        }
+    }
+
+    fn scale(alpha: T, x: &mut Self) {
+        for xi in x.vals.iter_mut() {
+            *xi = T::dec_mul(*xi, alpha);
+        }
+    }
+
+    fn gaxpy(x: &Self, s: T, acc: &mut Self) {
+        for (ai, xi) in acc.vals.iter_mut().zip(&x.vals) {
+            *ai = T::dec_add(*ai, T::dec_mul(*xi, s));
+        }
+    }
+
+    fn dot_gather(vals: &Self, lo: usize, idx: &[usize], x: &Self) -> T {
+        let mut acc = T::zero();
+        for (l, &j) in idx.iter().enumerate() {
+            acc = T::dec_add(acc, T::dec_mul(vals.vals[lo + l], x.vals[j]));
+        }
+        acc
+    }
+
+    fn spmv(vals: &Self, row_ptr: &[usize], col_idx: &[usize], x: &Self, y: &mut Self) {
+        let nrows = row_ptr.len() - 1;
+        debug_assert_eq!(y.vals.len(), nrows);
+        for r in 0..nrows {
+            let mut acc = T::zero();
+            for q in row_ptr[r]..row_ptr[r + 1] {
+                acc = T::dec_add(acc, T::dec_mul(vals.vals[q], x.vals[col_idx[q]]));
+            }
+            y.vals[r] = acc;
+        }
+    }
+
+    fn dot_bits(x: &[T], y: &[T]) -> T {
+        let mut acc = T::zero();
+        for (a, b) in x.iter().zip(y) {
+            acc = T::dec_add(acc, T::dec_mul(*a, *b));
+        }
+        acc
+    }
+
+    fn axpy_bits(alpha: T, x: &[T], y: &mut [T]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = T::dec_add(*yi, T::dec_mul(alpha, *xi));
+        }
+    }
+}
+
+/// A vector of scalars alongside their plane-form decoded shadows, kept in
+/// sync — the struct-of-arrays successor of [`DecodedSlice`] and the
+/// ready-made owner for callers building operand caches for the planes
+/// kernels.
+#[derive(Clone, Debug)]
+pub struct DecodedPlanes<T: BatchReal> {
+    bits: Vec<T>,
+    planes: T::Planes,
+}
+
+impl<T: BatchReal> DecodedPlanes<T> {
+    /// Decode every element of `xs` once.
+    pub fn decode(xs: &[T]) -> DecodedPlanes<T> {
+        DecodedPlanes { bits: xs.to_vec(), planes: T::Planes::decode(xs) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The encoded (bit-pattern) side.
+    pub fn bits(&self) -> &[T] {
+        &self.bits
+    }
+
+    /// The plane-form decoded side.
+    pub fn planes(&self) -> &T::Planes {
+        &self.planes
+    }
+
+    /// Overwrite element `i` on both sides.
+    pub fn set(&mut self, i: usize, value: T) {
+        self.bits[i] = value;
+        self.planes.set(i, value.dec());
+    }
+}
+
+impl<T: BatchReal> From<&DecodedSlice<T>> for DecodedPlanes<T> {
+    /// Re-plane an array-of-structs cache, decoded values preserved
+    /// element for element.
+    fn from(s: &DecodedSlice<T>) -> DecodedPlanes<T> {
+        let mut planes = T::Planes::with_len(s.len());
+        for (i, d) in s.dec().iter().enumerate() {
+            planes.set(i, *d);
+        }
+        DecodedPlanes { bits: s.bits().to_vec(), planes }
+    }
+}
+
+impl<T: BatchReal> From<&DecodedPlanes<T>> for DecodedSlice<T> {
+    /// Flatten back to the array-of-structs layout, element for element.
+    fn from(p: &DecodedPlanes<T>) -> DecodedSlice<T> {
+        DecodedSlice {
+            bits: p.bits.clone(),
+            dec: (0..p.len()).map(|i| p.planes.get(i)).collect(),
+        }
+    }
+}
+
+/// Dot product over plane stores; bit-identical to `lpa_dense::blas::dot`
+/// on the encoded values.  Returns the decoded accumulator so chained
+/// consumers skip the re-decode.
+pub fn dot_planes<T: BatchReal>(x: &T::Planes, y: &T::Planes) -> T::Dec {
+    // Fault point on the hottest kernel, one per *call* (not per element),
+    // mirroring `dot_decoded` — the solver routes its dots through here.
+    lpa_faults::stall(lpa_faults::SOLVER_STALL);
+    T::Planes::dot(x, y)
+}
+
+/// `y += alpha * x` over plane stores; bit-identical to
+/// `lpa_dense::blas::axpy` (including its `alpha == 0` early-out).
+pub fn axpy_planes<T: BatchReal>(alpha: T::Dec, x: &T::Planes, y: &mut T::Planes) {
+    if T::dec_is_zero(alpha) {
+        return;
+    }
+    T::Planes::axpy(alpha, x, y);
+}
+
+/// `x *= alpha` over plane stores; bit-identical to
+/// `lpa_dense::blas::scal`.
+pub fn scale_planes<T: BatchReal>(alpha: T::Dec, x: &mut T::Planes) {
+    T::Planes::scale(alpha, x);
+}
+
+/// `out[j] = sum_k a[k] * b_cols[j][k]` over plane-form columns — the
+/// decoded-domain `DMatrix::matmul`: same `k`-ascending accumulation order,
+/// same skip of zero coefficients, so the encoded result is bit-identical
+/// to `a_mat.matmul(b_mat)` while the produced columns stay decoded (the
+/// Krylov restart consumes them as fresh basis shadows directly).
+pub fn gemm_planes<T: BatchReal>(nrows: usize, a: &[T::Planes], b_cols: &[&[T]]) -> Vec<T::Planes> {
+    for col in a {
+        debug_assert_eq!(col.len(), nrows);
+    }
+    b_cols
+        .iter()
+        .map(|bj| {
+            assert_eq!(bj.len(), a.len(), "dimension mismatch in gemm_planes");
+            let mut acc = T::Planes::with_len(nrows);
+            for (k, &b) in bj.iter().enumerate() {
+                if b.is_zero() {
+                    continue;
+                }
+                T::Planes::gaxpy(&a[k], b.dec(), &mut acc);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{force_kernel_lanes, DecodedSlice};
+    use super::*;
+    use crate::real::Real;
+    use crate::types::{Posit32, Takum16, Takum32};
+
+    fn corpus<T: BatchReal>() -> Vec<T> {
+        let mut v: Vec<T> = (0..97)
+            .map(|i| {
+                T::from_f64(
+                    (0.37 + (i % 17) as f64 * 0.21) * if i % 3 == 0 { -1.0 } else { 1.0 }
+                        * 2f64.powi((i % 29) - 14),
+                )
+            })
+            .collect();
+        v[13] = T::zero();
+        v[41] = T::max_finite();
+        v[71] = T::min_positive();
+        v
+    }
+
+    fn check_kernels_match_decoded<T: BatchReal>() {
+        let x = corpus::<T>();
+        let y: Vec<T> = corpus::<T>().into_iter().rev().collect();
+        let xd = super::super::decode_slice(&x);
+        let yd = super::super::decode_slice(&y);
+        let xp = T::Planes::decode(&x);
+        let yp = T::Planes::decode(&y);
+
+        for w in [KernelLanes::W1, KernelLanes::W4, KernelLanes::W8] {
+            force_kernel_lanes(w);
+            // Round-trip through the planes preserves every element.
+            for i in 0..x.len() {
+                assert_eq!(xp.get(i), x[i].dec(), "{} planes round-trip [{i}], {w:?}", T::NAME);
+            }
+            let d_ref = super::super::dot_decoded::<T>(&xd, &yd);
+            let d_pl = dot_planes::<T>(&xp, &yp);
+            assert_eq!(d_pl, d_ref, "{} dot {w:?}", T::NAME);
+
+            let alpha = T::from_f64(-0.625).dec();
+            let mut y_ref = yd.clone();
+            super::super::axpy_decoded::<T>(alpha, &xd, &mut y_ref);
+            let mut y_pl = yp.clone();
+            axpy_planes::<T>(alpha, &xp, &mut y_pl);
+            for i in 0..x.len() {
+                assert_eq!(y_pl.get(i), y_ref[i], "{} axpy[{i}] {w:?}", T::NAME);
+            }
+
+            let mut x_ref = xd.clone();
+            super::super::scale_decoded::<T>(alpha, &mut x_ref);
+            let mut x_pl = xp.clone();
+            scale_planes::<T>(alpha, &mut x_pl);
+            for i in 0..x.len() {
+                assert_eq!(x_pl.get(i), x_ref[i], "{} scale[{i}] {w:?}", T::NAME);
+            }
+        }
+        force_kernel_lanes(KernelLanes::WIDEST);
+    }
+
+    #[test]
+    fn planes_kernels_bit_identical_across_widths() {
+        check_kernels_match_decoded::<Posit32>();
+        check_kernels_match_decoded::<Takum32>();
+        check_kernels_match_decoded::<Takum16>();
+        check_kernels_match_decoded::<f64>();
+        check_kernels_match_decoded::<crate::types::Takum8>();
+    }
+
+    #[test]
+    fn decoded_planes_round_trips_decoded_slice() {
+        let xs = corpus::<Posit32>();
+        let slice = DecodedSlice::decode(&xs);
+        let planes = DecodedPlanes::from(&slice);
+        let back = DecodedSlice::from(&planes);
+        assert_eq!(slice.bits().len(), back.bits().len());
+        for i in 0..xs.len() {
+            assert_eq!(slice.bits()[i].to_bits(), back.bits()[i].to_bits());
+            assert_eq!(
+                Posit32::undec(slice.dec()[i]).to_bits(),
+                Posit32::undec(back.dec()[i]).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_planes_matches_scalar_matmul_order() {
+        // A 4x3 * 3x2 product, reference computed with the exact
+        // `DMatrix::matmul` loop structure on scalars.
+        let a_cols: Vec<Vec<Posit32>> = (0..3)
+            .map(|k| (0..4).map(|i| Posit32::from_f64(0.3 * i as f64 - 0.41 * k as f64 + 0.2)).collect())
+            .collect();
+        let b_cols: Vec<Vec<Posit32>> = (0..2)
+            .map(|j| {
+                (0..3)
+                    .map(|k| {
+                        if (j + k) % 3 == 1 {
+                            Posit32::zero()
+                        } else {
+                            Posit32::from_f64(0.7 * k as f64 - 0.55 * j as f64 + 0.11)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut reference = vec![vec![Posit32::zero(); 4]; 2];
+        for j in 0..2 {
+            for k in 0..3 {
+                let b = b_cols[j][k];
+                if b.is_zero() {
+                    continue;
+                }
+                for i in 0..4 {
+                    reference[j][i] += a_cols[k][i] * b;
+                }
+            }
+        }
+        let a_planes: Vec<<Posit32 as BatchReal>::Planes> =
+            a_cols.iter().map(|c| <Posit32 as BatchReal>::Planes::decode(c)).collect();
+        let b_refs: Vec<&[Posit32]> = b_cols.iter().map(|c| c.as_slice()).collect();
+        let out = gemm_planes::<Posit32>(4, &a_planes, &b_refs);
+        for j in 0..2 {
+            for i in 0..4 {
+                let got = <UnpackedPlanes as PlaneStore<Posit32>>::get(&out[j], i);
+                assert_eq!(
+                    Posit32::undec(got).to_bits(),
+                    reference[j][i].to_bits(),
+                    "gemm mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+}

@@ -49,8 +49,9 @@ pub mod types;
 pub mod unpacked;
 
 pub use batch::{
-    env_kernel_batch, force_kernel_batch, kernel_batch, kernel_batch_enabled, BatchReal,
-    DecodedSlice, KernelBatch,
+    env_kernel_batch, env_kernel_lanes, force_kernel_batch, force_kernel_lanes, kernel_batch,
+    kernel_batch_enabled, kernel_lanes, BatchReal, DecodedPlanes, DecodedSlice, KernelBatch,
+    KernelLanes, PlaneStore, UnpackedPlanes,
 };
 pub use dd::Dd;
 pub use info::FormatInfo;

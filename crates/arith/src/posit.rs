@@ -57,6 +57,7 @@ pub const POSIT8_ES0: PositSpec = PositSpec { name: "posit8(es=0)", bits: 8, es:
 pub const POSIT16_ES1: PositSpec = PositSpec { name: "posit16(es=1)", bits: 16, es: 1 };
 
 /// Decode a posit bit pattern (always exact).
+#[inline]
 pub fn decode(bits: u64, spec: &PositSpec) -> Unpacked {
     let bits = bits & spec.mask();
     if bits == 0 {
@@ -86,6 +87,7 @@ pub fn decode(bits: u64, spec: &PositSpec) -> Unpacked {
 }
 
 /// Encode an unpacked value as a posit with correct rounding and saturation.
+#[inline]
 pub fn encode(u: &Unpacked, spec: &PositSpec) -> u64 {
     match u.class {
         Class::Nan | Class::Inf => return spec.nar_pattern(),

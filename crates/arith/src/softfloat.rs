@@ -12,6 +12,7 @@ use crate::unpacked::{Class, Unpacked};
 /// Right shift of a 128-bit quantity that "jams" all shifted-out bits into
 /// the least significant retained bit (Berkeley SoftFloat's `shiftRightJam`).
 /// This keeps rounding decisions correct after alignment shifts.
+#[inline]
 fn shift_right_jam_128(x: u128, shift: u32) -> u128 {
     if shift == 0 {
         x
@@ -24,6 +25,7 @@ fn shift_right_jam_128(x: u128, shift: u32) -> u128 {
 }
 
 /// Addition of two values (signs included).
+#[inline]
 pub fn add(a: &Unpacked, b: &Unpacked) -> Unpacked {
     use Class::*;
     match (a.class, b.class) {
@@ -44,6 +46,7 @@ pub fn add(a: &Unpacked, b: &Unpacked) -> Unpacked {
     }
 }
 
+#[inline]
 fn add_finite(a: &Unpacked, b: &Unpacked) -> Unpacked {
     // Order so `hi` has the larger magnitude.
     let (hi, lo) = if a.cmp_magnitude(b) == core::cmp::Ordering::Less { (b, a) } else { (a, b) };
@@ -66,6 +69,7 @@ fn add_finite(a: &Unpacked, b: &Unpacked) -> Unpacked {
 }
 
 /// Subtraction `a - b`.
+#[inline]
 pub fn sub(a: &Unpacked, b: &Unpacked) -> Unpacked {
     let mut nb = *b;
     if nb.class != Class::Nan {
@@ -75,6 +79,7 @@ pub fn sub(a: &Unpacked, b: &Unpacked) -> Unpacked {
 }
 
 /// Multiplication.
+#[inline]
 pub fn mul(a: &Unpacked, b: &Unpacked) -> Unpacked {
     use Class::*;
     let sign = a.sign ^ b.sign;
@@ -93,6 +98,7 @@ pub fn mul(a: &Unpacked, b: &Unpacked) -> Unpacked {
 }
 
 /// Division `a / b`.
+#[inline]
 pub fn div(a: &Unpacked, b: &Unpacked) -> Unpacked {
     use Class::*;
     let sign = a.sign ^ b.sign;

@@ -61,6 +61,7 @@ pub const TAKUM32: TakumSpec = TakumSpec { name: "takum32", bits: 32 };
 pub const TAKUM64: TakumSpec = TakumSpec { name: "takum64", bits: 64 };
 
 /// Decode a takum bit pattern (always exact).
+#[inline]
 pub fn decode(bits: u64, spec: &TakumSpec) -> Unpacked {
     let bits = bits & spec.mask();
     if bits == 0 {
@@ -92,6 +93,7 @@ pub fn decode(bits: u64, spec: &TakumSpec) -> Unpacked {
 }
 
 /// Encode an unpacked value as a takum with correct rounding and saturation.
+#[inline]
 pub fn encode(u: &Unpacked, spec: &TakumSpec) -> u64 {
     match u.class {
         Class::Nan | Class::Inf => return spec.nar_pattern(),

@@ -21,12 +21,13 @@ impl Field {
         debug_assert!(len == 64 || value < (1u64 << len), "field value does not fit its width");
         Field { len, value }
     }
+}
 
-    /// Bit `i` counted from the most significant end of the field.
-    fn bit(&self, i: u32) -> u64 {
-        debug_assert!(i < self.len);
-        (self.value >> (self.len - 1 - i)) & 1
-    }
+/// Mask selecting the `n` least significant bits (`n <= 63`).
+#[inline]
+fn low_mask(n: u32) -> u64 {
+    debug_assert!(n < 64);
+    (1u64 << n) - 1
 }
 
 /// Compose the given fields into a `field_len`-bit word (the bits after the
@@ -42,18 +43,34 @@ pub fn compose_and_round(fields: &[Field], trailing_sticky: bool, field_len: u32
     let mut round_bit: Option<u64> = None;
     let mut sticky = trailing_sticky;
 
+    // Each field contributes (up to) three contiguous slices, extracted with
+    // shifts rather than bit-by-bit: its leading bits fill the word, the
+    // next bit becomes the round bit, everything below folds into sticky.
     for f in fields {
-        for i in 0..f.len {
-            let b = f.bit(i);
-            if filled < field_len {
-                word = (word << 1) | b;
-                filled += 1;
-            } else if round_bit.is_none() {
-                round_bit = Some(b);
-            } else {
-                sticky |= b != 0;
-            }
+        let mut len = f.len;
+        let mut value = f.value;
+        if len == 0 {
+            continue;
         }
+        if filled < field_len {
+            let take = len.min(field_len - filled);
+            word = (word << take) | (value >> (len - take));
+            filled += take;
+            len -= take;
+            if len == 0 {
+                continue;
+            }
+            value &= low_mask(len);
+        }
+        if round_bit.is_none() {
+            round_bit = Some((value >> (len - 1)) & 1);
+            len -= 1;
+            if len == 0 {
+                continue;
+            }
+            value &= low_mask(len);
+        }
+        sticky |= value != 0;
     }
     // If the fields were shorter than the word, pad with zeros.
     if filled < field_len {
@@ -79,15 +96,19 @@ pub struct BitReader {
 
 impl BitReader {
     /// `word` holds the `len` bits after the sign bit, right-aligned.
+    #[inline]
     pub fn new(word: u64, len: u32) -> Self {
+        debug_assert!(len == 64 || word >> len == 0, "word has bits beyond len");
         BitReader { word, len, pos: 0 }
     }
 
+    #[inline]
     pub fn remaining(&self) -> u32 {
         self.len.saturating_sub(self.pos)
     }
 
     /// Read a single bit (zero past the end).
+    #[inline]
     pub fn read_bit(&mut self) -> u64 {
         let b = if self.pos < self.len { (self.word >> (self.len - 1 - self.pos)) & 1 } else { 0 };
         self.pos += 1;
@@ -96,25 +117,37 @@ impl BitReader {
 
     /// Read up to `count` bits, zero-padded on the right past the end of the
     /// word, returning them left-aligned within a `count`-bit value.
+    #[inline]
     pub fn read_bits(&mut self, count: u32) -> u64 {
-        let mut v = 0u64;
-        for _ in 0..count {
-            v = (v << 1) | self.read_bit();
+        debug_assert!(count <= 64);
+        let avail = self.remaining().min(count);
+        self.pos += count;
+        if avail == 0 {
+            return 0;
         }
-        v
+        // Bits [pos, pos + avail) of the word, extracted in one shift; the
+        // cursor has already advanced, so recover the old position from it.
+        let below = self.len - (self.pos - count) - avail;
+        let v = (self.word >> below) & if avail == 64 { u64::MAX } else { low_mask(avail) };
+        v << (count - avail)
     }
 
     /// Number of leading bits equal to `bit`, capped at the remaining length.
+    #[inline]
     pub fn run_length(&self, bit: u64) -> u32 {
-        let mut n = 0;
-        let mut pos = self.pos;
-        while pos < self.len && ((self.word >> (self.len - 1 - pos)) & 1) == bit {
-            n += 1;
-            pos += 1;
+        let rem = self.remaining();
+        if rem == 0 {
+            return 0;
         }
-        n
+        // Left-align the unread bits at bit 63; a run of ones becomes a run
+        // of leading zeros after inversion.  Shifted-in low zeros may extend
+        // a run past the end, hence the cap.
+        let aligned = self.word << (64 - rem);
+        let probe = if bit == 1 { !aligned } else { aligned };
+        probe.leading_zeros().min(rem)
     }
 
+    #[inline]
     pub fn skip(&mut self, count: u32) {
         self.pos += count;
     }
@@ -122,6 +155,7 @@ impl BitReader {
 
 /// Two's complement of an `n`-bit pattern (used for negation in both
 /// formats).
+#[inline]
 pub fn twos_complement(bits: u64, n: u32) -> u64 {
     let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     bits.wrapping_neg() & mask

@@ -259,7 +259,10 @@ macro_rules! unpacked_batch {
     ($name:ident, $codec:ident, $spec:expr, $dec:expr) => {
         impl crate::batch::BatchReal for $name {
             type Dec = Unpacked;
+            type Planes = crate::batch::planes::UnpackedPlanes;
             const DECODED: bool = true;
+            const ROUND: crate::batch::round::RoundPlan =
+                crate::batch::round::plan::$codec(&$spec);
 
             #[inline]
             fn dec(self) -> Unpacked {

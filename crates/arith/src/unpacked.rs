@@ -30,7 +30,7 @@ pub enum Class {
 /// (infinitely precise) result of the producing operation had any non-zero
 /// bits below the least significant bit of `sig`; decoders always produce
 /// `sticky == false`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Unpacked {
     pub class: Class,
     pub sign: bool,
@@ -53,19 +53,23 @@ impl Unpacked {
     }
 
     /// A finite, already-normalized value (bit 63 of `sig` must be set).
+    #[inline]
     pub fn finite(sign: bool, exp: i32, sig: u64) -> Self {
         debug_assert!(sig >> 63 == 1, "significand must be normalized");
         Unpacked { class: Class::Finite, sign, exp, sig, sticky: false }
     }
 
+    #[inline]
     pub fn is_nan(&self) -> bool {
         self.class == Class::Nan
     }
 
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.class == Class::Zero
     }
 
+    #[inline]
     pub fn is_finite(&self) -> bool {
         matches!(self.class, Class::Zero | Class::Finite)
     }
@@ -77,6 +81,7 @@ impl Unpacked {
     /// with binary exponent `frame_exp`.  `extra_sticky` accounts for true
     /// result bits that were already discarded below the frame (e.g. a
     /// non-zero division remainder).
+    #[inline]
     pub fn from_frame(sign: bool, frame_exp: i32, frame: u128, extra_sticky: bool) -> Self {
         if frame == 0 {
             if extra_sticky {
@@ -105,6 +110,7 @@ impl Unpacked {
     }
 
     /// Total magnitude comparison of two finite non-zero values.
+    #[inline]
     pub fn cmp_magnitude(&self, other: &Self) -> Ordering {
         debug_assert!(self.class == Class::Finite && other.class == Class::Finite);
         match self.exp.cmp(&other.exp) {
@@ -117,6 +123,7 @@ impl Unpacked {
     ///
     /// Returns `None` if either operand is NaN.  Zeros compare equal
     /// regardless of sign.
+    #[inline]
     pub fn partial_cmp_value(&self, other: &Self) -> Option<Ordering> {
         use Class::*;
         match (self.class, other.class) {
@@ -152,6 +159,7 @@ impl Unpacked {
 /// Returns the rounded value (which may have one more bit than `64 - drop`
 /// when a carry propagates all the way up) and whether the operation was
 /// inexact.
+#[inline]
 pub fn round_at(sig: u64, sticky: bool, drop: u32) -> (u64, bool) {
     if drop == 0 {
         return (sig, sticky);

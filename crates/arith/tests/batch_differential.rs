@@ -20,9 +20,9 @@
 //!    `scale_decoded` and the slice-dispatch entry points against the
 //!    plain scalar loops.
 
-use lpa_arith::batch::{self, round, BatchReal};
+use lpa_arith::batch::{self, round, BatchReal, DecodedPlanes, DecodedSlice, KernelLanes};
 use lpa_arith::unpacked::{Class, Unpacked};
-use lpa_arith::{posit, takum, types::*, Real};
+use lpa_arith::{posit, takum, types::*, PlaneStore, Real};
 use proptest::prelude::*;
 
 /// Field-wise equality of two unpacked values (NaN compares equal to NaN).
@@ -362,6 +362,175 @@ fn bulk_kernels_match_scalar_loops() {
     bulk_differential::<E4M3>(&values);
     bulk_differential::<f32>(&values);
     bulk_differential::<f64>(&values);
+}
+
+/// Every encoded result of the full planes-kernel surface (dot, axpy,
+/// scale, SpMV over a ragged CSR with empty rows, gemm with zero
+/// coefficients), flattened to `f64` bit patterns for comparison across
+/// lane widths.
+fn planes_kernel_bits<T: BatchReal>(values: &[f64]) -> Vec<u64> {
+    let n = values.len();
+    let x: Vec<T> = values.iter().map(|&v| T::from_f64(v)).collect();
+    let y: Vec<T> = values.iter().rev().map(|&v| T::from_f64(v * 0.7 + 0.1)).collect();
+    let xp = T::Planes::decode(&x);
+    let yp = T::Planes::decode(&y);
+    let mut bits: Vec<u64> = Vec::new();
+
+    bits.push(T::undec(batch::dot_planes::<T>(&xp, &yp)).to_f64().to_bits());
+
+    let mut out = vec![T::zero(); n];
+    let mut yp2 = yp.clone();
+    batch::axpy_planes::<T>(T::from_f64(-0.875).dec(), &xp, &mut yp2);
+    yp2.encode_into(&mut out);
+    bits.extend(out.iter().map(|v| v.to_f64().to_bits()));
+
+    let mut xp2 = xp.clone();
+    batch::scale_planes::<T>(T::from_f64(0.3125).dec(), &mut xp2);
+    xp2.encode_into(&mut out);
+    bits.extend(out.iter().map(|v| v.to_f64().to_bits()));
+
+    // SpMV with ragged row lengths (empty rows included) so both the
+    // lane-blocked phase and the scalar tail run.
+    let nrows = 11;
+    let mut row_ptr = vec![0usize];
+    let mut col_idx: Vec<usize> = Vec::new();
+    for r in 0..nrows {
+        for k in 0..[0, 1, 2, 3, 5, 7][r % 6] {
+            col_idx.push((r * 5 + k * 3) % n);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    let vals: Vec<T> =
+        (0..col_idx.len()).map(|i| T::from_f64(values[i % n] * 0.9 - 0.05)).collect();
+    let vp = T::Planes::decode(&vals);
+    let mut yv = T::Planes::with_len(nrows);
+    T::Planes::spmv(&vp, &row_ptr, &col_idx, &xp, &mut yv);
+    let mut yout = vec![T::zero(); nrows];
+    yv.encode_into(&mut yout);
+    bits.extend(yout.iter().map(|v| v.to_f64().to_bits()));
+
+    // gemm over four plane columns with mixed (zero included) coefficients.
+    let a: Vec<T::Planes> = (0..4)
+        .map(|c| {
+            let col: Vec<T> = (0..n).map(|i| T::from_f64(values[(i + c * 7) % n])).collect();
+            T::Planes::decode(&col)
+        })
+        .collect();
+    let b0: Vec<T> = [0.5, 0.0, -1.25, 0.75].iter().map(|&v| T::from_f64(v)).collect();
+    let b1: Vec<T> = [0.0, -0.375, 0.0, 1.5].iter().map(|&v| T::from_f64(v)).collect();
+    for col in batch::gemm_planes::<T>(n, &a, &[&b0, &b1]) {
+        col.encode_into(&mut out);
+        bits.extend(out.iter().map(|v| v.to_f64().to_bits()));
+    }
+    bits
+}
+
+fn check_lane_widths_identical<T: BatchReal>(values: &[f64]) {
+    batch::force_kernel_lanes(KernelLanes::W1);
+    let w1 = planes_kernel_bits::<T>(values);
+    batch::force_kernel_lanes(KernelLanes::W4);
+    let w4 = planes_kernel_bits::<T>(values);
+    batch::force_kernel_lanes(KernelLanes::WIDEST);
+    let widest = planes_kernel_bits::<T>(values);
+    assert_eq!(w1, w4, "W1 vs W4 diverged in {}", T::NAME);
+    assert_eq!(w1, widest, "W1 vs {:?} diverged in {}", KernelLanes::WIDEST, T::NAME);
+}
+
+/// Satellite contract of the lanes knob: every lane width computes the
+/// same bytes over the whole kernel surface, for every format.  (Flipping
+/// the process-global width mid-test is safe for the same reason the test
+/// passes: widths are bit-identical.)
+#[test]
+fn lane_widths_are_byte_identical() {
+    let mut values: Vec<f64> = (0..97)
+        .map(|i| {
+            (0.35 + (i % 17) as f64 * 0.21)
+                * if i % 2 == 0 { 1.0 } else { -1.0 }
+                * 2f64.powi((i % 23) - 11)
+        })
+        .collect();
+    // Zeros, saturation magnitudes and tiny values so the specials fast
+    // paths and the defer/saturate slow paths all run under every width.
+    values[7] = 0.0;
+    values[31] = 0.0;
+    values[43] = 1e300;
+    values[61] = -1e300;
+    values[83] = 1e-300;
+    check_lane_widths_identical::<E4M3>(&values);
+    check_lane_widths_identical::<E5M2>(&values);
+    check_lane_widths_identical::<Posit8>(&values);
+    check_lane_widths_identical::<Posit8Es0>(&values);
+    check_lane_widths_identical::<Takum8>(&values);
+    check_lane_widths_identical::<F16>(&values);
+    check_lane_widths_identical::<Bf16>(&values);
+    check_lane_widths_identical::<Posit16>(&values);
+    check_lane_widths_identical::<Posit16Es1>(&values);
+    check_lane_widths_identical::<Takum16>(&values);
+    check_lane_widths_identical::<f32>(&values);
+    check_lane_widths_identical::<Posit32>(&values);
+    check_lane_widths_identical::<Takum32>(&values);
+    check_lane_widths_identical::<f64>(&values);
+    check_lane_widths_identical::<Posit64>(&values);
+    check_lane_widths_identical::<Takum64>(&values);
+}
+
+fn check_planes_roundtrip<T: BatchReal>(seed: u64) {
+    let mut s = seed | 1;
+    let mut next = || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 11) as f64 / (1u64 << 53) as f64) * 8.0 - 4.0
+    };
+    let mut x: Vec<T> = (0..33).map(|_| T::from_f64(next())).collect();
+    x[0] = T::zero();
+    x[11] = T::max_finite();
+    x[22] = T::min_positive();
+    let ds = DecodedSlice::decode(&x);
+    let dp = DecodedPlanes::from(&ds);
+    let back = DecodedSlice::from(&dp);
+    for (i, xi) in x.iter().enumerate() {
+        assert_eq!(
+            dp.bits()[i].to_f64().to_bits(),
+            xi.to_f64().to_bits(),
+            "planes bits [{i}] in {}",
+            T::NAME
+        );
+        assert!(dp.planes().get(i) == ds.dec()[i], "planes dec [{i}] in {}", T::NAME);
+        assert_eq!(
+            back.bits()[i].to_f64().to_bits(),
+            xi.to_f64().to_bits(),
+            "round-trip bits [{i}] in {}",
+            T::NAME
+        );
+        assert!(back.dec()[i] == ds.dec()[i], "round-trip dec [{i}] in {}", T::NAME);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Satellite contract of the struct-of-arrays stores: converting an
+    /// array-of-structs cache to planes and back preserves every element,
+    /// for every format the engine serves.
+    #[test]
+    fn decoded_slice_planes_roundtrip(seed in any::<u64>()) {
+        check_planes_roundtrip::<E4M3>(seed);
+        check_planes_roundtrip::<E5M2>(seed);
+        check_planes_roundtrip::<Posit8>(seed);
+        check_planes_roundtrip::<Posit8Es0>(seed);
+        check_planes_roundtrip::<Takum8>(seed);
+        check_planes_roundtrip::<F16>(seed);
+        check_planes_roundtrip::<Bf16>(seed);
+        check_planes_roundtrip::<Posit16>(seed);
+        check_planes_roundtrip::<Posit16Es1>(seed);
+        check_planes_roundtrip::<Takum16>(seed);
+        check_planes_roundtrip::<f32>(seed);
+        check_planes_roundtrip::<Posit32>(seed);
+        check_planes_roundtrip::<Takum32>(seed);
+        check_planes_roundtrip::<f64>(seed);
+        check_planes_roundtrip::<Posit64>(seed);
+        check_planes_roundtrip::<Takum64>(seed);
+        check_planes_roundtrip::<lpa_arith::Dd>(seed);
+    }
 }
 
 proptest! {

@@ -2,19 +2,23 @@
 //! --bench bench_summary` writes `out/BENCH_micro.json` with median ns/op
 //! per format for scalar add/mul, per-element dot and per-nonzero SpMV
 //! (dot routed through the batch-dispatching BLAS, SpMV through the
-//! decode-once `CsrDecoded` cache — the hot-path configuration the
+//! decode-once `CsrDecoded` plane store — the hot-path configuration the
 //! experiment grid actually runs), the soft-float baselines for the
 //! table-served formats, the `*_scalar` batch-off baselines for the
 //! formats the batch kernel engine accelerates (compare e.g. `posit32`
 //! against `posit32_scalar` for the engine's before/after), the
-//! end-to-end wall time of a Figure-1 style experiment run, and the
+//! `*_planes_off` baselines (the previous array-of-structs decoded
+//! kernels, so the struct-of-arrays planes win is visible in one file),
+//! the end-to-end wall time of a Figure-1 style experiment run, and the
 //! cold-vs-warm cost of the same run through the persistent `lpa-store`
 //! (the `store` block: hit/miss counters and wall times), and the
 //! disarmed-span overhead pair (`<format>_obs`: the decoded dot with and
-//! without an `lpa_obs::span` in the loop body).
+//! without an `lpa_obs::span` in the loop body).  The run also asserts
+//! the four 8-bit LUT-tier dots stay within 1.5x of each other — the
+//! takum8 outlier from the v6 trajectory must not come back.
 //!
 //! The file gives future PRs a perf trajectory to compare against; keep the
-//! schema (`lpa-bench-micro/v6`) stable or bump the version.  The config
+//! schema (`lpa-bench-micro/v7`) stable or bump the version.  The config
 //! block records the `LPA_FAULTS` and `LPA_OBS` states next to the numbers
 //! — perf is only comparable between runs with matching gate states.  CI
 //! regenerates the file and prints greppable `bench-delta:` lines against
@@ -25,8 +29,9 @@ use std::time::Instant;
 use lpa_arith::types::{
     Bf16, E4M3, E5M2, F16, Posit16, Posit32, Posit64, Posit8, Takum16, Takum32, Takum64, Takum8,
 };
-use lpa_arith::{batch, BatchReal, Dd, Real};
+use lpa_arith::{batch, BatchReal, Dd, PlaneStore, Real};
 use lpa_datagen::general;
+use lpa_dense::DMatrix;
 use lpa_experiments::ExperimentPlan;
 use lpa_sparse::{CsrDecoded, CsrMatrix};
 use lpa_store::{ArtifactKind, CountersSnapshot, Store};
@@ -136,21 +141,21 @@ fn spmv_operand<T: Real>(ncols: usize) -> Vec<T> {
 
 /// SpMV through the ambient engine: with the batch engine enabled (the
 /// default), the Krylov hot-loop configuration — matrix values decoded
-/// once (`CsrDecoded`), the operand vector pre-decoded like a basis-column
-/// shadow, the result left in decoded form like the work buffer; with
-/// `LPA_KERNEL_BATCH=scalar` (or for `Dec = Self` formats), the plain
-/// scalar CSR loop, so the recorded `config.kernel_batch` always matches
-/// what was measured.
+/// once into plane stores (`CsrDecoded`), the operand vector pre-decoded
+/// like a basis-column shadow, the result left in plane form like the work
+/// buffer; with `LPA_KERNEL_BATCH=scalar` (or for `Dec = Self` formats),
+/// the plain scalar CSR loop, so the recorded `config.kernel_batch` always
+/// matches what was measured.
 fn spmv_ns<T: BatchReal>(a64: &CsrMatrix<f64>) -> f64 {
     if !(T::DECODED && lpa_arith::kernel_batch_enabled()) {
         return spmv_scalar_ns::<T>(a64);
     }
     let a = CsrDecoded::new(a64.convert::<T>());
-    let x = batch::decode_slice(&spmv_operand::<T>(a.ncols()));
-    let mut y = vec![T::zero().dec(); a.nrows()];
+    let x = T::Planes::decode(&spmv_operand::<T>(a.ncols()));
+    let mut y = T::Planes::with_len(a.nrows());
     let nnz = a.nnz() as f64;
     median_ns_per_call(move || {
-        a.spmv_decoded(std::hint::black_box(&x), &mut y);
+        a.spmv_planes(std::hint::black_box(&x), &mut y);
         std::hint::black_box(&y);
     }) / nnz
 }
@@ -186,6 +191,72 @@ fn scalar_baseline_entry<T: BatchReal>(a64: &CsrMatrix<f64>) -> (String, Value) 
         ("spmv".to_string(), Value::Num(spmv_scalar_ns::<T>(a64))),
     ];
     (format!("{}_scalar", json_name(T::NAME)), Value::Map(map))
+}
+
+/// Planes-off baseline entry (`<format>_planes_off`): the same decoded
+/// dot/SpMV chains through the previous array-of-structs kernels (a flat
+/// `Vec<T::Dec>` of decoded values, one struct per element) instead of the
+/// struct-of-arrays plane stores, so the planes speedup is measurable from
+/// this file alone.
+fn planes_off_entry<T: BatchReal>(a64: &CsrMatrix<f64>) -> (String, Value) {
+    let (x, y) = dot_operands::<T>();
+    let (xd, yd) = (batch::decode_slice(&x), batch::decode_slice(&y));
+    let dot = median_ns_per_call(|| {
+        std::hint::black_box(batch::dot_decoded::<T>(std::hint::black_box(&xd), &yd));
+    }) / DOT_LEN as f64;
+    let a = CsrDecoded::new(a64.convert::<T>());
+    let sx = batch::decode_slice(&spmv_operand::<T>(a.ncols()));
+    let mut sy = vec![T::zero().dec(); a.nrows()];
+    let nnz = a.nnz() as f64;
+    let spmv = median_ns_per_call(move || {
+        a.spmv_decoded(std::hint::black_box(&sx), &mut sy);
+        std::hint::black_box(&sy);
+    }) / nnz;
+    (
+        format!("{}_planes_off", json_name(T::NAME)),
+        Value::Map(vec![
+            ("dot".to_string(), Value::Num(dot)),
+            ("spmv".to_string(), Value::Num(spmv)),
+        ]),
+    )
+}
+
+/// Restart-gemm pair (`<format>_gemm`): the struct-of-arrays
+/// `batch::gemm_planes` (the Krylov-Schur restart-basis update kernel)
+/// against the encoded `DMatrix::matmul` it replaced, in ns per
+/// multiply-add over restart-shaped operands (a tall basis times a small
+/// projector).
+fn gemm_entry<T: BatchReal>() -> (String, Value) {
+    let (n, m, k) = (256usize, 12usize, 8usize);
+    let mut v = DMatrix::<T>::zeros(n, m);
+    for j in 0..m {
+        for (i, slot) in v.col_mut(j).iter_mut().enumerate() {
+            let mag = 0.3 + ((i + 3 * j) % 9) as f64 * 0.11;
+            *slot = T::from_f64(if (i + j) % 2 == 0 { mag } else { -mag });
+        }
+    }
+    let mut z = DMatrix::<T>::zeros(m, k);
+    for j in 0..k {
+        for (i, slot) in z.col_mut(j).iter_mut().enumerate() {
+            *slot = T::from_f64(0.2 + ((i + j) % 7) as f64 * 0.13);
+        }
+    }
+    let planes: Vec<T::Planes> = (0..m).map(|j| T::Planes::decode(v.col(j))).collect();
+    let z_cols: Vec<&[T]> = (0..k).map(|j| z.col(j)).collect();
+    let madds = (n * m * k) as f64;
+    let planes_ns = median_ns_per_call(|| {
+        std::hint::black_box(batch::gemm_planes::<T>(n, std::hint::black_box(&planes), &z_cols));
+    }) / madds;
+    let scalar_ns = median_ns_per_call(|| {
+        std::hint::black_box(v.matmul(std::hint::black_box(&z)));
+    }) / madds;
+    (
+        format!("{}_gemm", json_name(T::NAME)),
+        Value::Map(vec![
+            ("planes".to_string(), Value::Num(planes_ns)),
+            ("scalar".to_string(), Value::Num(scalar_ns)),
+        ]),
+    )
 }
 
 /// Disarmed-span overhead pair (`<format>_obs`): the identical decoded-dot
@@ -288,6 +359,14 @@ fn main() {
     formats.push(scalar_baseline_entry::<Takum16>(&a64));
     formats.push(scalar_baseline_entry::<Posit32>(&a64));
     formats.push(scalar_baseline_entry::<Takum32>(&a64));
+    // Planes-off baselines: the pre-planes array-of-structs decoded kernels.
+    formats.push(planes_off_entry::<Posit16>(&a64));
+    formats.push(planes_off_entry::<Takum16>(&a64));
+    formats.push(planes_off_entry::<Posit32>(&a64));
+    formats.push(planes_off_entry::<Takum32>(&a64));
+    // Restart-gemm pairs (planes vs the encoded matmul it replaced).
+    formats.push(gemm_entry::<Posit32>());
+    formats.push(gemm_entry::<Takum16>());
     // Disarmed tracing-span overhead pairs (the obs analogue of the
     // fault-point pair in `micro_kernels`).
     formats.push(obs_span_entry::<Posit32>());
@@ -305,6 +384,30 @@ fn main() {
             println!("  {name:<22} {}", line.join("  "));
         }
     }
+
+    // The four 8-bit formats share the same LUT-tier kernels; their dots
+    // must stay within 1.5x of each other (the v6 trajectory had a stale
+    // takum8 outlier at ~1.9x that this pin keeps from coming back).
+    let dot_of = |key: &str| -> f64 {
+        let Some((_, Value::Map(ops))) = formats.iter().find(|(n, _)| n == key) else {
+            panic!("missing format entry {key}");
+        };
+        match ops.iter().find(|(op, _)| op == "dot") {
+            Some((_, Value::Num(x))) => *x,
+            _ => panic!("missing dot in {key}"),
+        }
+    };
+    let lut_dots =
+        ["ofp8_e4m3", "ofp8_e5m2", "posit8", "takum8"].map(|k| (k, dot_of(k)));
+    let (lo_name, lo) =
+        lut_dots.iter().copied().min_by(|a, b| a.1.total_cmp(&b.1)).expect("nonempty");
+    let (hi_name, hi) =
+        lut_dots.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1)).expect("nonempty");
+    println!("  8-bit dot spread: {lo_name} {lo:.2} .. {hi_name} {hi:.2} ({:.2}x)", hi / lo);
+    assert!(
+        hi <= lo * 1.5,
+        "8-bit LUT-tier dot spread exceeds 1.5x: {hi_name} {hi:.2} vs {lo_name} {lo:.2}"
+    );
 
     println!("running figure-1 style end-to-end experiment...");
     let settings = lpa_bench::HarnessSettings::from_env();
@@ -362,7 +465,7 @@ fn main() {
     };
 
     let summary = Value::Map(vec![
-        ("schema".to_string(), Value::Str("lpa-bench-micro/v6".to_string())),
+        ("schema".to_string(), Value::Str("lpa-bench-micro/v7".to_string())),
         (
             "config".to_string(),
             Value::Map(vec![
@@ -378,6 +481,10 @@ fn main() {
                 (
                     "kernel_batch".to_string(),
                     Value::Str(format!("{:?}", lpa_arith::kernel_batch()).to_lowercase()),
+                ),
+                (
+                    "kernel_lanes".to_string(),
+                    Value::Num(lpa_arith::kernel_lanes().width() as f64),
                 ),
                 (
                     "figure1_matrices".to_string(),

@@ -9,9 +9,10 @@ use std::time::Duration;
 use lpa_arith::types::{
     Bf16, Posit16, Posit32, Posit64, Posit8, Takum16, Takum32, Takum64, Takum8, E4M3, E5M2, F16,
 };
-use lpa_arith::{batch, BatchReal, Dd, Real};
+use lpa_arith::{batch, BatchReal, Dd, PlaneStore, Real};
 use lpa_arnoldi::{partial_schur, ArnoldiOptions};
 use lpa_datagen::general;
+use lpa_dense::DMatrix;
 use lpa_experiments::{ExperimentConfig, ExperimentPlan, FormatTag};
 use lpa_sparse::CsrMatrix;
 
@@ -96,7 +97,8 @@ fn bench_lut_vs_softfloat(c: &mut Criterion) {
 }
 
 /// The batch kernel engine against the scalar operator loops on the
-/// Krylov-shaped kernels — a pre-decoded dot and a decode-once SpMV — for
+/// Krylov-shaped kernels — a pre-decoded dot and a decode-once SpMV, both
+/// through the struct-of-arrays plane stores the engine now runs on — for
 /// the formats the engine serves (acceptance gate for the 32-bit tapered
 /// formats: >= 1.5x, bit-identical results).
 fn bench_batch_vs_scalar(c: &mut Criterion) {
@@ -107,9 +109,9 @@ fn bench_batch_vs_scalar(c: &mut Criterion) {
             .map(|i| T::from_f64((0.6 + (i % 7) as f64 * 0.09) * if i % 2 == 0 { 1.0 } else { -1.0 }))
             .collect();
         let y: Vec<T> = (0..n).map(|i| T::from_f64(0.4 + (i % 11) as f64 * 0.07)).collect();
-        let (xd, yd) = (batch::decode_slice(&x), batch::decode_slice(&y));
+        let (xp, yp) = (T::Planes::decode(&x), T::Planes::decode(&y));
         c.bench_function(&format!("dot/{label}/batch"), |b| {
-            b.iter(|| black_box(T::undec(batch::dot_decoded::<T>(black_box(&xd), &yd))))
+            b.iter(|| black_box(T::undec(batch::dot_planes::<T>(black_box(&xp), &yp))))
         });
         c.bench_function(&format!("dot/{label}/scalar"), |b| {
             b.iter(|| {
@@ -124,13 +126,13 @@ fn bench_batch_vs_scalar(c: &mut Criterion) {
         let a: CsrMatrix<T> = a64.convert();
         let ad = lpa_sparse::CsrDecoded::new(a.clone());
         let xs: Vec<T> = (0..a.ncols()).map(|i| T::from_f64((i % 7) as f64 * 0.1)).collect();
-        let xsd = batch::decode_slice(&xs);
+        let xsp = T::Planes::decode(&xs);
         let mut ys = vec![T::zero(); a.nrows()];
-        let mut ysd = vec![T::zero().dec(); a.nrows()];
+        let mut ysp = T::Planes::with_len(a.nrows());
         c.bench_function(&format!("spmv/{label}/batch"), |b| {
             b.iter(|| {
-                ad.spmv_decoded(black_box(&xsd), &mut ysd);
-                black_box(&ysd);
+                ad.spmv_planes(black_box(&xsp), &mut ysp);
+                black_box(&ysp);
             })
         });
         c.bench_function(&format!("spmv/{label}/scalar"), |b| {
@@ -144,6 +146,41 @@ fn bench_batch_vs_scalar(c: &mut Criterion) {
     run::<Takum16>(c, &a64, "takum16");
     run::<Posit32>(c, &a64, "posit32");
     run::<Takum32>(c, &a64, "takum32");
+}
+
+/// The struct-of-arrays gemm (the restart-basis update kernel,
+/// `batch::gemm_planes`) against the encoded `DMatrix::matmul` it replaced
+/// in the Krylov-Schur restart (bit-identical columns by construction; the
+/// planes side also returns the decoded shadows the restart needs, which
+/// the encoded side would have to recompute).
+fn bench_gemm_planes_vs_scalar(c: &mut Criterion) {
+    fn run<T: BatchReal>(c: &mut Criterion, label: &str) {
+        // Restart-shaped operands: a tall basis times a small projector.
+        let (n, m, k) = (256, 12, 8);
+        let mut v = DMatrix::<T>::zeros(n, m);
+        for j in 0..m {
+            for (i, slot) in v.col_mut(j).iter_mut().enumerate() {
+                let mag = 0.3 + ((i + 3 * j) % 9) as f64 * 0.11;
+                *slot = T::from_f64(if (i + j) % 2 == 0 { mag } else { -mag });
+            }
+        }
+        let mut z = DMatrix::<T>::zeros(m, k);
+        for j in 0..k {
+            for (i, slot) in z.col_mut(j).iter_mut().enumerate() {
+                *slot = T::from_f64(0.2 + ((i + j) % 7) as f64 * 0.13);
+            }
+        }
+        let planes: Vec<T::Planes> = (0..m).map(|j| T::Planes::decode(v.col(j))).collect();
+        let z_cols: Vec<&[T]> = (0..k).map(|j| z.col(j)).collect();
+        c.bench_function(&format!("gemm/{label}/planes"), |b| {
+            b.iter(|| black_box(batch::gemm_planes::<T>(n, black_box(&planes), &z_cols)))
+        });
+        c.bench_function(&format!("gemm/{label}/scalar"), |b| {
+            b.iter(|| black_box(v.matmul(black_box(&z))))
+        });
+    }
+    run::<Posit32>(c, "posit32");
+    run::<Takum16>(c, "takum16");
 }
 
 /// The disarmed fault-point overhead on the hottest kernel:
@@ -302,6 +339,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_scalars, bench_lut_vs_softfloat, bench_batch_vs_scalar, bench_fault_point_overhead, bench_obs_span_overhead, bench_spmv, bench_arnoldi, bench_experiment_grid, bench_hungarian
+    targets = bench_scalars, bench_lut_vs_softfloat, bench_batch_vs_scalar, bench_gemm_planes_vs_scalar, bench_fault_point_overhead, bench_obs_span_overhead, bench_spmv, bench_arnoldi, bench_experiment_grid, bench_hungarian
 }
 criterion_main!(benches);

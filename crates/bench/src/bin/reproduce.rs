@@ -67,6 +67,7 @@ fn main() {
             "--threads" => overrides.threads = Some(parsed_flag(&args, i)),
             "--arith-tier" => overrides.arith_tier = Some(parsed_flag(&args, i)),
             "--kernel-batch" => overrides.kernel_batch = Some(parsed_flag(&args, i)),
+            "--kernel-lanes" => overrides.kernel_lanes = Some(parsed_flag(&args, i)),
             "--retry" => overrides.retry = Some(parsed_flag(&args, i)),
             "--cell-deadline-ms" => overrides.cell_deadline_ms = Some(parsed_flag(&args, i)),
             "--obs" => {

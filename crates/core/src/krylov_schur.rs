@@ -9,8 +9,8 @@
 //! in OFP8, bfloat16, float16, float32/64, posits, takums and the
 //! double-double reference format.
 
-use lpa_arith::{batch, BatchReal};
-use lpa_dense::blas::{axpy, axpy_decoded, dot, dot_decoded, normalize, nrm2, scal_decoded};
+use lpa_arith::{batch, BatchReal, PlaneStore};
+use lpa_dense::blas::{axpy, axpy_planes, dot, dot_planes, normalize, nrm2, scal_planes};
 use lpa_dense::ordschur::reorder_schur;
 use lpa_dense::schur::{block_structure, eigenvalues_of_quasi_triangular, schur};
 use lpa_dense::{Complex, DMatrix};
@@ -88,18 +88,19 @@ pub fn partial_schur<T: BatchReal, Op: BatchOperator<T> + ?Sized>(
     let mut w = vec![T::zero(); n];
     let mut h_buf = vec![T::zero(); m];
 
-    // The batch-engine workspace: decoded shadows of the basis columns and
-    // the step buffers, owned for the whole run so the basis is decoded
-    // once per write instead of once per read.  Scalar formats whose
-    // decoded form is their bit pattern skip the bookkeeping entirely.
+    // The batch-engine workspace: struct-of-arrays plane shadows of the
+    // basis columns and the step buffers, owned for the whole run so the
+    // basis is decoded once per write instead of once per read.  Scalar
+    // formats whose decoded form is their bit pattern skip the bookkeeping
+    // entirely.
     let use_batch = T::DECODED && batch::kernel_batch_enabled();
     let zero_dec = T::zero().dec();
-    let mut v_dec: Vec<Vec<T::Dec>> =
-        if use_batch { vec![vec![zero_dec; n]; m + 1] } else { Vec::new() };
-    let mut w_dec: Vec<T::Dec> = if use_batch { vec![zero_dec; n] } else { Vec::new() };
+    let cold = T::Planes::with_len(if use_batch { n } else { 0 });
+    let mut v_dec: Vec<T::Planes> = vec![cold.clone(); if use_batch { m + 1 } else { 0 }];
+    let mut w_dec: T::Planes = cold;
     let mut h_dec_buf: Vec<T::Dec> = if use_batch { vec![zero_dec; m] } else { Vec::new() };
     if use_batch {
-        batch::decode_slice_into(v.col(0), &mut v_dec[0]);
+        v_dec[0].decode_from(v.col(0));
     }
 
     for restart in 0..opts.max_restarts {
@@ -128,22 +129,22 @@ pub fn partial_schur<T: BatchReal, Op: BatchOperator<T> + ?Sized>(
             // and `h` to the end of the step.
             let h = &mut h_buf[..j + 1];
             if use_batch {
-                // `apply_dec` fully overwrites `w_dec` (same contract as
+                // `apply_planes` fully overwrites `w_dec` (same contract as
                 // `apply`).
-                op.apply_dec(&v_dec[j], &mut w_dec);
+                op.apply_planes(&v_dec[j], &mut w_dec);
                 let hd = &mut h_dec_buf[..j + 1];
                 hd.fill(zero_dec);
                 for _pass in 0..2 {
                     for (i, hi) in hd.iter_mut().enumerate() {
-                        let c = dot_decoded::<T>(&v_dec[i], &w_dec);
-                        axpy_decoded::<T>(T::dec_neg(c), &v_dec[i], &mut w_dec);
+                        let c = dot_planes::<T>(&v_dec[i], &w_dec);
+                        axpy_planes::<T>(T::dec_neg(c), &v_dec[i], &mut w_dec);
                         *hi = T::dec_add(*hi, c);
                     }
                 }
                 for (hb, hd) in h.iter_mut().zip(hd.iter()) {
                     *hb = T::undec(*hd);
                 }
-                batch::encode_slice_into(&w_dec, &mut w);
+                w_dec.encode_into(&mut w);
             } else {
                 // `apply` fully overwrites `w` (it computes y = A x), so no
                 // clearing is needed between steps.
@@ -192,7 +193,7 @@ pub fn partial_schur<T: BatchReal, Op: BatchOperator<T> + ?Sized>(
                 if use_batch {
                     // The fresh random direction was built on the encoded
                     // side; refresh its shadow.
-                    batch::decode_slice_into(&w, &mut v_dec[j + 1]);
+                    v_dec[j + 1].decode_from(&w);
                 }
             } else {
                 spike[j] = beta;
@@ -203,9 +204,9 @@ pub fn partial_schur<T: BatchReal, Op: BatchOperator<T> + ?Sized>(
                     // this step) and write both sides of the new basis
                     // column — the shadow update is free because the
                     // scaled values are already decoded.
-                    scal_decoded::<T>(inv.dec(), &mut w_dec);
-                    v_dec[j + 1].copy_from_slice(&w_dec);
-                    batch::encode_slice_into(&w_dec, wcol);
+                    scal_planes::<T>(inv.dec(), &mut w_dec);
+                    v_dec[j + 1].clone_from(&w_dec);
+                    w_dec.encode_into(wcol);
                 } else {
                     for (dst, src) in wcol.iter_mut().zip(&w) {
                         *dst = *src * inv;
@@ -306,10 +307,22 @@ pub fn partial_schur<T: BatchReal, Op: BatchOperator<T> + ?Sized>(
                 select[bi] = true;
             }
             let rows = reorder_schur(&mut t, &mut z, &select)?;
-            // Q = V_m * Z[:, 0..rows]
-            let vm = v.truncate_columns(m);
+            // Q = V_m * Z[:, 0..rows]; under the batch engine the product
+            // runs in the decoded domain over the basis shadows
+            // (bit-identical to the encoded matmul by `gemm_planes`'
+            // contract).
             let zk = z.truncate_columns(rows);
-            let q = vm.matmul(&zk);
+            let q = if use_batch {
+                let zk_cols: Vec<&[T]> = (0..rows).map(|c| zk.col(c)).collect();
+                let cols = batch::gemm_planes::<T>(n, &v_dec[..m], &zk_cols);
+                let mut q = DMatrix::<T>::zeros(n, rows);
+                for (c, p) in cols.iter().enumerate() {
+                    p.encode_into(q.col_mut(c));
+                }
+                q
+            } else {
+                v.truncate_columns(m).matmul(&zk)
+            };
             let r = t.submatrix(0, 0, rows, rows);
             // Eigenvalues in the order of R's diagonal blocks, so that
             // eigenvalue i corresponds to Schur vector column i.
@@ -339,19 +352,46 @@ pub fn partial_schur<T: BatchReal, Op: BatchOperator<T> + ?Sized>(
         debug_assert_eq!(rows, keep_rows);
 
         // New basis: V[:, 0..rows] = V_m Z[:, 0..rows], V[:, rows] = v_{m+1}.
-        let vm = v.truncate_columns(m);
-        let zk = z.truncate_columns(rows);
-        let new_basis = vm.matmul(&zk);
-        for c in 0..rows {
-            v.col_mut(c).copy_from_slice(new_basis.col(c));
+        if use_batch {
+            // The product runs in the decoded domain over the basis
+            // shadows, and the fresh columns it produces *are* the new
+            // shadows — the old refresh pass (re-decoding every rewritten
+            // column from its encoded side) is gone, the encode below is
+            // the only crossing.  Bit-identical to the dense matmul by
+            // `gemm_planes`' contract.
+            let zk = z.truncate_columns(rows);
+            let zk_cols: Vec<&[T]> = (0..rows).map(|c| zk.col(c)).collect();
+            let new_planes = batch::gemm_planes::<T>(n, &v_dec[..m], &zk_cols);
+            for (c, p) in new_planes.into_iter().enumerate() {
+                p.encode_into(v.col_mut(c));
+                v_dec[c] = p;
+            }
+            if rows < m {
+                let (head, tail) = v_dec.split_at_mut(m);
+                head[rows].clone_from(&tail[0]);
+            }
+        } else {
+            let vm = v.truncate_columns(m);
+            let zk = z.truncate_columns(rows);
+            let new_basis = vm.matmul(&zk);
+            for c in 0..rows {
+                v.col_mut(c).copy_from_slice(new_basis.col(c));
+            }
         }
         let last = v.col(m).to_vec();
         v.col_mut(rows).copy_from_slice(&last);
+        #[cfg(debug_assertions)]
         if use_batch {
-            // The restart rewrote basis columns 0..=rows on the encoded
-            // side (dense matmul); refresh their shadows once.
-            for (c, col_dec) in v_dec.iter_mut().enumerate().take(rows + 1) {
-                batch::decode_slice_into(v.col(c), col_dec);
+            // The shadow invariant the expansion loop relies on:
+            // v_dec[c] == decode(v.col(c)) for every live column.
+            for (c, vc) in v_dec.iter().enumerate().take(rows + 1) {
+                for (i, xc) in v.col(c).iter().enumerate() {
+                    debug_assert_eq!(
+                        vc.get(i),
+                        xc.dec(),
+                        "basis shadow diverged at column {c}, row {i}"
+                    );
+                }
             }
         }
 

@@ -1,6 +1,6 @@
 //! The linear operator abstraction the Arnoldi method iterates with.
 
-use lpa_arith::{batch, BatchReal, Real};
+use lpa_arith::{batch, BatchReal, PlaneStore, Real};
 use lpa_dense::DMatrix;
 use lpa_sparse::{CsrDecoded, CsrMatrix};
 
@@ -39,6 +39,19 @@ pub trait BatchOperator<T: BatchReal>: LinearOperator<T> {
         self.apply(&xb, &mut yb);
         batch::decode_slice_into(&yb, y);
     }
+
+    /// Compute `y = A x` over plane stores (same overwrite contract as
+    /// [`LinearOperator::apply`]) — the struct-of-arrays hook the solver's
+    /// lane-blocked workspace calls.  Must be bit-identical to `apply` on
+    /// the encoded values; the default round-trips through the encoded
+    /// form, the matrix impls below run in the decoded domain directly.
+    fn apply_planes(&self, x: &T::Planes, y: &mut T::Planes) {
+        let mut xb = vec![T::zero(); x.len()];
+        x.encode_into(&mut xb);
+        let mut yb = vec![T::zero(); y.len()];
+        self.apply(&xb, &mut yb);
+        y.decode_from(&yb);
+    }
 }
 
 impl<T: Real> LinearOperator<T> for CsrMatrix<T> {
@@ -74,6 +87,25 @@ impl<T: BatchReal> BatchOperator<T> for CsrMatrix<T> {
             start = end;
         }
     }
+
+    /// The same flat pass reading `x` from (and writing `y` to) plane
+    /// stores; the matrix value is still decoded per non-zero.
+    fn apply_planes(&self, x: &T::Planes, y: &mut T::Planes) {
+        assert_eq!(x.len(), self.ncols());
+        assert_eq!(y.len(), self.nrows());
+        let zero = T::zero().dec();
+        let mut start = self.row_ptr()[0];
+        for (r, &end) in self.row_ptr()[1..].iter().enumerate() {
+            let mut acc = zero;
+            for (&j, &v) in
+                self.col_indices()[start..end].iter().zip(&self.values()[start..end])
+            {
+                acc = T::dec_add(acc, T::dec_mul(v.dec(), x.get(j)));
+            }
+            y.set(r, acc);
+            start = end;
+        }
+    }
 }
 
 impl<T: Real> LinearOperator<T> for DMatrix<T> {
@@ -105,6 +137,22 @@ impl<T: BatchReal> BatchOperator<T> for DMatrix<T> {
             }
         }
     }
+
+    /// The same column-major pass over plane stores.
+    fn apply_planes(&self, x: &T::Planes, y: &mut T::Planes) {
+        assert_eq!(x.len(), self.ncols());
+        assert_eq!(y.len(), self.nrows());
+        y.fill_zero();
+        for j in 0..self.ncols() {
+            let xj = x.get(j);
+            if T::dec_is_zero(xj) {
+                continue;
+            }
+            for (i, &aij) in self.col(j).iter().enumerate() {
+                y.set(i, T::dec_add(y.get(i), T::dec_mul(aij.dec(), xj)));
+            }
+        }
+    }
 }
 
 impl<T: BatchReal> LinearOperator<T> for CsrDecoded<T> {
@@ -123,6 +171,10 @@ impl<T: BatchReal> LinearOperator<T> for CsrDecoded<T> {
 impl<T: BatchReal> BatchOperator<T> for CsrDecoded<T> {
     fn apply_dec(&self, x: &[T::Dec], y: &mut [T::Dec]) {
         self.spmv_decoded(x, y);
+    }
+
+    fn apply_planes(&self, x: &T::Planes, y: &mut T::Planes) {
+        self.spmv_planes(x, y);
     }
 }
 
@@ -143,11 +195,21 @@ mod tests {
         let xd = batch::decode_slice(&x);
         let mut y = vec![Posit32::zero(); 4];
         let mut yd = vec![Posit32::zero().dec(); 4];
+        type P = <Posit32 as BatchReal>::Planes;
+        let xp = <P as PlaneStore<Posit32>>::decode(&x);
+        let mut yp = <P as PlaneStore<Posit32>>::with_len(4);
         for op in [&s as &dyn BatchOperator<Posit32>, &d, &dec] {
             op.apply(&x, &mut y);
             op.apply_dec(&xd, &mut yd);
             for (a, b) in yd.iter().zip(&y) {
                 assert_eq!(Posit32::undec(*a).to_bits(), b.to_bits());
+            }
+            op.apply_planes(&xp, &mut yp);
+            for (i, b) in y.iter().enumerate() {
+                assert_eq!(
+                    Posit32::undec(<P as PlaneStore<Posit32>>::get(&yp, i)).to_bits(),
+                    b.to_bits()
+                );
             }
         }
     }

@@ -44,6 +44,22 @@ pub fn scal_decoded<T: BatchReal>(alpha: T::Dec, x: &mut [T::Dec]) {
     batch::scale_decoded::<T>(alpha, x)
 }
 
+/// Dot product over plane stores ([`lpa_arith::PlaneStore`]); returns the
+/// decoded accumulator.  Bit-identical to [`dot`] on the encoded values.
+pub fn dot_planes<T: BatchReal>(x: &T::Planes, y: &T::Planes) -> T::Dec {
+    batch::dot_planes::<T>(x, y)
+}
+
+/// `y += alpha * x` over plane stores; bit-identical to [`axpy`].
+pub fn axpy_planes<T: BatchReal>(alpha: T::Dec, x: &T::Planes, y: &mut T::Planes) {
+    batch::axpy_planes::<T>(alpha, x, y)
+}
+
+/// `x *= alpha` over plane stores; bit-identical to [`scal`].
+pub fn scal_planes<T: BatchReal>(alpha: T::Dec, x: &mut T::Planes) {
+    batch::scale_planes::<T>(alpha, x)
+}
+
 /// `x *= alpha`.
 pub fn scal<T: Real>(alpha: T, x: &mut [T]) {
     for xi in x.iter_mut() {

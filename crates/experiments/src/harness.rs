@@ -18,6 +18,7 @@
 //! | store dir      | `--store`         | `LPA_STORE`          | none    |
 //! | 16-bit tier    | `--arith-tier`    | `LPA_ARITH_TIER`     | ambient |
 //! | kernel engine  | `--kernel-batch`  | `LPA_KERNEL_BATCH`   | batch   |
+//! | kernel lanes   | `--kernel-lanes`  | `LPA_KERNEL_LANES`   | 1       |
 //! | thread budget  | `--threads`       | `RAYON_NUM_THREADS`  | cores   |
 //! | I/O retries    | `--retry`         | `LPA_RETRY`          | 2       |
 //! | cell deadline  | `--cell-deadline-ms` | `LPA_CELL_DEADLINE_MS` | off |
@@ -29,10 +30,11 @@
 //! | serve in-flight | `lpa-serve --max-inflight` | `LPA_SERVE_MAX_INFLIGHT` | 4 |
 //! | serve queue    | `lpa-serve --queue` | `LPA_SERVE_QUEUE`  | 16      |
 //!
-//! Four variables are owned by lower layers and only *flow through* here
+//! Five variables are owned by lower layers and only *flow through* here
 //! so the precedence stays uniform: `LPA_ARITH_TIER` is read by
 //! [`lpa_arith::env_dec16_tier`], `LPA_KERNEL_BATCH` by
-//! [`lpa_arith::env_kernel_batch`], `LPA_OBS` by
+//! [`lpa_arith::env_kernel_batch`], `LPA_KERNEL_LANES` by
+//! [`lpa_arith::env_kernel_lanes`], `LPA_OBS` by
 //! [`lpa_obs::env_observability`] (each module keeps its only `std::env`
 //! read) and `RAYON_NUM_THREADS` by the rayon shim — a CLI thread budget
 //! simply outranks it by being pinned on the plan, and no
@@ -42,12 +44,12 @@
 //! so this table stays the complete `LPA_*` inventory.
 //!
 //! Unset or unparsable environment values fall through to the next level,
-//! except `LPA_ARITH_TIER` and `LPA_KERNEL_BATCH`, where a typo panics
-//! rather than silently selecting a default.
+//! except `LPA_ARITH_TIER`, `LPA_KERNEL_BATCH` and `LPA_KERNEL_LANES`,
+//! where a typo panics rather than silently selecting a default.
 
 use std::path::PathBuf;
 
-use lpa_arith::{Dec16Tier, KernelBatch};
+use lpa_arith::{Dec16Tier, KernelBatch, KernelLanes};
 use lpa_store::Store;
 
 /// Default corpus scale factor.
@@ -109,6 +111,12 @@ pub const ENV_DOCS: &[EnvDoc] = &[
         flag: "--kernel-batch",
         value: "batch|scalar",
         help: "bulk kernel engine (bit-identical; default batch)",
+    },
+    EnvDoc {
+        var: "LPA_KERNEL_LANES",
+        flag: "--kernel-lanes",
+        value: "1|4|8",
+        help: "planes-kernel lane width (bit-identical; default 1)",
     },
     EnvDoc {
         var: "RAYON_NUM_THREADS",
@@ -210,6 +218,8 @@ pub struct HarnessEnv {
     pub arith_tier: Option<Dec16Tier>,
     /// `LPA_KERNEL_BATCH`, via [`lpa_arith::env_kernel_batch`]
     pub kernel_batch: Option<KernelBatch>,
+    /// `LPA_KERNEL_LANES`, via [`lpa_arith::env_kernel_lanes`]
+    pub kernel_lanes: Option<KernelLanes>,
     /// `LPA_RETRY`
     pub retry: Option<u32>,
     /// `LPA_CELL_DEADLINE_MS`
@@ -226,6 +236,7 @@ impl HarnessEnv {
         HarnessEnv {
             arith_tier: lpa_arith::env_dec16_tier(),
             kernel_batch: lpa_arith::env_kernel_batch(),
+            kernel_lanes: lpa_arith::env_kernel_lanes(),
             observability: lpa_obs::env_observability(),
             ..Self::from_lookup(|name| std::env::var(name).ok())
         }
@@ -246,6 +257,7 @@ impl HarnessEnv {
             store_dir: path_of("LPA_STORE"),
             arith_tier: None,
             kernel_batch: None,
+            kernel_lanes: None,
             retry: lookup("LPA_RETRY").and_then(|v| v.parse().ok()),
             cell_deadline_ms: lookup("LPA_CELL_DEADLINE_MS").and_then(|v| v.parse().ok()),
             observability: None,
@@ -264,6 +276,7 @@ pub struct PlanOverrides {
     pub store_dir: Option<PathBuf>,
     pub arith_tier: Option<Dec16Tier>,
     pub kernel_batch: Option<KernelBatch>,
+    pub kernel_lanes: Option<KernelLanes>,
     pub threads: Option<usize>,
     pub retry: Option<u32>,
     pub cell_deadline_ms: Option<u64>,
@@ -282,6 +295,7 @@ impl PlanOverrides {
             store_dir: self.store_dir.clone().or_else(|| env.store_dir.clone()),
             arith_tier: self.arith_tier.or(env.arith_tier),
             kernel_batch: self.kernel_batch.or(env.kernel_batch),
+            kernel_lanes: self.kernel_lanes.or(env.kernel_lanes),
             // No env fallback here: when None, the rayon shim applies
             // RAYON_NUM_THREADS itself, keeping that read in one module.
             threads: self.threads,
@@ -313,6 +327,8 @@ pub struct HarnessSettings {
     pub arith_tier: Option<Dec16Tier>,
     /// Forced bulk kernel engine (`None` = ambient, i.e. batch).
     pub kernel_batch: Option<KernelBatch>,
+    /// Forced planes-kernel lane width (`None` = ambient, i.e. 8).
+    pub kernel_lanes: Option<KernelLanes>,
     /// Worker-thread budget (`None` = `RAYON_NUM_THREADS`, else all cores).
     pub threads: Option<usize>,
     /// Transient store-I/O retry budget (`None` = the store's default).
@@ -482,15 +498,16 @@ mod tests {
             store_dir: _,
             arith_tier: _,
             kernel_batch: _,
+            kernel_lanes: _,
             threads: _,
             retry: _,
             cell_deadline_ms: _,
             observability: _,
             manifest_out: _,
         } = PlanOverrides::default();
-        // 11 override fields + the env-only LPA_FAULTS and
+        // 12 override fields + the env-only LPA_FAULTS and
         // LPA_NUMERICS_BUMP rows + the three LPA_SERVE_* daemon knobs.
-        assert_eq!(ENV_DOCS.len(), 16, "one doc row per knob");
+        assert_eq!(ENV_DOCS.len(), 17, "one doc row per knob");
 
         let table = env_docs_table();
         for doc in ENV_DOCS {

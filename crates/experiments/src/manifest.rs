@@ -12,6 +12,7 @@
 //!              "numerics": { "<feature>": V, ... } },
 //!   "grid":  { ...the ExperimentResults serialization... },
 //!   "run":   { "threads": T, "arith_tier": "...", "kernel_batch": "...",
+//!              "kernel_lanes": W,
 //!              "retry": R, "cell_deadline_ms": D, "observability": "...",
 //!              "wall_ms": W,
 //!              "references": [ {"matrix","status","from_store","wall_ms"} ],
@@ -171,6 +172,7 @@ pub fn validate(manifest: &Value) -> Result<(), String> {
             "threads",
             "arith_tier",
             "kernel_batch",
+            "kernel_lanes",
             "retry",
             "cell_deadline_ms",
             "observability",
@@ -267,6 +269,7 @@ mod tests {
                     ("threads".to_string(), Value::Num(4.0)),
                     ("arith_tier".to_string(), str_v("Unpack")),
                     ("kernel_batch".to_string(), str_v("Batch")),
+                    ("kernel_lanes".to_string(), Value::Num(8.0)),
                     ("retry".to_string(), Value::Null),
                     ("cell_deadline_ms".to_string(), Value::Null),
                     ("observability".to_string(), str_v("disarmed")),

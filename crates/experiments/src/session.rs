@@ -53,7 +53,8 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use lpa_arith::{
-    dec16_tier, force_dec16_tier, force_kernel_batch, kernel_batch, Dec16Tier, KernelBatch,
+    dec16_tier, force_dec16_tier, force_kernel_batch, force_kernel_lanes, kernel_batch,
+    kernel_lanes, Dec16Tier, KernelBatch, KernelLanes,
 };
 use lpa_datagen::TestMatrix;
 use lpa_store::{ArtifactKind, Store};
@@ -257,6 +258,7 @@ pub struct ExperimentPlan<'a> {
     store: Option<&'a Store>,
     arith_tier: Option<Dec16Tier>,
     kernel_batch: Option<KernelBatch>,
+    kernel_lanes: Option<KernelLanes>,
     threads: Option<usize>,
     retry: Option<u32>,
     cell_deadline: Option<Duration>,
@@ -275,6 +277,7 @@ impl<'a> ExperimentPlan<'a> {
             store: None,
             arith_tier: None,
             kernel_batch: None,
+            kernel_lanes: None,
             threads: None,
             retry: None,
             cell_deadline: None,
@@ -326,6 +329,16 @@ impl<'a> ExperimentPlan<'a> {
     /// knob, not a semantic one.
     pub fn kernel_batch(mut self, engine: KernelBatch) -> Self {
         self.kernel_batch = Some(engine);
+        self
+    }
+
+    /// Force the planes-kernel lane width for the duration of the run
+    /// (default: the ambient width — `LPA_KERNEL_LANES` or 1). Every width
+    /// computes identical bits, so — like
+    /// [`ExperimentPlan::kernel_batch`] — this is a verification/benchmark
+    /// knob, not a semantic one.
+    pub fn kernel_lanes(mut self, lanes: KernelLanes) -> Self {
+        self.kernel_lanes = Some(lanes);
         self
     }
 
@@ -389,6 +402,9 @@ impl<'a> ExperimentPlan<'a> {
         }
         if let Some(engine) = settings.kernel_batch {
             self = self.kernel_batch(engine);
+        }
+        if let Some(lanes) = settings.kernel_lanes {
+            self = self.kernel_lanes(lanes);
         }
         if let Some(threads) = settings.threads {
             self = self.threads(threads);
@@ -476,6 +492,7 @@ impl Session<'_> {
         let _obs = self.plan.observability.map(ObsGuard::force);
         let _tier = self.plan.arith_tier.map(TierGuard::force);
         let _engine = self.plan.kernel_batch.map(BatchGuard::force);
+        let _lanes = self.plan.kernel_lanes.map(LanesGuard::force);
         // Scope the I/O retry budget to this run (same restore-guard
         // pattern as the tier/engine knobs — the budget lives on the
         // shared store handle).
@@ -848,6 +865,7 @@ impl Session<'_> {
             ("threads".to_string(), Value::Num(self.threads() as f64)),
             ("arith_tier".to_string(), Value::Str(format!("{:?}", dec16_tier()))),
             ("kernel_batch".to_string(), Value::Str(format!("{:?}", kernel_batch()))),
+            ("kernel_lanes".to_string(), Value::Num(kernel_lanes().width() as f64)),
             (
                 "retry".to_string(),
                 self.plan.retry.map_or(Value::Null, |r| Value::Num(r as f64)),
@@ -1136,6 +1154,25 @@ impl BatchGuard {
 impl Drop for BatchGuard {
     fn drop(&mut self) {
         force_kernel_batch(self.0);
+    }
+}
+
+/// Forces the planes-kernel lane width for a scope and restores the
+/// previous width on drop (the `kernel_batch` restore-guard pattern; every
+/// width computes identical bits, so overlapping guards are benign).
+struct LanesGuard(KernelLanes);
+
+impl LanesGuard {
+    fn force(lanes: KernelLanes) -> LanesGuard {
+        let previous = kernel_lanes();
+        force_kernel_lanes(lanes);
+        LanesGuard(previous)
+    }
+}
+
+impl Drop for LanesGuard {
+    fn drop(&mut self) {
+        force_kernel_lanes(self.0);
     }
 }
 

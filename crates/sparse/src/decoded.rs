@@ -4,29 +4,32 @@
 //! A CSR matrix's values are loop-invariant across an entire Krylov run,
 //! yet the scalar SpMV re-decodes every one of them on every
 //! matrix-vector product of every Arnoldi step.  `CsrDecoded` decodes the
-//! value array **once** per (matrix, format) pair; its
-//! [`spmv_decoded`](CsrDecoded::spmv_decoded) then gathers the decoded
-//! shadows and pays only the kernel combine + round per non-zero — the
-//! accumulation order is exactly [`CsrMatrix::spmv`]'s, so results are
-//! bit-identical to the scalar product (verified differentially in
-//! `tests/decoded_spmv.rs`).
+//! value array **once** per (matrix, format) pair, into two shadows: the
+//! struct-of-arrays plane store ([`PlaneStore`]) the lane-blocked
+//! [`spmv_planes`](CsrDecoded::spmv_planes) hot path gathers from, and the
+//! array-of-structs slice the [`spmv_decoded`](CsrDecoded::spmv_decoded)
+//! reference path walks.  Both run exactly [`CsrMatrix::spmv`]'s
+//! accumulation order, so all three products are bit-identical (verified
+//! differentially in `tests/decoded_spmv.rs`).
 
-use lpa_arith::{batch, BatchReal};
+use lpa_arith::{batch, BatchReal, PlaneStore};
 
 use crate::csr::CsrMatrix;
 
-/// A [`CsrMatrix`] alongside the decoded shadow of its value array.
+/// A [`CsrMatrix`] alongside the decoded shadows of its value array.
 #[derive(Clone, Debug)]
 pub struct CsrDecoded<T: BatchReal> {
     csr: CsrMatrix<T>,
     dec: Vec<T::Dec>,
+    planes: T::Planes,
 }
 
 impl<T: BatchReal> CsrDecoded<T> {
     /// Decode the matrix's values once.
     pub fn new(csr: CsrMatrix<T>) -> CsrDecoded<T> {
         let dec = batch::decode_slice(csr.values());
-        CsrDecoded { csr, dec }
+        let planes = T::Planes::decode(csr.values());
+        CsrDecoded { csr, dec, planes }
     }
 
     /// The underlying encoded matrix.
@@ -37,6 +40,11 @@ impl<T: BatchReal> CsrDecoded<T> {
     /// The decoded value shadows, in the CSR value order.
     pub fn decoded_values(&self) -> &[T::Dec] {
         &self.dec
+    }
+
+    /// The plane-store shadow of the value array, in the CSR value order.
+    pub fn planes(&self) -> &T::Planes {
+        &self.planes
     }
 
     pub fn nrows(&self) -> usize {
@@ -76,14 +84,25 @@ impl<T: BatchReal> CsrDecoded<T> {
         }
     }
 
+    /// Sparse matrix-vector product `y = A x` over plane stores — the
+    /// Krylov hot-loop form.  The lane-blocked kernel interleaves a block
+    /// of rows while keeping every row's own ascending-index accumulation,
+    /// so the result is bit-identical to [`CsrMatrix::spmv`] and
+    /// [`Self::spmv_decoded`] at every lane width.
+    pub fn spmv_planes(&self, x: &T::Planes, y: &mut T::Planes) {
+        assert_eq!(x.len(), self.ncols());
+        assert_eq!(y.len(), self.nrows());
+        T::Planes::spmv(&self.planes, self.csr.row_ptr(), self.csr.col_indices(), x, y);
+    }
+
     /// Encoded-slice SpMV through the decoded values: decodes `x` once,
-    /// runs [`Self::spmv_decoded`], and encodes the result — the drop-in
+    /// runs [`Self::spmv_planes`], and encodes the result — the drop-in
     /// form for callers holding plain slices.
     pub fn spmv(&self, x: &[T], y: &mut [T]) {
-        let xd = batch::decode_slice(x);
-        let mut yd = vec![T::zero().dec(); y.len()];
-        self.spmv_decoded(&xd, &mut yd);
-        batch::encode_slice_into(&yd, y);
+        let xp = T::Planes::decode(x);
+        let mut yp = T::Planes::with_len(y.len());
+        self.spmv_planes(&xp, &mut yp);
+        yp.encode_into(y);
     }
 }
 
